@@ -1,0 +1,117 @@
+// Ablation study for the design choices called out in DESIGN.md §6:
+//   (1) linear detrending before graph construction (paper §2.1/§4.7:
+//       VGs cannot represent monotonic trends),
+//   (2) the scale floor tau (paper §3: default 15, 0 is legal),
+//   (3) naive O(n^2) vs divide-and-conquer VG construction (identical
+//       output, different cost),
+//   (4) motif normalisation: grouped (paper §3.1) vs raw counts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/mvg_classifier.h"
+#include "motif/motif_counts.h"
+#include "ts/transforms.h"
+#include "util/timer.h"
+#include "vg/visibility_graph.h"
+
+namespace {
+
+using namespace mvg;
+
+double RunWith(const MvgConfig& extractor, const DatasetSplit& split) {
+  MvgClassifier::Config config;
+  config.extractor = extractor;
+  config.grid = GridPreset::kNone;
+  config.seed = bench::kBenchSeed;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  return bench::TestError(clf, split.test);
+}
+
+/// A drifting-sensor variant: registry series plus a strong linear trend,
+/// the case detrending exists for.
+DatasetSplit AddTrend(DatasetSplit split, double slope) {
+  for (auto* part : {&split.train, &split.test}) {
+    Dataset trended(part->name());
+    for (size_t i = 0; i < part->size(); ++i) {
+      Series s = part->series(i);
+      for (size_t t = 0; t < s.size(); ++t) {
+        s[t] += slope * static_cast<double>(t);
+      }
+      trended.Add(std::move(s), part->label(i));
+    }
+    *part = std::move(trended);
+  }
+  return split;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations: detrending, tau, VG algorithm, MPD grouping");
+
+  // --- (1) detrending ---
+  std::printf("\n(1) Detrending on drifting data (SynWorms + linear trend)\n");
+  std::printf("%12s %18s %18s\n", "trend slope", "err detrend=on",
+              "err detrend=off");
+  for (double slope : {0.0, 0.05, 0.2}) {
+    const DatasetSplit split =
+        AddTrend(MakeSyntheticByName("SynWorms", bench::kBenchSeed), slope);
+    MvgConfig on, off;
+    on.detrend = true;
+    off.detrend = false;
+    std::printf("%12.2f %18.3f %18.3f\n", slope, RunWith(on, split),
+                RunWith(off, split));
+  }
+  std::printf("(expected: the detrend=on column is constant across slopes — "
+              "the pipeline is\n trend-invariant — while detrend=off shifts "
+              "with the trend)\n");
+
+  // --- (2) tau ---
+  std::printf("\n(2) Scale floor tau (SynWorms)\n");
+  const DatasetSplit worms = MakeSyntheticByName("SynWorms", bench::kBenchSeed);
+  for (size_t tau : {0, 15, 63}) {
+    MvgConfig config;
+    config.tau = tau;
+    WallTimer t;
+    const double err = RunWith(config, worms);
+    std::printf("  tau=%-3zu error=%.3f  (%.2fs; tau only prunes tiny "
+                "scales, paper §3)\n",
+                tau, err, t.Seconds());
+  }
+
+  // --- (3) VG construction algorithm ---
+  std::printf("\n(3) VG algorithm on 2048-point noise (identical edges, "
+              "different cost)\n");
+  const Series long_series = GaussianNoise(2048, 99);
+  WallTimer naive_t;
+  const Graph naive = BuildVisibilityGraph(long_series, VgAlgorithm::kNaive);
+  const double naive_s = naive_t.Seconds();
+  WallTimer dc_t;
+  const Graph dc =
+      BuildVisibilityGraph(long_series, VgAlgorithm::kDivideConquer);
+  const double dc_s = dc_t.Seconds();
+  std::printf("  naive: %.4fs, divide&conquer: %.4fs (%.1fx), edges equal: "
+              "%s\n",
+              naive_s, dc_s, naive_s / dc_s,
+              naive.Edges() == dc.Edges() ? "yes" : "NO (bug!)");
+
+  // --- (4) MPD normalisation grouping ---
+  std::printf("\n(4) Motif probability grouping (paper groups by size and "
+              "connectivity)\n");
+  const Graph g = BuildVisibilityGraph(GaussianNoise(300, 5));
+  const MotifCounts counts = CountMotifs(g);
+  const auto grouped = MotifProbabilityDistribution(counts);
+  // Without grouping, disconnected counts (~n^4) drown connected ones.
+  const auto raw = counts.ToArray();
+  double raw_total = 0.0;
+  for (int64_t v : raw) raw_total += static_cast<double>(v);
+  std::printf("  share of raw mass on disconnected 4-motifs: %.4f\n",
+              static_cast<double>(raw[14] + raw[15] + raw[16]) / raw_total);
+  std::printf("  grouped P(M41..M46) sums to %.3f — connected structure "
+              "keeps its own scale\n",
+              grouped[6] + grouped[7] + grouped[8] + grouped[9] +
+                  grouped[10] + grouped[11]);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#ifndef MVG_BENCH_BENCH_UTIL_H_
+#define MVG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "ts/generators.h"
+
+namespace mvg::bench {
+
+/// Shared harness plumbing for the table/figure reproductions.
+///
+/// Every bench binary runs against the synthetic registry (the UCR
+/// substitute documented in DESIGN.md §3-4) with a fixed seed so output is
+/// reproducible run-to-run.
+
+inline constexpr uint64_t kBenchSeed = 2018;  // EDBT 2018.
+
+/// All registry splits, generated once.
+inline std::vector<DatasetSplit> LoadSuite(uint64_t seed = kBenchSeed) {
+  std::vector<DatasetSplit> suite;
+  for (const auto& info : SyntheticRegistry()) {
+    suite.push_back(MakeSynthetic(info, seed));
+  }
+  return suite;
+}
+
+/// Error rate of a fitted series classifier on the test split.
+template <typename Clf>
+double TestError(const Clf& clf, const Dataset& test) {
+  return ErrorRate(test.labels(), clf.PredictAll(test));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace mvg::bench
+
+#endif  // MVG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Reproduces Figure 10 (case study): the ten most important features
+// learned by the XGBoost classifier on the FordA-style dataset, with
+// per-class summary statistics of each feature (the numbers behind the
+// scatter-matrix / kernel-density panels).
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/mvg_classifier.h"
+#include "util/statistics.h"
+
+int main() {
+  using namespace mvg;
+  bench::PrintHeader(
+      "Figure 10: top-10 XGBoost feature importances (SynFordA)");
+
+  const DatasetSplit split = MakeSyntheticByName("SynFordA", bench::kBenchSeed);
+
+  MvgClassifier::Config config;
+  config.model = MvgModel::kXgboost;
+  config.grid = GridPreset::kSmall;
+  config.seed = bench::kBenchSeed;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  const double err = bench::TestError(clf, split.test);
+  std::printf("\ntest error: %.3f\n", err);
+
+  const auto top = clf.TopFeatures(10);
+  std::printf("\n%-28s %12s\n", "feature", "total gain");
+  for (const auto& [name, gain] : top) {
+    std::printf("%-28s %12.4f\n", name.c_str(), gain);
+  }
+
+  // Per-class distribution of each top feature over the *test* split, as
+  // in the paper's figure.
+  const MvgFeatureExtractor& fx = clf.extractor();
+  const auto names = clf.FeatureNames();
+  std::map<std::string, size_t> index_of;
+  for (size_t i = 0; i < names.size(); ++i) index_of[names[i]] = i;
+
+  std::printf("\nPer-class distribution on the test split:\n");
+  std::printf("%-28s %-6s %10s %10s %10s\n", "feature", "class", "mean",
+              "stddev", "median");
+  for (const auto& [name, gain] : top) {
+    const size_t f = index_of.at(name);
+    std::map<int, std::vector<double>> by_class;
+    for (size_t i = 0; i < split.test.size(); ++i) {
+      const auto features = fx.Extract(split.test.series(i));
+      if (f < features.size()) {
+        by_class[split.test.label(i)].push_back(features[f]);
+      }
+    }
+    for (const auto& [label, values] : by_class) {
+      std::printf("%-28s %-6d %10.4f %10.4f %10.4f\n", name.c_str(), label,
+                  Mean(values), StdDev(values), Median(values));
+    }
+  }
+  std::printf(
+      "\nPaper's observations to check: a mix of HVG features from T0 and\n"
+      "VG/HVG features from coarser scales ranks highest, with MPDs and\n"
+      "assortativity both present — and some single features already\n"
+      "separate the classes (distinct per-class means).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Reproduces Figure 2: boxplots of the motif probability distributions of
+// different classes from the ArrowHead-style dataset's training split.
+// Prints quartile summaries per class per 4-node motif (connected M41-M46
+// and disconnected M47-M411), the numbers behind the paper's boxplots.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/feature_extractor.h"
+#include "motif/motif_counts.h"
+#include "util/statistics.h"
+#include "vg/visibility_graph.h"
+
+int main() {
+  using namespace mvg;
+  bench::PrintHeader(
+      "Figure 2: motif probability distributions by class (SynArrowHead)");
+
+  const DatasetSplit split =
+      MakeSyntheticByName("SynArrowHead", bench::kBenchSeed);
+  const Dataset& train = split.train;
+
+  // Per class, per motif: list of probabilities over the class's series
+  // (VG of the original scale, as in the figure).
+  std::map<int, std::vector<std::vector<double>>> by_class;
+  for (size_t i = 0; i < train.size(); ++i) {
+    const Graph g = BuildVisibilityGraph(train.series(i));
+    const auto mpd = MotifProbabilityDistribution(CountMotifs(g));
+    auto& rows = by_class[train.label(i)];
+    rows.resize(kNumMotifs);
+    for (size_t m = 0; m < kNumMotifs; ++m) rows[m].push_back(mpd[m]);
+  }
+
+  auto print_block = [&](const char* title, size_t lo, size_t hi) {
+    std::printf("\n%s\n", title);
+    std::printf("%-6s %-8s %8s %8s %8s %8s %8s\n", "motif", "class", "min",
+                "q1", "median", "q3", "max");
+    for (size_t m = lo; m < hi; ++m) {
+      for (const auto& [label, rows] : by_class) {
+        const std::vector<double>& v = rows[m];
+        std::printf("%-6s %-8d %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+                    MotifNames()[m].c_str(), label, Quantile(v, 0.0),
+                    Quantile(v, 0.25), Quantile(v, 0.5), Quantile(v, 0.75),
+                    Quantile(v, 1.0));
+      }
+    }
+  };
+  print_block("Connected 4-node motifs (left panel)", 6, 12);
+  print_block("Disconnected 4-node motifs (right panel)", 12, 17);
+
+  std::printf(
+      "\nPaper's observation to verify: per-class distributions overlap\n"
+      "heavily (classes are hard to tell apart from any single motif),\n"
+      "motivating the combination with other graph features (Sec. 4.2.1).\n");
+  return 0;
+}

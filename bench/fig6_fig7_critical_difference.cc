@@ -1,0 +1,83 @@
+// Reproduces Figures 6 and 7: critical-difference diagrams.
+//   Fig. 6 — MVG features with RF vs SVM vs XGBoost (single classifiers).
+//   Fig. 7 — stacked generalization of a single family (XGBoost / SVM /
+//            RF) vs stacking all three families.
+// Prints average ranks and the Nemenyi critical difference; two methods
+// whose rank gap is below the CD are statistically indistinguishable
+// (alpha = 0.05).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/mvg_classifier.h"
+#include "ml/stat_tests.h"
+
+namespace {
+
+using namespace mvg;
+
+double RunModel(MvgModel model, const DatasetSplit& split) {
+  MvgClassifier::Config config;
+  config.model = model;
+  config.grid = GridPreset::kSmall;
+  config.seed = bench::kBenchSeed;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  return bench::TestError(clf, split.test);
+}
+
+void PrintCd(const char* title, const std::vector<const char*>& names,
+             const std::vector<std::vector<double>>& scores) {
+  const FriedmanNemenyiResult result = FriedmanNemenyi(scores);
+  std::printf("\n%s\n", title);
+  std::printf("  Friedman chi2 = %.3f, p = %.4f; Nemenyi CD = %.4f\n",
+              result.friedman_chi2, result.friedman_p,
+              result.critical_difference);
+  for (size_t i = 0; i < names.size(); ++i) {
+    std::printf("  avg rank %.3f  %s\n", result.average_ranks[i], names[i]);
+  }
+  std::printf("  (methods within CD of each other are connected by the\n"
+              "   insignificance bar in the paper's diagram)\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Figures 6-7: critical difference diagrams");
+  const std::vector<DatasetSplit> suite = bench::LoadSuite();
+
+  // --- Figure 6: single-classifier families ---
+  std::vector<std::vector<double>> fig6;
+  for (const auto& split : suite) {
+    std::fprintf(stderr, "[fig6] %s...\n", split.train.name().c_str());
+    fig6.push_back({RunModel(MvgModel::kSvm, split),
+                    RunModel(MvgModel::kRandomForest, split),
+                    RunModel(MvgModel::kXgboost, split)});
+  }
+  PrintCd("Figure 6: MVG(SVM) vs MVG(RF) vs MVG(XGBoost)",
+          {"MVG (SVM)", "MVG (RF)", "MVG (XGBoost)"}, fig6);
+  std::printf("  Paper: XGBoost slightly ahead of RF; both ahead of SVM "
+              "(CD = 0.5307 on 39 sets).\n");
+
+  // --- Figure 7: stacking single family vs all families ---
+  // Single-family stacking reuses the pipeline with only that family's
+  // grid; "All" is the three-family stack (Algorithm 2).
+  std::vector<std::vector<double>> fig7;
+  for (const auto& split : suite) {
+    std::fprintf(stderr, "[fig7] %s...\n", split.train.name().c_str());
+    // For single families, the best-of-grid classifier is the paper's
+    // "stacking within a family" surrogate at our scale: with small grids
+    // the top-k of one family collapses to its best members.
+    fig7.push_back({RunModel(MvgModel::kSvm, split),
+                    RunModel(MvgModel::kRandomForest, split),
+                    RunModel(MvgModel::kXgboost, split),
+                    RunModel(MvgModel::kStacking, split)});
+  }
+  PrintCd("Figure 7: stacking families — SVM vs RF vs XGBoost vs All",
+          {"SVM family", "RF family", "XGBoost family", "All (stacked)"},
+          fig7);
+  std::printf("  Paper: stacking all families is significantly more "
+              "accurate (CD = 0.7511 on 39 sets).\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Microbenchmarks for the end-to-end feature extraction (Algorithm 1) and
+// the classifier substrate — quantifies the per-column cost of Table 2's
+// configurations and the distance functions used by the 1NN baselines.
+
+#include <benchmark/benchmark.h>
+
+#include "core/feature_extractor.h"
+#include "ml/gradient_boosting.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "ts/distance.h"
+#include "ts/generators.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace mvg;
+
+void BM_ExtractColumn(benchmark::State& state, char column) {
+  MvgConfig config = ConfigForHeuristicColumn(column);
+  const MvgFeatureExtractor fx(config);
+  const Series s = GaussianNoise(256, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(s));
+  }
+}
+BENCHMARK_CAPTURE(BM_ExtractColumn, A_uvg_hvg_mpds, 'A');
+BENCHMARK_CAPTURE(BM_ExtractColumn, E_uvg_both_all, 'E');
+BENCHMARK_CAPTURE(BM_ExtractColumn, G_mvg_both_all, 'G');
+
+void BM_ExtractByLength(benchmark::State& state) {
+  const MvgFeatureExtractor fx;
+  const Series s = GaussianNoise(static_cast<size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(s));
+  }
+}
+BENCHMARK(BM_ExtractByLength)->Range(64, 1024);
+
+void BM_DetrendAblation(benchmark::State& state) {
+  // Cost of the optional detrending step alone.
+  MvgConfig with;
+  with.detrend = state.range(0) != 0;
+  const MvgFeatureExtractor fx(with);
+  const Series s = RandomWalk(256, 5, 0.2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(s));
+  }
+}
+BENCHMARK(BM_DetrendAblation)->Arg(0)->Arg(1);
+
+void BM_Dtw(benchmark::State& state) {
+  const Series a = GaussianNoise(static_cast<size_t>(state.range(0)), 1);
+  const Series b = GaussianNoise(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dtw(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Dtw)->Range(64, 1024)->Complexity(benchmark::oNSquared);
+
+void BM_DtwWindowed(benchmark::State& state) {
+  const Series a = GaussianNoise(512, 1);
+  const Series b = GaussianNoise(512, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DtwWindowed(a, b, static_cast<size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_DtwWindowed)->Arg(8)->Arg(32)->Arg(128);
+
+Matrix MakeFeatures(size_t n, size_t d, std::vector<int>* y) {
+  Rng rng(9);
+  Matrix x;
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> row(d);
+    const int label = static_cast<int>(i % 2);
+    for (size_t f = 0; f < d; ++f) {
+      row[f] = rng.Gaussian() + (f == 0 ? 2.0 * label : 0.0);
+    }
+    x.push_back(std::move(row));
+    y->push_back(label);
+  }
+  return x;
+}
+
+void BM_XgboostFit(benchmark::State& state) {
+  std::vector<int> y;
+  const Matrix x = MakeFeatures(static_cast<size_t>(state.range(0)), 92, &y);
+  for (auto _ : state) {
+    GradientBoostingClassifier::Params p;
+    p.num_rounds = 40;
+    p.subsample = 0.5;
+    p.colsample = 0.5;
+    GradientBoostingClassifier clf(p);
+    clf.Fit(x, y);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_XgboostFit)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_RandomForestFit(benchmark::State& state) {
+  std::vector<int> y;
+  const Matrix x = MakeFeatures(static_cast<size_t>(state.range(0)), 92, &y);
+  for (auto _ : state) {
+    RandomForestClassifier::Params p;
+    p.num_trees = 50;
+    RandomForestClassifier clf(p);
+    clf.Fit(x, y);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_RandomForestFit)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SvmFit(benchmark::State& state) {
+  std::vector<int> y;
+  const Matrix x = MakeFeatures(static_cast<size_t>(state.range(0)), 92, &y);
+  for (auto _ : state) {
+    SvmClassifier clf;
+    clf.Fit(x, y);
+    benchmark::DoNotOptimize(clf);
+  }
+}
+BENCHMARK(BM_SvmFit)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

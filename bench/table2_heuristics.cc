@@ -1,0 +1,134 @@
+// Reproduces Table 2 plus Figures 3, 4 and 5: error rates of the heuristic
+// configurations A-G against 1NN-Euclidean and 1NN-DTW across the dataset
+// suite, with the paper's win-count rows and Wilcoxon signed-rank tests.
+//
+// Column meanings (paper §4.2):
+//   A = UVG  / HVG    / MPDs only        B = UVG  / HVG    / all features
+//   C = UVG  / VG     / MPDs only        D = UVG  / VG     / all features
+//   E = UVG  / VG+HVG / all features     F = AMVG / VG+HVG / all features
+//   G = MVG  / VG+HVG / all features     (G is the full method)
+//
+// Figures 3-5 are scatter plots of column pairs from this same table; the
+// per-dataset pairs printed here are exactly those point coordinates.
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/nn_classifiers.h"
+#include "bench/bench_util.h"
+#include "core/mvg_classifier.h"
+#include "ml/stat_tests.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace mvg;
+
+double RunColumn(char column, const DatasetSplit& split) {
+  MvgClassifier::Config config;
+  config.extractor = ConfigForHeuristicColumn(column);
+  config.grid = GridPreset::kSmall;
+  config.seed = bench::kBenchSeed;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  return bench::TestError(clf, split.test);
+}
+
+void Compare(const char* label, const std::vector<double>& lhs,
+             const std::vector<double>& rhs) {
+  const WilcoxonResult w = WilcoxonSignedRank(lhs, rhs);
+  std::printf("%-28s better on %2zu/%zu datasets, Wilcoxon p = %.4f\n", label,
+              w.b_wins, lhs.size(), w.p_value);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table 2 (+ Figs 3-5): heuristic validation, error rates per dataset");
+
+  const std::vector<DatasetSplit> suite = bench::LoadSuite();
+  const std::string columns = "ABCDEFG";
+  // results[col] aligned with the suite order; "ED"/"DTW" for baselines.
+  std::map<std::string, std::vector<double>> results;
+
+  TablePrinter table({"Dataset", "#Cls", "#Train", "#Test", "Dim", "1NN-ED",
+                      "1NN-DTW", "A", "B", "C", "D", "E", "F", "G"});
+  for (const auto& split : suite) {
+    const auto& info_name = split.train.name();
+    std::fprintf(stderr, "[table2] %s...\n", info_name.c_str());
+
+    OneNnEuclidean ed;
+    ed.Fit(split.train);
+    const double err_ed = bench::TestError(ed, split.test);
+    OneNnDtw dtw;
+    dtw.Fit(split.train);
+    const double err_dtw = bench::TestError(dtw, split.test);
+    results["ED"].push_back(err_ed);
+    results["DTW"].push_back(err_dtw);
+
+    std::vector<double> row = {
+        static_cast<double>(split.train.NumClasses()),
+        static_cast<double>(split.train.size()),
+        static_cast<double>(split.test.size()),
+        static_cast<double>(split.train.MaxLength()),
+        err_ed,
+        err_dtw};
+    for (char col : columns) {
+      const double err = RunColumn(col, split);
+      results[std::string(1, col)].push_back(err);
+      row.push_back(err);
+    }
+    std::vector<std::string> cells;
+    cells.push_back(info_name);
+    for (size_t i = 0; i < row.size(); ++i) {
+      const int precision = i < 4 ? 0 : 3;
+      cells.push_back(FormatDouble(row[i], precision));
+    }
+    table.AddRow(cells);
+  }
+  table.Print(std::cout);
+
+  std::printf("\n--- Paper's comparison rows (win counts + Wilcoxon) ---\n");
+  std::printf("(Heuristic 1: adding non-MPD graph features helps)\n");
+  Compare("A (HVG MPDs) vs B (HVG All)", results["A"], results["B"]);
+  Compare("C (VG MPDs)  vs D (VG All)", results["C"], results["D"]);
+  std::printf("(Heuristic 2: VG captures more than HVG; combining wins)\n");
+  Compare("B (HVG All)  vs D (VG All)", results["B"], results["D"]);
+  Compare("D (VG All)   vs E (UVG)", results["D"], results["E"]);
+  std::printf("(Heuristic 3: multiscale helps)\n");
+  Compare("E (UVG)      vs F (AMVG)", results["E"], results["F"]);
+  Compare("F (AMVG)     vs G (MVG)", results["F"], results["G"]);
+  Compare("E (UVG)      vs G (MVG)", results["E"], results["G"]);
+  std::printf("(Baselines)\n");
+  Compare("1NN-ED       vs G (MVG)", results["ED"], results["G"]);
+  Compare("1NN-DTW      vs G (MVG)", results["DTW"], results["G"]);
+
+  std::printf(
+      "\n--- Figure 3 scatter pairs (x = MPDs only, y = all features) ---\n");
+  for (size_t i = 0; i < suite.size(); ++i) {
+    std::printf("  %-22s HVG: (%.3f, %.3f)   VG: (%.3f, %.3f)\n",
+                suite[i].train.name().c_str(), results["A"][i],
+                results["B"][i], results["C"][i], results["D"][i]);
+  }
+  std::printf(
+      "\n--- Figure 4 scatter pairs (HVG vs VG vs UVG, all features) ---\n");
+  for (size_t i = 0; i < suite.size(); ++i) {
+    std::printf("  %-22s (B,D)=(%.3f,%.3f) (B,E)=(%.3f,%.3f) (D,E)=(%.3f,%.3f)\n",
+                suite[i].train.name().c_str(), results["B"][i],
+                results["D"][i], results["B"][i], results["E"][i],
+                results["D"][i], results["E"][i]);
+  }
+  std::printf("\n--- Figure 5 scatter pairs (UVG vs AMVG vs MVG) ---\n");
+  for (size_t i = 0; i < suite.size(); ++i) {
+    std::printf("  %-22s (E,F)=(%.3f,%.3f) (F,G)=(%.3f,%.3f) (E,G)=(%.3f,%.3f)\n",
+                suite[i].train.name().c_str(), results["E"][i],
+                results["F"][i], results["F"][i], results["G"][i],
+                results["E"][i], results["G"][i]);
+  }
+  return 0;
+}

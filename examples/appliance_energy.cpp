@@ -1,0 +1,51 @@
+// Scenario: household appliance identification from electricity usage
+// (paper §1 and refs [27][28]: industrial/building applications; the UCR
+// "ElectricDevices" family).
+//
+// Duty-cycle profiles are step-shaped and badly aligned — the worst case
+// for global distance measures, a good case for alignment-agnostic graph
+// features. Demonstrates the stacked-generalization classifier
+// (Algorithm 2) and UCR-format export for interop with other tools.
+//
+// Build & run:  ./build/examples/appliance_energy [output.csv]
+
+#include <cstdio>
+
+#include "baselines/nn_classifiers.h"
+#include "core/mvg_classifier.h"
+#include "ml/metrics.h"
+#include "ts/generators.h"
+#include "ts/ucr_io.h"
+
+int main(int argc, char** argv) {
+  using namespace mvg;
+
+  const DatasetSplit data =
+      MakeSyntheticByName("SynElectricDevices", /*seed=*/3);
+  std::printf("appliance profiles: %zu train / %zu test, %zu device types\n",
+              data.train.size(), data.test.size(), data.train.NumClasses());
+
+  // Stacked generalization across XGBoost + RF + SVM families.
+  MvgClassifier::Config config;
+  config.model = MvgModel::kStacking;
+  config.grid = GridPreset::kSmall;
+  MvgClassifier stacked(config);
+  stacked.Fit(data.train);
+  const double stacked_err =
+      ErrorRate(data.test.labels(), stacked.PredictAll(data.test));
+
+  // Baseline: global-shape matching struggles with unaligned duty cycles.
+  OneNnEuclidean ed;
+  ed.Fit(data.train);
+  const double ed_err = ErrorRate(data.test.labels(), ed.PredictAll(data.test));
+
+  std::printf("\nerror rates: MVG-stacked %.3f | 1NN-ED %.3f\n", stacked_err,
+              ed_err);
+
+  // Export in UCR format so the dataset can be fed to any other TSC tool.
+  if (argc > 1) {
+    WriteUcrFile(data.train, argv[1]);
+    std::printf("wrote training split in UCR format to %s\n", argv[1]);
+  }
+  return 0;
+}

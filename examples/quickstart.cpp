@@ -1,0 +1,48 @@
+// Quickstart: the five-minute tour of the MVG library.
+//
+//   1. get labeled time series (here: a synthetic chaos-vs-noise set),
+//   2. construct an MvgClassifier (multiscale visibility graphs + XGBoost),
+//   3. Fit, Predict, inspect accuracy and the most important features.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/mvg_classifier.h"
+#include "ml/metrics.h"
+#include "ts/generators.h"
+
+int main() {
+  using namespace mvg;
+
+  // 1. Data: three classes — fully chaotic logistic map, noisy chaotic
+  //    map, white Gaussian noise. Same mean, same range; only the
+  //    *dynamics* differ, which is exactly what graph features capture.
+  const DatasetSplit data = MakeSyntheticByName("SynChaos", /*seed=*/42);
+  std::printf("train: %zu series, test: %zu series, %zu classes\n",
+              data.train.size(), data.test.size(),
+              data.train.NumClasses());
+
+  // 2. Default pipeline: MVG scales, VG+HVG graphs, all statistical
+  //    features, small XGBoost grid with 3-fold stratified CV.
+  MvgClassifier clf;
+
+  // 3. Fit + evaluate.
+  clf.Fit(data.train);
+  const double err = ErrorRate(data.test.labels(), clf.PredictAll(data.test));
+  std::printf("test error rate: %.3f\n", err);
+  std::printf("feature extraction: %.2fs, training: %.2fs\n",
+              clf.feature_extraction_seconds(), clf.training_seconds());
+
+  // Bonus: which graph features did the classifier rely on?
+  std::printf("\ntop-5 features by XGBoost gain:\n");
+  for (const auto& [name, gain] : clf.TopFeatures(5)) {
+    std::printf("  %-26s %.3f\n", name.c_str(), gain);
+  }
+
+  // Classify a brand-new series.
+  const Series mystery = LogisticMap(160, 4.0, 0.2718);
+  std::printf("\nmystery series classified as: class %d (0 = chaotic map)\n",
+              clf.Predict(mystery));
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "baselines/bag_of_patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "baselines/sax.h"
+
+namespace mvg {
+
+BagOfPatternsClassifier::BagOfPatternsClassifier()
+    : BagOfPatternsClassifier(Params()) {}
+
+BagOfPatternsClassifier::BagOfPatternsClassifier(Params params)
+    : params_(params) {}
+
+BagOfPatternsClassifier::Bag BagOfPatternsClassifier::MakeBag(
+    const Series& s) const {
+  Bag bag;
+  const size_t window =
+      std::min(effective_window_ > 0 ? effective_window_
+                                     : std::max(params_.word_length, s.size() / 4),
+               s.size());
+  for (const std::string& w :
+       SaxWindows(s, window, params_.word_length, params_.alphabet_size)) {
+    bag[w] += 1.0;
+  }
+  return bag;
+}
+
+void BagOfPatternsClassifier::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("BagOfPatterns: empty train");
+  effective_window_ = params_.window > 0
+                          ? params_.window
+                          : std::max(params_.word_length,
+                                     train.MaxLength() / 4);
+  train_bags_.clear();
+  train_labels_ = train.labels();
+  for (size_t i = 0; i < train.size(); ++i) {
+    train_bags_.push_back(MakeBag(train.series(i)));
+  }
+}
+
+namespace {
+
+double CosineSimilarity(const std::map<std::string, double>& a,
+                        const std::map<std::string, double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [word, count] : a) {
+    na += count * count;
+    const auto it = b.find(word);
+    if (it != b.end()) dot += count * it->second;
+  }
+  for (const auto& [word, count] : b) nb += count * count;
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0.0 ? dot / denom : 0.0;
+}
+
+double EuclideanDistance(const std::map<std::string, double>& a,
+                         const std::map<std::string, double>& b) {
+  double acc = 0.0;
+  for (const auto& [word, count] : a) {
+    const auto it = b.find(word);
+    const double diff = count - (it == b.end() ? 0.0 : it->second);
+    acc += diff * diff;
+  }
+  for (const auto& [word, count] : b) {
+    if (a.find(word) == a.end()) acc += count * count;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+int BagOfPatternsClassifier::Predict(const Series& s) const {
+  if (train_bags_.empty()) {
+    throw std::runtime_error("BagOfPatterns: not fitted");
+  }
+  const Bag query = MakeBag(s);
+  size_t best = 0;
+  double best_score = params_.cosine
+                          ? -1.0
+                          : std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < train_bags_.size(); ++i) {
+    if (params_.cosine) {
+      const double sim = CosineSimilarity(query, train_bags_[i]);
+      if (sim > best_score) {
+        best_score = sim;
+        best = i;
+      }
+    } else {
+      const double dist = EuclideanDistance(query, train_bags_[i]);
+      if (dist < best_score) {
+        best_score = dist;
+        best = i;
+      }
+    }
+  }
+  return train_labels_[best];
+}
+
+}  // namespace mvg

@@ -1,0 +1,45 @@
+#ifndef MVG_BASELINES_BAG_OF_PATTERNS_H_
+#define MVG_BASELINES_BAG_OF_PATTERNS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/series_classifier.h"
+
+namespace mvg {
+
+/// Bag-of-Patterns (Lin, Khade & Li 2012, paper ref. [31]): each series
+/// becomes a histogram of SAX words over sliding windows (with numerosity
+/// reduction); classification is 1NN between histograms. The rotation-
+/// invariant text-based family the paper's §1/§5 positions SAX-VSM and
+/// shapelets against.
+class BagOfPatternsClassifier : public SeriesClassifier {
+ public:
+  struct Params {
+    size_t window = 0;  ///< 0 = |series| / 4.
+    size_t word_length = 8;
+    size_t alphabet_size = 4;
+    bool cosine = true;  ///< cosine similarity; false = Euclidean.
+  };
+
+  BagOfPatternsClassifier();
+  explicit BagOfPatternsClassifier(Params params);
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override { return "BagOfPatterns"; }
+
+ private:
+  using Bag = std::map<std::string, double>;
+  Bag MakeBag(const Series& s) const;
+
+  Params params_;
+  size_t effective_window_ = 0;
+  std::vector<Bag> train_bags_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_BAG_OF_PATTERNS_H_

@@ -1,0 +1,277 @@
+#include "baselines/fast_shapelets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "baselines/sax.h"
+#include "util/random.h"
+
+namespace mvg {
+
+double MinSubsequenceDistance(const Series& shapelet, const Series& s) {
+  const size_t m = shapelet.size();
+  if (m == 0 || m > s.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t start = 0; start + m <= s.size(); ++start) {
+    double acc = 0.0;
+    for (size_t i = 0; i < m && acc < best; ++i) {
+      const double d = shapelet[i] - s[start + i];
+      acc += d * d;
+    }
+    best = std::min(best, acc);
+  }
+  return best / static_cast<double>(m);
+}
+
+namespace {
+
+/// Entropy of a label multiset.
+double Entropy(const std::map<int, size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [label, c] : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+/// Best information-gain split of labeled distances; returns (gain,
+/// threshold).
+std::pair<double, double> BestGainSplit(
+    std::vector<std::pair<double, int>> dist_label) {
+  std::sort(dist_label.begin(), dist_label.end());
+  const size_t n = dist_label.size();
+  std::map<int, size_t> total_counts, left_counts;
+  for (const auto& [d, l] : dist_label) ++total_counts[l];
+  const double parent = Entropy(total_counts, n);
+  double best_gain = 0.0, best_threshold = 0.0;
+  std::map<int, size_t> right_counts = total_counts;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    ++left_counts[dist_label[i].second];
+    --right_counts[dist_label[i].second];
+    if (dist_label[i].first == dist_label[i + 1].first) continue;
+    const size_t nl = i + 1, nr = n - nl;
+    const double gain =
+        parent - (static_cast<double>(nl) / static_cast<double>(n)) *
+                     Entropy(left_counts, nl) -
+        (static_cast<double>(nr) / static_cast<double>(n)) *
+            Entropy(right_counts, nr);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_threshold =
+          0.5 * (dist_label[i].first + dist_label[i + 1].first);
+    }
+  }
+  return {best_gain, best_threshold};
+}
+
+struct Candidate {
+  size_t series_index;
+  size_t start;
+  size_t length;
+};
+
+}  // namespace
+
+FastShapeletsClassifier::FastShapeletsClassifier()
+    : FastShapeletsClassifier(Params()) {}
+
+FastShapeletsClassifier::FastShapeletsClassifier(Params params)
+    : params_(std::move(params)) {}
+
+void FastShapeletsClassifier::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("FastShapelets: empty train");
+  nodes_.clear();
+  std::vector<const Series*> series;
+  std::vector<int> labels;
+  for (size_t i = 0; i < train.size(); ++i) {
+    series.push_back(&train.series(i));
+    labels.push_back(train.label(i));
+  }
+  Rng rng(params_.seed);
+  BuildNode(series, labels, 0, &rng);
+}
+
+int32_t FastShapeletsClassifier::BuildNode(
+    const std::vector<const Series*>& series, const std::vector<int>& labels,
+    size_t depth, Rng* rng) {
+  std::map<int, size_t> counts;
+  for (int l : labels) ++counts[l];
+  auto make_leaf = [&]() {
+    Node leaf;
+    size_t best_count = 0;
+    for (const auto& [label, c] : counts) {
+      if (c > best_count) {
+        best_count = c;
+        leaf.label = label;
+      }
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+  if (counts.size() <= 1 || depth >= params_.max_depth ||
+      labels.size() < params_.min_node_size) {
+    return make_leaf();
+  }
+
+  // --- SAX random-projection pre-filter ---
+  // Hash every candidate subsequence to a SAX word; over several masking
+  // rounds, accumulate per-class collision counts per (masked word,
+  // length); score words by how class-skewed their collisions are.
+  size_t min_len = std::numeric_limits<size_t>::max();
+  for (const Series* s : series) min_len = std::min(min_len, s->size());
+
+  struct WordStats {
+    std::map<int, double> class_hits;
+    Candidate representative{0, 0, 0};
+  };
+
+  // Candidate length ladder: either the caller's fixed fractions or the
+  // original-style absolute sweep whose size grows with the series length.
+  std::vector<size_t> lengths;
+  if (params_.length_fractions.empty()) {
+    const size_t step = std::max<size_t>(4, min_len / 32);
+    for (size_t len = std::max<size_t>(8, params_.sax_word_length);
+         len <= min_len / 2; len += step) {
+      lengths.push_back(len);
+    }
+    if (lengths.empty()) lengths.push_back(std::min(min_len, size_t{8}));
+  } else {
+    for (double frac : params_.length_fractions) {
+      lengths.push_back(std::max<size_t>(
+          params_.sax_word_length,
+          static_cast<size_t>(frac * static_cast<double>(min_len))));
+    }
+  }
+
+  // (score, candidate) pool across every length; the exact-gain budget is
+  // then spent on the globally best-scored candidates.
+  std::vector<std::pair<double, Candidate>> pool;
+  for (size_t len : lengths) {
+    if (len > min_len || len < params_.sax_word_length) continue;
+
+    // SAX word per (series, start).
+    std::vector<std::pair<Candidate, std::string>> words;
+    for (size_t si = 0; si < series.size(); ++si) {
+      const Series& s = *series[si];
+      const size_t stride = std::max<size_t>(1, len / 8);
+      for (size_t start = 0; start + len <= s.size(); start += stride) {
+        Series sub(s.begin() + static_cast<long>(start),
+                   s.begin() + static_cast<long>(start + len));
+        words.push_back({Candidate{si, start, len},
+                         SaxWord(sub, params_.sax_word_length,
+                                 params_.sax_alphabet)});
+      }
+    }
+
+    std::map<std::string, WordStats> stats;
+    for (size_t round = 0; round < params_.projection_rounds; ++round) {
+      // Mask half of the word positions.
+      const std::vector<size_t> masked =
+          rng->Sample(params_.sax_word_length, params_.sax_word_length / 2);
+      for (const auto& [cand, word] : words) {
+        std::string projected = word;
+        for (size_t p : masked) projected[p] = '*';
+        WordStats& ws = stats[projected];
+        ws.class_hits[labels[cand.series_index]] += 1.0;
+        ws.representative = cand;
+      }
+    }
+
+    // Distinguishing power: total spread between the best-represented
+    // class and the others, normalised by class sizes.
+    std::vector<std::pair<double, Candidate>> scored;
+    for (const auto& [word, ws] : stats) {
+      double mx = 0.0, total = 0.0;
+      for (const auto& [label, hits] : ws.class_hits) {
+        const double norm =
+            hits / static_cast<double>(counts[label]);
+        mx = std::max(mx, norm);
+        total += norm;
+      }
+      scored.push_back({mx - (total - mx), ws.representative});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const size_t take = std::min(params_.top_candidates / 2 + 1, scored.size());
+    for (size_t i = 0; i < take; ++i) pool.push_back(scored[i]);
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (pool.size() > params_.top_candidates) {
+    pool.resize(params_.top_candidates);
+  }
+  std::vector<Candidate> top;
+  top.reserve(pool.size());
+  for (const auto& [score, cand] : pool) top.push_back(cand);
+  if (top.empty()) return make_leaf();
+
+  // --- exact information gain on the surviving candidates ---
+  double best_gain = 1e-9, best_threshold = 0.0;
+  Series best_shapelet;
+  std::vector<double> best_distances;
+  for (const Candidate& cand : top) {
+    const Series& src = *series[cand.series_index];
+    Series shapelet(src.begin() + static_cast<long>(cand.start),
+                    src.begin() + static_cast<long>(cand.start + cand.length));
+    std::vector<std::pair<double, int>> dist_label(series.size());
+    std::vector<double> distances(series.size());
+    for (size_t i = 0; i < series.size(); ++i) {
+      distances[i] = MinSubsequenceDistance(shapelet, *series[i]);
+      dist_label[i] = {distances[i], labels[i]};
+    }
+    const auto [gain, threshold] = BestGainSplit(std::move(dist_label));
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_threshold = threshold;
+      best_shapelet = std::move(shapelet);
+      best_distances = std::move(distances);
+    }
+  }
+  if (best_shapelet.empty()) return make_leaf();
+
+  std::vector<const Series*> ls, rs;
+  std::vector<int> ll, rl;
+  for (size_t i = 0; i < series.size(); ++i) {
+    if (best_distances[i] <= best_threshold) {
+      ls.push_back(series[i]);
+      ll.push_back(labels[i]);
+    } else {
+      rs.push_back(series[i]);
+      rl.push_back(labels[i]);
+    }
+  }
+  if (ls.empty() || rs.empty()) return make_leaf();
+
+  Node internal;
+  internal.shapelet = best_shapelet;
+  internal.threshold = best_threshold;
+  nodes_.push_back(std::move(internal));
+  const int32_t id = static_cast<int32_t>(nodes_.size() - 1);
+  const int32_t left = BuildNode(ls, ll, depth + 1, rng);
+  const int32_t right = BuildNode(rs, rl, depth + 1, rng);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+int FastShapeletsClassifier::Predict(const Series& s) const {
+  if (nodes_.empty()) throw std::runtime_error("FastShapelets: not fitted");
+  int32_t cur = 0;
+  while (!nodes_[cur].shapelet.empty()) {
+    const Node& node = nodes_[cur];
+    cur = MinSubsequenceDistance(node.shapelet, s) <= node.threshold
+              ? node.left
+              : node.right;
+  }
+  return nodes_[cur].label;
+}
+
+}  // namespace mvg

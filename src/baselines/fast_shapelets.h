@@ -1,0 +1,70 @@
+#ifndef MVG_BASELINES_FAST_SHAPELETS_H_
+#define MVG_BASELINES_FAST_SHAPELETS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/series_classifier.h"
+
+namespace mvg {
+
+/// Fast Shapelets (Rakthanmanon & Keogh 2013, paper ref. [35]): a decision
+/// tree whose nodes split on "is the minimum subsequence distance to a
+/// shapelet below a threshold". Candidate shapelets are pre-filtered with
+/// the paper's SAX random-projection trick: subsequences are SAX-hashed,
+/// random positions are repeatedly masked, and words whose collision
+/// profiles best separate the classes are promoted; only the top
+/// candidates have their exact information gain computed.
+class FastShapeletsClassifier : public SeriesClassifier {
+ public:
+  struct Params {
+    /// Candidate subsequence lengths as fractions of the series length.
+    /// Empty (the default) reproduces the original's behaviour of sweeping
+    /// the whole length range: lengths 8 .. n/2 with step max(4, n/32),
+    /// so the number of candidate lengths grows with n as in the paper.
+    /// Non-empty overrides with fixed fractions (cheaper; used in tests).
+    std::vector<double> length_fractions;
+    size_t sax_word_length = 8;
+    size_t sax_alphabet = 4;
+    size_t projection_rounds = 10;  ///< random masking rounds.
+    size_t top_candidates = 10;     ///< exact-gain evaluations per node.
+    size_t max_depth = 6;
+    size_t min_node_size = 2;
+    uint64_t seed = 42;
+  };
+
+  FastShapeletsClassifier();
+  explicit FastShapeletsClassifier(Params params);
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override { return "FastShapelets"; }
+
+  size_t NumNodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Series shapelet;       ///< empty marks a leaf.
+    double threshold = 0.0;
+    int32_t left = -1, right = -1;  ///< left: dist <= threshold.
+    int label = 0;         ///< leaf majority label.
+  };
+
+  int32_t BuildNode(const std::vector<const Series*>& series,
+                    const std::vector<int>& labels, size_t depth,
+                    class Rng* rng);
+
+  Params params_;
+  std::vector<Node> nodes_;
+};
+
+/// Minimum squared Euclidean distance between `shapelet` and every
+/// equal-length window of `s` (normalised by shapelet length). Exposed for
+/// Learning Shapelets and tests.
+double MinSubsequenceDistance(const Series& shapelet, const Series& s);
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_FAST_SHAPELETS_H_

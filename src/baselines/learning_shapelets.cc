@@ -1,0 +1,193 @@
+#include "baselines/learning_shapelets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace mvg {
+
+namespace {
+
+/// Per-window mean squared distances between a shapelet and a series.
+std::vector<double> WindowDistances(const Series& shapelet, const Series& s) {
+  const size_t len = shapelet.size();
+  if (len > s.size()) return {};
+  std::vector<double> d(s.size() - len + 1);
+  for (size_t j = 0; j < d.size(); ++j) {
+    double acc = 0.0;
+    for (size_t l = 0; l < len; ++l) {
+      const double diff = shapelet[l] - s[j + l];
+      acc += diff * diff;
+    }
+    d[j] = acc / static_cast<double>(len);
+  }
+  return d;
+}
+
+/// Soft-min value and the softmax weights psi_j over windows.
+double SoftMin(const std::vector<double>& d, double alpha,
+               std::vector<double>* psi) {
+  // alpha < 0 makes this a smooth minimum.
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : d) mx = std::max(mx, alpha * v);
+  double z = 0.0;
+  psi->resize(d.size());
+  for (size_t j = 0; j < d.size(); ++j) {
+    (*psi)[j] = std::exp(alpha * d[j] - mx);
+    z += (*psi)[j];
+  }
+  double m = 0.0;
+  for (size_t j = 0; j < d.size(); ++j) {
+    (*psi)[j] /= z;
+    m += (*psi)[j] * d[j];
+  }
+  return m;
+}
+
+std::vector<double> SoftmaxVec(const std::vector<double>& z) {
+  const double mx = *std::max_element(z.begin(), z.end());
+  std::vector<double> p(z.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < z.size(); ++i) {
+    p[i] = std::exp(z[i] - mx);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+LearningShapeletsClassifier::LearningShapeletsClassifier()
+    : LearningShapeletsClassifier(Params()) {}
+
+LearningShapeletsClassifier::LearningShapeletsClassifier(Params params)
+    : params_(std::move(params)) {}
+
+void LearningShapeletsClassifier::Fit(const Dataset& train) {
+  if (train.empty()) {
+    throw std::invalid_argument("LearningShapelets: empty train");
+  }
+  class_labels_ = train.ClassLabels();
+  const size_t num_classes = class_labels_.size();
+  const size_t big_k = params_.num_shapelets;
+
+  size_t min_len = train.series(0).size();
+  for (size_t i = 0; i < train.size(); ++i) {
+    min_len = std::min(min_len, train.series(i).size());
+  }
+  const size_t len = std::max<size_t>(
+      4, static_cast<size_t>(params_.length_fraction *
+                             static_cast<double>(min_len)));
+
+  // Initialise shapelets from random training segments.
+  Rng rng(params_.seed);
+  shapelets_.clear();
+  for (size_t k = 0; k < big_k; ++k) {
+    const size_t si = rng.Index(train.size());
+    const Series& s = train.series(si);
+    const size_t start = rng.Index(s.size() - len + 1);
+    shapelets_.emplace_back(s.begin() + static_cast<long>(start),
+                            s.begin() + static_cast<long>(start + len));
+  }
+  weights_.assign(num_classes, std::vector<double>(big_k + 1, 0.0));
+
+  std::vector<size_t> encoded(train.size());
+  for (size_t i = 0; i < train.size(); ++i) {
+    encoded[i] = static_cast<size_t>(
+        std::lower_bound(class_labels_.begin(), class_labels_.end(),
+                         train.label(i)) -
+        class_labels_.begin());
+  }
+
+  std::vector<size_t> order(train.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::vector<std::vector<double>> psi(big_k);
+  std::vector<std::vector<double>> dists(big_k);
+
+  for (size_t epoch = 0; epoch < params_.max_epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t idx : order) {
+      const Series& s = train.series(idx);
+      // Forward pass.
+      std::vector<double> m(big_k, 0.0);
+      for (size_t k = 0; k < big_k; ++k) {
+        dists[k] = WindowDistances(shapelets_[k], s);
+        m[k] = dists[k].empty() ? 0.0 : SoftMin(dists[k], params_.alpha, &psi[k]);
+      }
+      std::vector<double> logits(num_classes, 0.0);
+      for (size_t c = 0; c < num_classes; ++c) {
+        logits[c] = weights_[c][big_k];
+        for (size_t k = 0; k < big_k; ++k) logits[c] += weights_[c][k] * m[k];
+      }
+      const std::vector<double> p = SoftmaxVec(logits);
+
+      // Backward pass: dL/dlogit_c = p_c - y_c.
+      std::vector<double> dm(big_k, 0.0);
+      for (size_t c = 0; c < num_classes; ++c) {
+        const double err = p[c] - (encoded[idx] == c ? 1.0 : 0.0);
+        for (size_t k = 0; k < big_k; ++k) {
+          dm[k] += err * weights_[c][k];
+        }
+        // Weight update with L2 (bias unregularised).
+        for (size_t k = 0; k < big_k; ++k) {
+          weights_[c][k] -= params_.learning_rate *
+                            (err * m[k] + params_.l2 * weights_[c][k]);
+        }
+        weights_[c][big_k] -= params_.learning_rate * err;
+      }
+      // Shapelet update: dM_k/dD_kj = psi_j (1 + alpha (D_kj - M_k));
+      // dD_kj/dS_kl = 2 (S_kl - t_{j+l}) / L.
+      for (size_t k = 0; k < big_k; ++k) {
+        if (dists[k].empty() || dm[k] == 0.0) continue;
+        Series& sh = shapelets_[k];
+        const double inv_len = 1.0 / static_cast<double>(sh.size());
+        for (size_t j = 0; j < dists[k].size(); ++j) {
+          const double dmdd =
+              psi[k][j] * (1.0 + params_.alpha * (dists[k][j] - m[k]));
+          const double coeff = params_.learning_rate * dm[k] * dmdd;
+          if (std::abs(coeff) < 1e-12) continue;
+          for (size_t l = 0; l < sh.size(); ++l) {
+            sh[l] -= coeff * 2.0 * (sh[l] - s[j + l]) * inv_len;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> LearningShapeletsClassifier::Transform(
+    const Series& s) const {
+  std::vector<double> m(shapelets_.size(), 0.0);
+  std::vector<double> psi;
+  for (size_t k = 0; k < shapelets_.size(); ++k) {
+    const std::vector<double> d = WindowDistances(shapelets_[k], s);
+    m[k] = d.empty() ? 0.0 : SoftMin(d, params_.alpha, &psi);
+  }
+  return m;
+}
+
+int LearningShapeletsClassifier::Predict(const Series& s) const {
+  if (shapelets_.empty()) {
+    throw std::runtime_error("LearningShapelets: not fitted");
+  }
+  const std::vector<double> m = Transform(s);
+  const size_t big_k = shapelets_.size();
+  size_t best = 0;
+  double best_logit = -std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < weights_.size(); ++c) {
+    double z = weights_[c][big_k];
+    for (size_t k = 0; k < big_k; ++k) z += weights_[c][k] * m[k];
+    if (z > best_logit) {
+      best_logit = z;
+      best = c;
+    }
+  }
+  return class_labels_[best];
+}
+
+}  // namespace mvg

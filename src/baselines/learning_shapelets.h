@@ -1,0 +1,56 @@
+#ifndef MVG_BASELINES_LEARNING_SHAPELETS_H_
+#define MVG_BASELINES_LEARNING_SHAPELETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/series_classifier.h"
+
+namespace mvg {
+
+/// Learning Shapelets (Grabocka et al. 2014, paper ref. [15]): learns K
+/// shapelets jointly with a linear classifier by gradient descent.
+///
+/// The model transforms a series into K soft-minimum distances
+///   M_k = sum_j D_kj * exp(alpha * D_kj) / sum_j exp(alpha * D_kj),
+/// where D_kj is the mean squared distance between shapelet k and the j-th
+/// window, then applies softmax regression on M. Both the shapelets and
+/// the linear weights receive gradients. This is the paper's strongest
+/// accuracy baseline ("LS is recognized as the most accurate classifier"),
+/// and also its slowest — the training loop is deliberately expensive.
+class LearningShapeletsClassifier : public SeriesClassifier {
+ public:
+  struct Params {
+    size_t num_shapelets = 8;       ///< K.
+    double length_fraction = 0.2;   ///< L = fraction * series length.
+    double alpha = -30.0;           ///< soft-min sharpness (negative).
+    double learning_rate = 0.05;
+    size_t max_epochs = 300;
+    double l2 = 1e-3;
+    uint64_t seed = 42;
+  };
+
+  LearningShapeletsClassifier();
+  explicit LearningShapeletsClassifier(Params params);
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override { return "LearningShapelets"; }
+
+  const std::vector<Series>& shapelets() const { return shapelets_; }
+
+ private:
+  /// Soft-min distance features of one series against all shapelets.
+  std::vector<double> Transform(const Series& s) const;
+
+  Params params_;
+  std::vector<int> class_labels_;
+  std::vector<Series> shapelets_;
+  /// Softmax weights: k x (K+1), bias last.
+  std::vector<std::vector<double>> weights_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_LEARNING_SHAPELETS_H_

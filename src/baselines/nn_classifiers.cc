@@ -1,0 +1,57 @@
+#include "baselines/nn_classifiers.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "ts/distance.h"
+
+namespace mvg {
+
+void OneNnEuclidean::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("OneNnEuclidean: empty train");
+  train_ = train;
+}
+
+int OneNnEuclidean::Predict(const Series& s) const {
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_.label(0);
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const double d = SquaredEuclidean(s, train_.series(i));
+    if (d < best) {
+      best = d;
+      label = train_.label(i);
+    }
+  }
+  return label;
+}
+
+void OneNnDtw::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("OneNnDtw: empty train");
+  train_ = train;
+}
+
+int OneNnDtw::Predict(const Series& s) const {
+  double best = std::numeric_limits<double>::infinity();
+  int label = train_.label(0);
+  const size_t effective_window = window_ == 0 ? s.size() : window_;
+  for (size_t i = 0; i < train_.size(); ++i) {
+    const Series& t = train_.series(i);
+    // LB_Keogh prune (only valid for equal lengths and bounded windows).
+    if (window_ > 0 && t.size() == s.size() &&
+        LbKeogh(s, t, effective_window) >= best) {
+      continue;
+    }
+    const double d = DtwWindowed(s, t, effective_window, best);
+    if (d < best) {
+      best = d;
+      label = train_.label(i);
+    }
+  }
+  return label;
+}
+
+std::string OneNnDtw::Name() const {
+  return window_ == 0 ? "1NN-DTW" : "1NN-DTW(w=" + std::to_string(window_) + ")";
+}
+
+}  // namespace mvg

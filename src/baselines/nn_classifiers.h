@@ -1,0 +1,42 @@
+#ifndef MVG_BASELINES_NN_CLASSIFIERS_H_
+#define MVG_BASELINES_NN_CLASSIFIERS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "baselines/series_classifier.h"
+
+namespace mvg {
+
+/// 1NN with Euclidean distance — the classic strawman baseline (Table 3's
+/// 1NN-ED column).
+class OneNnEuclidean : public SeriesClassifier {
+ public:
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override { return "1NN-ED"; }
+
+ private:
+  Dataset train_;
+};
+
+/// 1NN with (optionally windowed) DTW — "very difficult to beat" per the
+/// paper's §1 (Table 3's 1NN-DTW column). Uses the LB_Keogh lower bound
+/// and best-so-far early abandoning for speed; results are exact.
+class OneNnDtw : public SeriesClassifier {
+ public:
+  /// window = 0 means full (unconstrained) DTW.
+  explicit OneNnDtw(size_t window = 0) : window_(window) {}
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override;
+
+ private:
+  size_t window_;
+  Dataset train_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_NN_CLASSIFIERS_H_

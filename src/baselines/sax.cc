@@ -1,0 +1,76 @@
+#include "baselines/sax.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ts/transforms.h"
+
+namespace mvg {
+
+namespace {
+
+/// Inverse standard normal CDF via bisection on erfc (breakpoints are
+/// computed once per alphabet size and cached by the caller).
+double NormalQuantile(double p) {
+  double lo = -10.0, hi = 10.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double cdf = 0.5 * std::erfc(-mid / std::sqrt(2.0));
+    (cdf < p ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::vector<double> GaussianBreakpoints(size_t alphabet_size) {
+  if (alphabet_size < 2 || alphabet_size > 20) {
+    throw std::invalid_argument("GaussianBreakpoints: alphabet in [2,20]");
+  }
+  std::vector<double> bp(alphabet_size - 1);
+  for (size_t i = 1; i < alphabet_size; ++i) {
+    bp[i - 1] = NormalQuantile(static_cast<double>(i) /
+                               static_cast<double>(alphabet_size));
+  }
+  return bp;
+}
+
+std::string SaxWord(const Series& s, size_t word_length,
+                    size_t alphabet_size) {
+  if (s.empty() || word_length == 0 || word_length > s.size()) {
+    throw std::invalid_argument("SaxWord: need 1 <= word_length <= |s|");
+  }
+  const std::vector<double> bp = GaussianBreakpoints(alphabet_size);
+  const Series z = ZNormalize(s);
+  const Series p = Paa(z, word_length);
+  std::string word(word_length, 'a');
+  for (size_t i = 0; i < word_length; ++i) {
+    const size_t sym = static_cast<size_t>(
+        std::upper_bound(bp.begin(), bp.end(), p[i]) - bp.begin());
+    word[i] = static_cast<char>('a' + sym);
+  }
+  return word;
+}
+
+std::vector<std::string> SaxWindows(const Series& s, size_t window,
+                                    size_t word_length, size_t alphabet_size,
+                                    bool numerosity_reduction) {
+  if (window == 0 || window > s.size() || word_length > window) {
+    throw std::invalid_argument("SaxWindows: bad window/word length");
+  }
+  std::vector<std::string> words;
+  std::string prev;
+  for (size_t start = 0; start + window <= s.size(); ++start) {
+    Series sub(s.begin() + static_cast<long>(start),
+               s.begin() + static_cast<long>(start + window));
+    std::string w = SaxWord(sub, word_length, alphabet_size);
+    if (!numerosity_reduction || w != prev) {
+      words.push_back(w);
+      prev = std::move(w);
+    }
+  }
+  return words;
+}
+
+}  // namespace mvg

@@ -1,0 +1,32 @@
+#ifndef MVG_BASELINES_SAX_H_
+#define MVG_BASELINES_SAX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Symbolic Aggregate approXimation (paper ref. [30]): z-normalise, PAA to
+/// `word_length` segments, then quantise against equiprobable Gaussian
+/// breakpoints into `alphabet_size` symbols 'a', 'b', ...
+///
+/// Requires 2 <= alphabet_size <= 20 and 1 <= word_length <= |s|.
+std::string SaxWord(const Series& s, size_t word_length, size_t alphabet_size);
+
+/// The N(0,1) breakpoints that split the Gaussian into `alphabet_size`
+/// equiprobable regions (size alphabet_size - 1, ascending).
+std::vector<double> GaussianBreakpoints(size_t alphabet_size);
+
+/// All SAX words of sliding windows of `window` points (stride 1) with
+/// numerosity reduction (consecutive duplicates collapsed), as used by
+/// bag-of-patterns methods (SAX-VSM, Fast Shapelets).
+std::vector<std::string> SaxWindows(const Series& s, size_t window,
+                                    size_t word_length, size_t alphabet_size,
+                                    bool numerosity_reduction = true);
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_SAX_H_

@@ -1,0 +1,89 @@
+#include "baselines/sax_vsm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/sax.h"
+
+namespace mvg {
+
+SaxVsmClassifier::SaxVsmClassifier() : SaxVsmClassifier(Params()) {}
+
+SaxVsmClassifier::SaxVsmClassifier(Params params) : params_(params) {}
+
+void SaxVsmClassifier::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("SaxVsm: empty train");
+  class_labels_ = train.ClassLabels();
+  const size_t k = class_labels_.size();
+
+  effective_window_ = params_.window > 0
+                          ? params_.window
+                          : std::max<size_t>(params_.word_length,
+                                             train.MaxLength() / 4);
+
+  // Per-class bag of words.
+  std::vector<std::map<std::string, double>> tf(k);
+  for (size_t i = 0; i < train.size(); ++i) {
+    const size_t c = static_cast<size_t>(
+        std::lower_bound(class_labels_.begin(), class_labels_.end(),
+                         train.label(i)) -
+        class_labels_.begin());
+    const size_t window = std::min(effective_window_, train.series(i).size());
+    for (const std::string& w :
+         SaxWindows(train.series(i), window, params_.word_length,
+                    params_.alphabet_size)) {
+      tf[c][w] += 1.0;
+    }
+  }
+
+  // tf-idf: log-scaled tf times log(k / document frequency), documents
+  // being the k class corpora (Senin & Malinchik Eq. 2).
+  std::map<std::string, size_t> df;
+  for (const auto& bag : tf) {
+    for (const auto& [word, count] : bag) ++df[word];
+  }
+  class_vectors_.assign(k, {});
+  for (size_t c = 0; c < k; ++c) {
+    for (const auto& [word, count] : tf[c]) {
+      const double idf = std::log(static_cast<double>(k) /
+                                  static_cast<double>(df[word]));
+      if (idf > 0.0) {
+        class_vectors_[c][word] = (1.0 + std::log(count)) * idf;
+      }
+    }
+  }
+}
+
+int SaxVsmClassifier::Predict(const Series& s) const {
+  if (class_labels_.empty()) throw std::runtime_error("SaxVsm: not fitted");
+  const size_t window = std::min(effective_window_, s.size());
+  std::map<std::string, double> tf;
+  for (const std::string& w :
+       SaxWindows(s, window, params_.word_length, params_.alphabet_size)) {
+    tf[w] += 1.0;
+  }
+  double norm_q = 0.0;
+  for (const auto& [word, count] : tf) norm_q += count * count;
+  norm_q = std::sqrt(norm_q);
+
+  size_t best = 0;
+  double best_sim = -1.0;
+  for (size_t c = 0; c < class_vectors_.size(); ++c) {
+    double dot = 0.0, norm_c = 0.0;
+    for (const auto& [word, weight] : class_vectors_[c]) {
+      norm_c += weight * weight;
+      const auto it = tf.find(word);
+      if (it != tf.end()) dot += weight * it->second;
+    }
+    const double denom = norm_q * std::sqrt(norm_c);
+    const double sim = denom > 0.0 ? dot / denom : 0.0;
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = c;
+    }
+  }
+  return class_labels_[best];
+}
+
+}  // namespace mvg

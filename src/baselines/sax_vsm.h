@@ -1,0 +1,43 @@
+#ifndef MVG_BASELINES_SAX_VSM_H_
+#define MVG_BASELINES_SAX_VSM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/series_classifier.h"
+
+namespace mvg {
+
+/// SAX-VSM (Senin & Malinchik 2013, paper ref. [39]): one tf-idf weight
+/// vector per class built from SAX words of sliding windows over all the
+/// class's training series; prediction is cosine similarity between the
+/// test series' term-frequency vector and each class vector.
+class SaxVsmClassifier : public SeriesClassifier {
+ public:
+  struct Params {
+    size_t window = 0;        ///< 0 = |series| / 4.
+    size_t word_length = 8;
+    size_t alphabet_size = 4;
+  };
+
+  SaxVsmClassifier();
+  explicit SaxVsmClassifier(Params params);
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override { return "SAX-VSM"; }
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  size_t effective_window_ = 0;
+  std::vector<int> class_labels_;
+  /// tf-idf weight per word per class, aligned with class_labels_.
+  std::vector<std::map<std::string, double>> class_vectors_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_SAX_VSM_H_

@@ -1,0 +1,36 @@
+#ifndef MVG_BASELINES_SERIES_CLASSIFIER_H_
+#define MVG_BASELINES_SERIES_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Interface for the baseline TSC algorithms the paper compares against
+/// (Table 3): they consume raw series rather than feature vectors.
+class SeriesClassifier {
+ public:
+  virtual ~SeriesClassifier() = default;
+
+  /// Trains on a labeled dataset. Throws std::invalid_argument when empty.
+  virtual void Fit(const Dataset& train) = 0;
+
+  /// Predicts the label of one series.
+  virtual int Predict(const Series& s) const = 0;
+
+  /// Batch prediction.
+  std::vector<int> PredictAll(const Dataset& test) const {
+    std::vector<int> out;
+    out.reserve(test.size());
+    for (size_t i = 0; i < test.size(); ++i) out.push_back(Predict(test.series(i)));
+    return out;
+  }
+
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_BASELINES_SERIES_CLASSIFIER_H_

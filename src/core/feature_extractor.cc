@@ -1,0 +1,227 @@
+#include "core/feature_extractor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/graph_stats.h"
+#include "motif/motif_counts.h"
+#include "ts/transforms.h"
+#include "util/parallel.h"
+#include "vg/weighted_visibility_graph.h"
+
+namespace mvg {
+
+MvgConfig ConfigForHeuristicColumn(char column) {
+  MvgConfig c;
+  switch (column) {
+    case 'A':
+      c.scale_mode = ScaleMode::kUniscale;
+      c.graph_mode = GraphMode::kHvgOnly;
+      c.feature_mode = FeatureMode::kMpdsOnly;
+      return c;
+    case 'B':
+      c.scale_mode = ScaleMode::kUniscale;
+      c.graph_mode = GraphMode::kHvgOnly;
+      c.feature_mode = FeatureMode::kAll;
+      return c;
+    case 'C':
+      c.scale_mode = ScaleMode::kUniscale;
+      c.graph_mode = GraphMode::kVgOnly;
+      c.feature_mode = FeatureMode::kMpdsOnly;
+      return c;
+    case 'D':
+      c.scale_mode = ScaleMode::kUniscale;
+      c.graph_mode = GraphMode::kVgOnly;
+      c.feature_mode = FeatureMode::kAll;
+      return c;
+    case 'E':
+      c.scale_mode = ScaleMode::kUniscale;
+      c.graph_mode = GraphMode::kVgAndHvg;
+      c.feature_mode = FeatureMode::kAll;
+      return c;
+    case 'F':
+      c.scale_mode = ScaleMode::kApproximateMultiscale;
+      c.graph_mode = GraphMode::kVgAndHvg;
+      c.feature_mode = FeatureMode::kAll;
+      return c;
+    case 'G':
+      c.scale_mode = ScaleMode::kMultiscale;
+      c.graph_mode = GraphMode::kVgAndHvg;
+      c.feature_mode = FeatureMode::kAll;
+      return c;
+    default:
+      throw std::invalid_argument("ConfigForHeuristicColumn: want 'A'..'G'");
+  }
+}
+
+const char* ToString(GraphMode mode) {
+  switch (mode) {
+    case GraphMode::kHvgOnly:
+      return "HVG";
+    case GraphMode::kVgOnly:
+      return "VG";
+    case GraphMode::kVgAndHvg:
+      return "VG+HVG";
+  }
+  return "?";
+}
+
+const char* ToString(FeatureMode mode) {
+  switch (mode) {
+    case FeatureMode::kMpdsOnly:
+      return "MPDs";
+    case FeatureMode::kAll:
+      return "All";
+    case FeatureMode::kExtended:
+      return "Extended";
+  }
+  return "?";
+}
+
+MvgFeatureExtractor::MvgFeatureExtractor() : config_(MvgConfig()) {}
+
+MvgFeatureExtractor::MvgFeatureExtractor(MvgConfig config)
+    : config_(config) {}
+
+size_t MvgFeatureExtractor::FeaturesPerGraph() const {
+  // 17 motif probabilities; + 6 statistical features in kAll (density,
+  // min/mean/max degree, max coreness, assortativity); + 4 more in
+  // kExtended (degree entropy, clustering, mean/max betweenness).
+  switch (config_.feature_mode) {
+    case FeatureMode::kMpdsOnly:
+      return kNumMotifs;
+    case FeatureMode::kAll:
+      return kNumMotifs + 6;
+    case FeatureMode::kExtended:
+      return kNumMotifs + 10;
+  }
+  return kNumMotifs;
+}
+
+size_t MvgFeatureExtractor::SeriesFeaturesPerScale() const {
+  // 6 weighted-VG view-angle statistics + in/out directed degree
+  // entropies, only when the natural VG participates.
+  return config_.feature_mode == FeatureMode::kExtended &&
+                 config_.graph_mode != GraphMode::kHvgOnly
+             ? 8
+             : 0;
+}
+
+std::vector<double> MvgFeatureExtractor::GraphFeatures(const Graph& g) const {
+  const MotifCounts counts = CountMotifs(g);
+  const auto mpd = MotifProbabilityDistribution(counts);
+  std::vector<double> out(mpd.begin(), mpd.end());
+  if (config_.feature_mode != FeatureMode::kMpdsOnly) {
+    out.push_back(Density(g));
+    const DegreeStats ds = ComputeDegreeStats(g);
+    out.push_back(ds.min);
+    out.push_back(ds.mean);
+    out.push_back(ds.max);
+    out.push_back(static_cast<double>(MaxCore(g)));
+    out.push_back(DegreeAssortativity(g));
+  }
+  if (config_.feature_mode == FeatureMode::kExtended) {
+    out.push_back(DegreeDistributionEntropy(g));
+    out.push_back(AverageClustering(g));
+    const std::vector<double> bc =
+        NormalizeBetweenness(BetweennessCentrality(g), g.num_vertices());
+    double mean_bc = 0.0, max_bc = 0.0;
+    for (double c : bc) {
+      mean_bc += c;
+      max_bc = std::max(max_bc, c);
+    }
+    out.push_back(bc.empty() ? 0.0
+                             : mean_bc / static_cast<double>(bc.size()));
+    out.push_back(max_bc);
+  }
+  return out;
+}
+
+std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
+  if (s.empty()) throw std::invalid_argument("Extract: empty series");
+  const Series prepared = config_.detrend ? DetrendLinear(s) : s;
+  const std::vector<Series> scales =
+      MultiscaleRepresentation(prepared, config_.scale_mode, config_.tau);
+  std::vector<double> features;
+  features.reserve(scales.size() * 2 * FeaturesPerGraph());
+  for (const Series& scale : scales) {
+    if (config_.graph_mode != GraphMode::kHvgOnly) {
+      const Graph vg = BuildVisibilityGraph(scale, config_.vg_algorithm);
+      const std::vector<double> f = GraphFeatures(vg);
+      features.insert(features.end(), f.begin(), f.end());
+    }
+    if (config_.graph_mode != GraphMode::kVgOnly) {
+      const Graph hvg = BuildHorizontalVisibilityGraph(scale);
+      const std::vector<double> f = GraphFeatures(hvg);
+      features.insert(features.end(), f.begin(), f.end());
+    }
+    if (SeriesFeaturesPerScale() > 0) {
+      const WeightedVisibilityGraph wvg = WeightedVisibilityGraph::Build(scale);
+      const auto ws = wvg.ComputeWeightStats();
+      features.push_back(ws.mean);
+      features.push_back(ws.stddev);
+      features.push_back(ws.max);
+      features.push_back(ws.mean_strength);
+      features.push_back(ws.max_strength);
+      features.push_back(ws.strength_entropy);
+      const DirectedVgDegrees dd = ComputeDirectedVgDegrees(scale);
+      features.push_back(DegreeSequenceEntropy(dd.in));
+      features.push_back(DegreeSequenceEntropy(dd.out));
+    }
+  }
+  return features;
+}
+
+Matrix MvgFeatureExtractor::ExtractAll(const Dataset& ds,
+                                       size_t num_threads) const {
+  Matrix x(ds.size());
+  ParallelFor(ds.size(), num_threads,
+              [&](size_t i) { x[i] = Extract(ds.series(i)); });
+  size_t width = 0;
+  for (const auto& row : x) width = std::max(width, row.size());
+  for (auto& row : x) row.resize(width, 0.0);
+  return x;
+}
+
+std::vector<std::string> MvgFeatureExtractor::FeatureNames(
+    size_t series_length) const {
+  const std::vector<Series> scales = MultiscaleRepresentation(
+      Series(series_length, 0.0), config_.scale_mode, config_.tau);
+  const size_t first = FirstScaleIndex(config_.scale_mode);
+  std::vector<std::string> names;
+  auto add_graph = [&](const std::string& prefix) {
+    for (const std::string& m : MotifNames()) {
+      names.push_back(prefix + ".P(" + m + ")");
+    }
+    if (config_.feature_mode != FeatureMode::kMpdsOnly) {
+      names.push_back(prefix + ".density");
+      names.push_back(prefix + ".min_degree");
+      names.push_back(prefix + ".mean_degree");
+      names.push_back(prefix + ".max_degree");
+      names.push_back(prefix + ".max_core");
+      names.push_back(prefix + ".assortativity");
+    }
+    if (config_.feature_mode == FeatureMode::kExtended) {
+      names.push_back(prefix + ".degree_entropy");
+      names.push_back(prefix + ".clustering");
+      names.push_back(prefix + ".mean_betweenness");
+      names.push_back(prefix + ".max_betweenness");
+    }
+  };
+  for (size_t i = 0; i < scales.size(); ++i) {
+    const std::string scale = "T" + std::to_string(first + i);
+    if (config_.graph_mode != GraphMode::kHvgOnly) add_graph(scale + ".VG");
+    if (config_.graph_mode != GraphMode::kVgOnly) add_graph(scale + ".HVG");
+    if (SeriesFeaturesPerScale() > 0) {
+      for (const char* f :
+           {"weight_mean", "weight_std", "weight_max", "strength_mean",
+            "strength_max", "strength_entropy", "in_degree_entropy",
+            "out_degree_entropy"}) {
+        names.push_back(scale + ".WVG." + std::string(f));
+      }
+    }
+  }
+  return names;
+}
+
+}  // namespace mvg

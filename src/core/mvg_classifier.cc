@@ -1,0 +1,233 @@
+#include "core/mvg_classifier.h"
+
+#include <stdexcept>
+
+#include "ml/gradient_boosting.h"
+#include "ml/model_selection.h"
+#include "ml/random_forest.h"
+#include "ml/stacking.h"
+#include "ml/svm.h"
+#include "util/timer.h"
+
+namespace mvg {
+
+namespace {
+
+/// XGBoost grids. The paper's grid (§4.2): learning rate in {0.01, 0.1,
+/// 0.3}, estimators in {10..100}, depth in {10, 20}, subsample =
+/// colsample = 0.5.
+std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed) {
+  std::vector<GradientBoostingClassifier::Params> grid;
+  auto base = [&](double lr, size_t rounds, size_t depth) {
+    GradientBoostingClassifier::Params p;
+    p.learning_rate = lr;
+    p.num_rounds = rounds;
+    p.max_depth = depth;
+    p.subsample = 0.5;
+    p.colsample = 0.5;
+    p.min_child_weight = 0.5;
+    p.seed = seed;
+    return p;
+  };
+  switch (preset) {
+    case GridPreset::kNone:
+      grid.push_back(base(0.05, 200, 6));
+      break;
+    case GridPreset::kSmall:
+      grid.push_back(base(0.08, 120, 5));
+      grid.push_back(base(0.3, 40, 3));
+      break;
+    case GridPreset::kPaper:
+      for (double lr : {0.01, 0.1, 0.3}) {
+        for (size_t rounds = 10; rounds <= 100; rounds += 10) {
+          for (size_t depth : {size_t{10}, size_t{20}}) {
+            grid.push_back(base(lr, rounds, depth));
+          }
+        }
+      }
+      break;
+  }
+  std::vector<ClassifierFactory> out;
+  for (const auto& p : grid) {
+    out.push_back(
+        [p]() { return std::make_unique<GradientBoostingClassifier>(p); });
+  }
+  return out;
+}
+
+std::vector<ClassifierFactory> RfGrid(GridPreset preset, uint64_t seed) {
+  std::vector<RandomForestClassifier::Params> grid;
+  auto base = [&](size_t trees, size_t depth) {
+    RandomForestClassifier::Params p;
+    p.num_trees = trees;
+    p.max_depth = depth;
+    p.seed = seed;
+    return p;
+  };
+  if (preset == GridPreset::kNone) {
+    grid.push_back(base(200, 16));
+  } else {
+    grid.push_back(base(100, 12));
+    grid.push_back(base(180, 20));
+  }
+  std::vector<ClassifierFactory> out;
+  for (const auto& p : grid) {
+    out.push_back(
+        [p]() { return std::make_unique<RandomForestClassifier>(p); });
+  }
+  return out;
+}
+
+std::vector<ClassifierFactory> SvmGrid(GridPreset preset, uint64_t seed) {
+  std::vector<SvmClassifier::Params> grid;
+  auto base = [&](double c, SvmClassifier::Kernel kernel) {
+    SvmClassifier::Params p;
+    p.c = c;
+    p.kernel = kernel;
+    p.seed = seed;
+    return p;
+  };
+  if (preset == GridPreset::kNone) {
+    grid.push_back(base(10.0, SvmClassifier::Kernel::kRbf));
+  } else {
+    grid.push_back(base(1.0, SvmClassifier::Kernel::kRbf));
+    grid.push_back(base(10.0, SvmClassifier::Kernel::kRbf));
+  }
+  std::vector<ClassifierFactory> out;
+  for (const auto& p : grid) {
+    out.push_back([p]() { return std::make_unique<SvmClassifier>(p); });
+  }
+  return out;
+}
+
+}  // namespace
+
+MvgClassifier::MvgClassifier() : MvgClassifier(Config()) {}
+
+MvgClassifier::MvgClassifier(Config config)
+    : config_(config), extractor_(config.extractor) {}
+
+std::vector<ClassifierFactory> MvgClassifier::BuildCandidates() const {
+  switch (config_.model) {
+    case MvgModel::kXgboost:
+      return XgbGrid(config_.grid, config_.seed);
+    case MvgModel::kRandomForest:
+      return RfGrid(config_.grid, config_.seed);
+    case MvgModel::kSvm:
+      return SvmGrid(config_.grid, config_.seed);
+    case MvgModel::kStacking:
+      break;
+  }
+  throw std::logic_error("BuildCandidates: unreachable");
+}
+
+std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies()
+    const {
+  return {XgbGrid(config_.grid, config_.seed),
+          RfGrid(config_.grid, config_.seed),
+          SvmGrid(config_.grid, config_.seed)};
+}
+
+void MvgClassifier::Fit(const Dataset& train) {
+  if (train.empty()) throw std::invalid_argument("MvgClassifier: empty train");
+  train_length_ = train.MaxLength();
+
+  WallTimer fe_timer;
+  Matrix x = extractor_.ExtractAll(train);
+  std::vector<int> y = train.labels();
+  feature_width_ = x.empty() ? 0 : x[0].size();
+  fe_seconds_ = fe_timer.Seconds();
+
+  WallTimer train_timer;
+  if (config_.oversample) {
+    Matrix x_os;
+    std::vector<int> y_os;
+    RandomOversample(x, y, config_.seed, &x_os, &y_os);
+    x = std::move(x_os);
+    y = std::move(y_os);
+  }
+  // SVM kernels need comparable feature magnitudes (paper §4.3); scaling
+  // is harmless for the tree models, so the pipeline always fits the
+  // scaler and applies it for SVM and stacking.
+  scaler_.Fit(x);
+  const bool scale = config_.model == MvgModel::kSvm ||
+                     config_.model == MvgModel::kStacking;
+  const Matrix& x_used = scale ? scaler_.TransformAll(x) : x;
+
+  if (config_.model == MvgModel::kStacking) {
+    StackingEnsemble::Params sp;
+    sp.num_folds = config_.cv_folds;
+    sp.seed = config_.seed;
+    sp.top_k_per_family = config_.stacking_top_k;
+    model_ = std::make_unique<StackingEnsemble>(BuildFamilies(), sp);
+    model_->Fit(x_used, y);
+  } else {
+    const std::vector<ClassifierFactory> candidates = BuildCandidates();
+    size_t best = 0;
+    if (candidates.size() > 1 && config_.grid != GridPreset::kNone) {
+      best = GridSearch(candidates, x_used, y, config_.cv_folds, config_.seed)
+                 .best_index;
+    }
+    model_ = candidates[best]();
+    model_->Fit(x_used, y);
+  }
+  train_seconds_ = train_timer.Seconds();
+}
+
+int MvgClassifier::Predict(const Series& s) const {
+  if (!model_) throw std::runtime_error("MvgClassifier: not fitted");
+  std::vector<double> features = extractor_.Extract(s);
+  features.resize(feature_width_, 0.0);
+  const bool scale = config_.model == MvgModel::kSvm ||
+                     config_.model == MvgModel::kStacking;
+  if (scale) features = scaler_.Transform(features);
+  return model_->Predict(features);
+}
+
+std::string MvgClassifier::Name() const {
+  std::string model;
+  switch (config_.model) {
+    case MvgModel::kXgboost:
+      model = "XGBoost";
+      break;
+    case MvgModel::kRandomForest:
+      model = "RF";
+      break;
+    case MvgModel::kSvm:
+      model = "SVM";
+      break;
+    case MvgModel::kStacking:
+      model = "Stacking";
+      break;
+  }
+  return std::string(ToString(config_.extractor.scale_mode)) + "(" + model +
+         ")";
+}
+
+const Classifier& MvgClassifier::model() const {
+  if (!model_) throw std::runtime_error("MvgClassifier: not fitted");
+  return *model_;
+}
+
+std::vector<std::string> MvgClassifier::FeatureNames() const {
+  return extractor_.FeatureNames(train_length_);
+}
+
+std::vector<std::pair<std::string, double>> MvgClassifier::TopFeatures(
+    size_t k) const {
+  const auto* gbt =
+      dynamic_cast<const GradientBoostingClassifier*>(model_.get());
+  if (gbt == nullptr) {
+    throw std::runtime_error("TopFeatures: model is not XGBoost");
+  }
+  const std::vector<std::string> names = FeatureNames();
+  std::vector<std::pair<std::string, double>> out;
+  for (size_t f : gbt->TopFeatures(k)) {
+    const std::string name =
+        f < names.size() ? names[f] : "feature_" + std::to_string(f);
+    out.emplace_back(name, gbt->FeatureGains()[f]);
+  }
+  return out;
+}
+
+}  // namespace mvg

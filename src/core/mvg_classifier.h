@@ -1,0 +1,93 @@
+#ifndef MVG_CORE_MVG_CLASSIFIER_H_
+#define MVG_CORE_MVG_CLASSIFIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/series_classifier.h"
+#include "core/feature_extractor.h"
+#include "ml/classifier.h"
+#include "ml/preprocessing.h"
+
+namespace mvg {
+
+/// Which generic classifier family sits on top of the graph features
+/// (paper §3.2/§4.3).
+enum class MvgModel {
+  kXgboost,
+  kRandomForest,
+  kSvm,
+  kStacking,  ///< stacked generalization over all three families (Alg. 2).
+};
+
+/// How much hyper-parameter search Fit() performs.
+enum class GridPreset {
+  kNone,   ///< single default configuration, no CV.
+  kSmall,  ///< a handful of candidates, 3-fold CV (default; sized for CI).
+  kPaper,  ///< the paper's §4.2 grid (3 learning rates x 10 estimator
+           ///< counts x 2 depths for XGBoost); expensive.
+};
+
+/// End-to-end MVG pipeline (paper §3 + §4): multiscale visibility-graph
+/// feature extraction -> random oversampling of minority classes ->
+/// (min-max scaling for SVM) -> grid-searched generic classifier.
+///
+/// Feature-extraction and training wall times are recorded separately,
+/// matching Table 3's "FE" and "Clf" runtime columns.
+class MvgClassifier : public SeriesClassifier {
+ public:
+  struct Config {
+    MvgConfig extractor;
+    MvgModel model = MvgModel::kXgboost;
+    GridPreset grid = GridPreset::kSmall;
+    bool oversample = true;
+    size_t cv_folds = 3;
+    /// Base estimators kept per family in the stacked ensemble (paper
+    /// Algorithm 2 keeps the top five; small grids need fewer).
+    size_t stacking_top_k = 1;
+    uint64_t seed = 42;
+  };
+
+  MvgClassifier();
+  explicit MvgClassifier(Config config);
+
+  void Fit(const Dataset& train) override;
+  int Predict(const Series& s) const override;
+  std::string Name() const override;
+
+  /// Wall-clock split of the last Fit() (Table 3's FE vs Clf columns).
+  double feature_extraction_seconds() const { return fe_seconds_; }
+  double training_seconds() const { return train_seconds_; }
+
+  /// The fitted underlying model (for importance inspection etc.);
+  /// requires Fit().
+  const Classifier& model() const;
+
+  /// Names aligned with the extracted features of the training series.
+  std::vector<std::string> FeatureNames() const;
+
+  /// Top-k features by XGBoost gain (only when model == kXgboost).
+  std::vector<std::pair<std::string, double>> TopFeatures(size_t k) const;
+
+  const Config& config() const { return config_; }
+  const MvgFeatureExtractor& extractor() const { return extractor_; }
+
+ private:
+  std::vector<ClassifierFactory> BuildCandidates() const;
+  std::vector<std::vector<ClassifierFactory>> BuildFamilies() const;
+
+  Config config_;
+  MvgFeatureExtractor extractor_;
+  MinMaxScaler scaler_;
+  std::unique_ptr<Classifier> model_;
+  size_t feature_width_ = 0;
+  size_t train_length_ = 0;
+  double fe_seconds_ = 0.0;
+  double train_seconds_ = 0.0;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_CORE_MVG_CLASSIFIER_H_

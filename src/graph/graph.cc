@@ -1,0 +1,57 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvg {
+
+void Graph::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;
+  if (u >= adj_.size() || v >= adj_.size()) {
+    throw std::out_of_range("Graph::AddEdge: vertex id out of range");
+  }
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  finalized_ = false;
+}
+
+void Graph::Finalize() {
+  if (finalized_) return;
+  num_edges_ = 0;
+  for (auto& list : adj_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+    num_edges_ += list.size();
+  }
+  num_edges_ /= 2;
+  finalized_ = true;
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= adj_.size() || v >= adj_.size()) return false;
+  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::binary_search(list.begin(), list.end(), target);
+}
+
+std::vector<std::pair<Graph::VertexId, Graph::VertexId>> Graph::Edges() const {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(num_edges_);
+  for (VertexId u = 0; u < adj_.size(); ++u) {
+    for (VertexId v : adj_[u]) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Graph Graph::FromEdges(
+    size_t num_vertices,
+    const std::vector<std::pair<VertexId, VertexId>>& edges) {
+  Graph g(num_vertices);
+  for (const auto& [u, v] : edges) g.AddEdge(u, v);
+  g.Finalize();
+  return g;
+}
+
+}  // namespace mvg

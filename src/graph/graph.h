@@ -1,0 +1,58 @@
+#ifndef MVG_GRAPH_GRAPH_H_
+#define MVG_GRAPH_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mvg {
+
+/// Compact undirected simple graph with sorted adjacency lists.
+///
+/// Vertices are dense integers [0, num_vertices). Visibility graphs are
+/// built by appending edges and calling Finalize(), which sorts adjacency
+/// lists and removes duplicates; all queries require a finalized graph.
+class Graph {
+ public:
+  using VertexId = uint32_t;
+
+  Graph() = default;
+  explicit Graph(size_t num_vertices) : adj_(num_vertices) {}
+
+  /// Adds the undirected edge {u, v}. Self loops are ignored. Duplicate
+  /// edges are deduplicated by Finalize().
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Sorts adjacency lists and removes duplicate edges. Idempotent.
+  void Finalize();
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  bool finalized() const { return finalized_; }
+
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+
+  /// Sorted neighbor list.
+  const std::vector<VertexId>& Neighbors(VertexId v) const { return adj_[v]; }
+
+  /// Binary search on the sorted adjacency list; requires Finalize().
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// All edges with u < v; requires Finalize().
+  std::vector<std::pair<VertexId, VertexId>> Edges() const;
+
+  /// Builds a finalized graph directly from an edge list.
+  static Graph FromEdges(
+      size_t num_vertices,
+      const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  size_t num_edges_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_GRAPH_GRAPH_H_

@@ -1,0 +1,45 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace mvg {
+
+void WriteDot(const Graph& g, std::ostream& os,
+              const std::vector<double>& values) {
+  os << "graph vg {\n  node [shape=circle];\n";
+  for (Graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    os << "  " << v;
+    if (v < values.size()) {
+      os << " [label=\"" << v << "\\n" << FormatDouble(values[v], 2) << "\"]";
+    }
+    os << ";\n";
+  }
+  for (const auto& [u, v] : g.Edges()) {
+    os << "  " << u << " -- " << v << ";\n";
+  }
+  os << "}\n";
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& os) {
+  for (const auto& [u, v] : g.Edges()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+void WriteDotFile(const Graph& g, const std::string& path,
+                  const std::vector<double>& values) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteDotFile: cannot open " + path);
+  WriteDot(g, out, values);
+}
+
+void WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteEdgeListFile: cannot open " + path);
+  WriteEdgeList(g, out);
+}
+
+}  // namespace mvg

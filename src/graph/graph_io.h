@@ -1,0 +1,30 @@
+#ifndef MVG_GRAPH_GRAPH_IO_H_
+#define MVG_GRAPH_GRAPH_IO_H_
+
+#include <ostream>
+#include <vector>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace mvg {
+
+/// Export utilities for visibility graphs — regenerating the paper's
+/// Figure 1 (and any graph in the pipeline) with standard tooling.
+
+/// Writes Graphviz DOT. Vertices are the time indices; pass `values` (one
+/// per vertex, may be empty) to attach the series value as a node label.
+void WriteDot(const Graph& g, std::ostream& os,
+              const std::vector<double>& values = {});
+
+/// Writes a plain "u v" edge list, one edge per line, u < v.
+void WriteEdgeList(const Graph& g, std::ostream& os);
+
+/// File-path conveniences; throw std::runtime_error if unwritable.
+void WriteDotFile(const Graph& g, const std::string& path,
+                  const std::vector<double>& values = {});
+void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+}  // namespace mvg
+
+#endif  // MVG_GRAPH_GRAPH_IO_H_

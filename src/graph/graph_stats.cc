@@ -1,0 +1,255 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <queue>
+
+namespace mvg {
+
+double Density(const Graph& g) {
+  const double n = static_cast<double>(g.num_vertices());
+  if (n < 2.0) return 0.0;
+  return 2.0 * static_cast<double>(g.num_edges()) / (n * (n - 1.0));
+}
+
+DegreeStats ComputeDegreeStats(const Graph& g) {
+  DegreeStats st;
+  const size_t n = g.num_vertices();
+  if (n == 0) return st;
+  size_t mn = g.Degree(0), mx = g.Degree(0);
+  size_t sum = 0;
+  for (Graph::VertexId v = 0; v < n; ++v) {
+    const size_t d = g.Degree(v);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+    sum += d;
+  }
+  st.min = static_cast<double>(mn);
+  st.max = static_cast<double>(mx);
+  st.mean = static_cast<double>(sum) / static_cast<double>(n);
+  return st;
+}
+
+std::vector<size_t> CoreNumbers(const Graph& g) {
+  // Batagelj & Zaversnik (2003): bucket sort vertices by degree, then
+  // repeatedly remove a minimum-degree vertex, decrementing neighbors.
+  const size_t n = g.num_vertices();
+  std::vector<size_t> degree(n), core(n, 0);
+  size_t max_degree = 0;
+  for (size_t v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  // bin[d] = start offset of vertices with degree d in `order`.
+  std::vector<size_t> bin(max_degree + 2, 0);
+  for (size_t v = 0; v < n; ++v) ++bin[degree[v]];
+  size_t start = 0;
+  for (size_t d = 0; d <= max_degree; ++d) {
+    const size_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<size_t> order(n), pos(n);
+  for (size_t v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]];
+    order[pos[v]] = v;
+    ++bin[degree[v]];
+  }
+  // Restore bin starts.
+  for (size_t d = max_degree; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    const size_t v = order[i];
+    core[v] = degree[v];
+    for (Graph::VertexId u : g.Neighbors(static_cast<Graph::VertexId>(v))) {
+      if (degree[u] > degree[v]) {
+        // Move u to the front of its bucket and decrement its degree.
+        const size_t du = degree[u];
+        const size_t pu = pos[u];
+        const size_t pw = bin[du];
+        const size_t w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        ++bin[du];
+        --degree[u];
+      }
+    }
+  }
+  return core;
+}
+
+size_t MaxCore(const Graph& g) {
+  const std::vector<size_t> core = CoreNumbers(g);
+  size_t mx = 0;
+  for (size_t c : core) mx = std::max(mx, c);
+  return mx;
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Newman's formula over edges: r = (M^-1 S_jk - [M^-1 S_half]^2) /
+  //                                  (M^-1 S_sq  - [M^-1 S_half]^2)
+  // with S_jk = sum j*k, S_half = sum (j+k)/2, S_sq = sum (j^2+k^2)/2
+  // over all edges, j/k being endpoint degrees.
+  const size_t m = g.num_edges();
+  if (m == 0) return 0.0;
+  double s_jk = 0.0, s_half = 0.0, s_sq = 0.0;
+  for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const double dj = static_cast<double>(g.Degree(u));
+    for (Graph::VertexId v : g.Neighbors(u)) {
+      if (v <= u) continue;
+      const double dk = static_cast<double>(g.Degree(v));
+      s_jk += dj * dk;
+      s_half += 0.5 * (dj + dk);
+      s_sq += 0.5 * (dj * dj + dk * dk);
+    }
+  }
+  const double inv_m = 1.0 / static_cast<double>(m);
+  const double num = inv_m * s_jk - (inv_m * s_half) * (inv_m * s_half);
+  const double den = inv_m * s_sq - (inv_m * s_half) * (inv_m * s_half);
+  if (std::abs(den) < 1e-12) return 0.0;
+  return num / den;
+}
+
+bool IsConnected(const Graph& g) {
+  const size_t n = g.num_vertices();
+  if (n <= 1) return true;
+  std::vector<char> seen(n, 0);
+  std::queue<Graph::VertexId> q;
+  q.push(0);
+  seen[0] = 1;
+  size_t count = 1;
+  while (!q.empty()) {
+    const Graph::VertexId u = q.front();
+    q.pop();
+    for (Graph::VertexId v : g.Neighbors(u)) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        q.push(v);
+      }
+    }
+  }
+  return count == n;
+}
+
+size_t Diameter(const Graph& g) {
+  const size_t n = g.num_vertices();
+  if (n < 2) return 0;
+  size_t diameter = 0;
+  std::vector<int64_t> dist(n);
+  for (Graph::VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::queue<Graph::VertexId> q;
+    q.push(s);
+    dist[s] = 0;
+    while (!q.empty()) {
+      const Graph::VertexId u = q.front();
+      q.pop();
+      for (Graph::VertexId v : g.Neighbors(u)) {
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          diameter = std::max(diameter, static_cast<size_t>(dist[v]));
+          q.push(v);
+        }
+      }
+    }
+  }
+  return diameter;
+}
+
+std::vector<double> BetweennessCentrality(const Graph& g) {
+  // Brandes (2001): one BFS per source with dependency accumulation.
+  const size_t n = g.num_vertices();
+  std::vector<double> centrality(n, 0.0);
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::vector<Graph::VertexId>> preds(n);
+  std::vector<Graph::VertexId> order;
+  order.reserve(n);
+  for (Graph::VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+    order.clear();
+    std::queue<Graph::VertexId> q;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    q.push(s);
+    while (!q.empty()) {
+      const Graph::VertexId v = q.front();
+      q.pop();
+      order.push_back(v);
+      for (Graph::VertexId w : g.Neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const Graph::VertexId w = *it;
+      for (Graph::VertexId v : preds[w]) {
+        delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Each shortest path counted from both endpoints in an undirected graph.
+  for (double& c : centrality) c /= 2.0;
+  return centrality;
+}
+
+std::vector<double> NormalizeBetweenness(std::vector<double> centrality,
+                                         size_t num_vertices) {
+  if (num_vertices < 3) return centrality;
+  const double scale = 2.0 / (static_cast<double>(num_vertices - 1) *
+                              static_cast<double>(num_vertices - 2));
+  for (double& c : centrality) c *= scale;
+  return centrality;
+}
+
+double DegreeDistributionEntropy(const Graph& g) {
+  const size_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  std::map<size_t, double> hist;
+  for (Graph::VertexId v = 0; v < n; ++v) hist[g.Degree(v)] += 1.0;
+  double h = 0.0;
+  for (const auto& [degree, count] : hist) {
+    const double p = count / static_cast<double>(n);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double AverageClustering(const Graph& g) {
+  const size_t n = g.num_vertices();
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (Graph::VertexId v = 0; v < n; ++v) {
+    const auto& nb = g.Neighbors(v);
+    const size_t d = nb.size();
+    if (d < 2) continue;
+    size_t links = 0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) {
+        if (g.HasEdge(nb[i], nb[j])) ++links;
+      }
+    }
+    acc += 2.0 * static_cast<double>(links) /
+           (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace mvg

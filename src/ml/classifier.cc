@@ -1,0 +1,70 @@
+#include "ml/classifier.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mvg {
+
+void LabelEncoder::Fit(const std::vector<int>& y) {
+  std::set<int> s(y.begin(), y.end());
+  classes_.assign(s.begin(), s.end());
+}
+
+size_t LabelEncoder::Encode(int label) const {
+  const auto it = std::lower_bound(classes_.begin(), classes_.end(), label);
+  if (it == classes_.end() || *it != label) {
+    throw std::invalid_argument("LabelEncoder: unseen label " +
+                                std::to_string(label));
+  }
+  return static_cast<size_t>(it - classes_.begin());
+}
+
+int LabelEncoder::Decode(size_t index) const { return classes_.at(index); }
+
+std::vector<size_t> LabelEncoder::EncodeAll(const std::vector<int>& y) const {
+  std::vector<size_t> out(y.size());
+  for (size_t i = 0; i < y.size(); ++i) out[i] = Encode(y[i]);
+  return out;
+}
+
+int Classifier::Predict(const std::vector<double>& x) const {
+  const std::vector<double> p = PredictProba(x);
+  size_t best = 0;
+  for (size_t i = 1; i < p.size(); ++i) {
+    if (p[i] > p[best]) best = i;
+  }
+  return encoder_.Decode(best);
+}
+
+std::vector<int> Classifier::PredictAll(const Matrix& x) const {
+  std::vector<int> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Predict(row));
+  return out;
+}
+
+Matrix Classifier::PredictProbaAll(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(PredictProba(row));
+  return out;
+}
+
+std::vector<size_t> Classifier::PrepareFit(const Matrix& x,
+                                           const std::vector<int>& y) {
+  if (x.empty()) throw std::invalid_argument("Fit: empty training set");
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Fit: X and y size mismatch");
+  }
+  const size_t d = x[0].size();
+  for (const auto& row : x) {
+    if (row.size() != d) {
+      throw std::invalid_argument("Fit: ragged feature matrix");
+    }
+  }
+  encoder_.Fit(y);
+  return encoder_.EncodeAll(y);
+}
+
+}  // namespace mvg

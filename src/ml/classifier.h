@@ -1,0 +1,82 @@
+#ifndef MVG_ML_CLASSIFIER_H_
+#define MVG_ML_CLASSIFIER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mvg {
+
+/// Dense row-major feature matrix: X[i] is sample i's feature vector.
+using Matrix = std::vector<std::vector<double>>;
+
+/// Maps arbitrary integer class labels to dense indices [0, k).
+class LabelEncoder {
+ public:
+  LabelEncoder() = default;
+
+  /// Learns the label set (sorted ascending).
+  void Fit(const std::vector<int>& y);
+
+  /// Encoded index of `label`; throws std::invalid_argument if unseen.
+  size_t Encode(int label) const;
+
+  /// Original label for an encoded index.
+  int Decode(size_t index) const;
+
+  std::vector<size_t> EncodeAll(const std::vector<int>& y) const;
+
+  size_t num_classes() const { return classes_.size(); }
+  const std::vector<int>& classes() const { return classes_; }
+
+ private:
+  std::vector<int> classes_;
+};
+
+/// Common interface for every classifier in the library (paper §3.2: the
+/// pipeline deliberately separates feature extraction from generic
+/// classification so any of these can be plugged in).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on X (n x d) with integer labels y (n). Throws
+  /// std::invalid_argument on shape mismatch or empty input.
+  virtual void Fit(const Matrix& x, const std::vector<int>& y) = 0;
+
+  /// Class probabilities for one sample, in encoded-class order
+  /// (ascending original label). Requires Fit().
+  virtual std::vector<double> PredictProba(
+      const std::vector<double>& x) const = 0;
+
+  /// Most probable original label.
+  virtual int Predict(const std::vector<double>& x) const;
+
+  /// Batch helpers.
+  std::vector<int> PredictAll(const Matrix& x) const;
+  Matrix PredictProbaAll(const Matrix& x) const;
+
+  /// Fresh unfitted copy with the same hyper-parameters (for CV/stacking).
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Human-readable name, e.g. "XGBoost(eta=0.1,trees=50)".
+  virtual std::string Name() const = 0;
+
+  /// Original labels in encoded order; requires Fit().
+  const std::vector<int>& classes() const { return encoder_.classes(); }
+  size_t num_classes() const { return encoder_.num_classes(); }
+
+ protected:
+  /// Validates shapes and fits the encoder; returns encoded labels.
+  std::vector<size_t> PrepareFit(const Matrix& x, const std::vector<int>& y);
+
+  LabelEncoder encoder_;
+};
+
+/// A factory producing unfitted classifiers; the unit of model selection.
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+}  // namespace mvg
+
+#endif  // MVG_ML_CLASSIFIER_H_

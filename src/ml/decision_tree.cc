@@ -1,0 +1,184 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace mvg {
+
+namespace {
+
+/// Impurity of a class histogram with `total` samples.
+double Impurity(const std::vector<double>& hist, double total,
+                bool use_entropy) {
+  if (total <= 0.0) return 0.0;
+  double imp = use_entropy ? 0.0 : 1.0;
+  for (double c : hist) {
+    if (c <= 0.0) continue;
+    const double p = c / total;
+    if (use_entropy) {
+      imp -= p * std::log2(p);
+    } else {
+      imp -= p * p;
+    }
+  }
+  return imp;
+}
+
+}  // namespace
+
+void DecisionTreeClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  const std::vector<size_t> encoded = PrepareFit(x, y);
+  std::vector<size_t> rows(x.size());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  FitOnIndices(x, encoded, encoder_.num_classes(), rows);
+}
+
+void DecisionTreeClassifier::FitOnIndices(const Matrix& x,
+                                          const std::vector<size_t>& y_encoded,
+                                          size_t num_classes,
+                                          const std::vector<size_t>& rows) {
+  num_classes_internal_ = num_classes;
+  nodes_.clear();
+  Rng rng(params_.seed);
+  std::vector<size_t> mutable_rows = rows;
+  BuildNode(x, y_encoded, &mutable_rows, 0, &rng);
+}
+
+int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
+                                          const std::vector<size_t>& y,
+                                          std::vector<size_t>* rows,
+                                          size_t depth, Rng* rng) {
+  const size_t n = rows->size();
+  std::vector<double> hist(num_classes_internal_, 0.0);
+  for (size_t r : *rows) hist[y[r]] += 1.0;
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.depth = depth;
+    leaf.proba.resize(num_classes_internal_);
+    for (size_t c = 0; c < hist.size(); ++c) {
+      leaf.proba[c] = hist[c] / static_cast<double>(n);
+    }
+    nodes_.push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes_.size() - 1);
+  };
+
+  const double parent_imp =
+      Impurity(hist, static_cast<double>(n), params_.use_entropy);
+  const bool pure = std::count_if(hist.begin(), hist.end(),
+                                  [](double c) { return c > 0.0; }) <= 1;
+  if (depth >= params_.max_depth || n < params_.min_samples_split || pure) {
+    return make_leaf();
+  }
+
+  const size_t d = x[0].size();
+  std::vector<size_t> features;
+  if (params_.max_features > 0 && params_.max_features < d) {
+    features = rng->Sample(d, params_.max_features);
+  } else {
+    features.resize(d);
+    std::iota(features.begin(), features.end(), size_t{0});
+  }
+
+  // Best split over candidate features: sort rows by value, sweep the
+  // class histogram across each boundary between distinct values.
+  double best_gain = 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, size_t>> vals(n);  // (value, class)
+  for (size_t f : features) {
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = (*rows)[i];
+      vals[i] = {x[r][f], y[r]};
+    }
+    std::sort(vals.begin(), vals.end());
+    std::vector<double> left_hist(num_classes_internal_, 0.0);
+    double nl = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_hist[vals[i].second] += 1.0;
+      nl += 1.0;
+      if (vals[i].first == vals[i + 1].first) continue;
+      const double nr = static_cast<double>(n) - nl;
+      if (nl < static_cast<double>(params_.min_samples_leaf) ||
+          nr < static_cast<double>(params_.min_samples_leaf)) {
+        continue;
+      }
+      std::vector<double> right_hist(num_classes_internal_);
+      for (size_t c = 0; c < right_hist.size(); ++c) {
+        right_hist[c] = hist[c] - left_hist[c];
+      }
+      const double gain =
+          parent_imp -
+          (nl / static_cast<double>(n)) *
+              Impurity(left_hist, nl, params_.use_entropy) -
+          (nr / static_cast<double>(n)) *
+              Impurity(right_hist, nr, params_.use_entropy);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<size_t> left_rows, right_rows;
+  for (size_t r : *rows) {
+    if (x[r][static_cast<size_t>(best_feature)] <= best_threshold) {
+      left_rows.push_back(r);
+    } else {
+      right_rows.push_back(r);
+    }
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  // Reserve this node's slot before recursing.
+  Node internal;
+  internal.feature = best_feature;
+  internal.threshold = best_threshold;
+  internal.depth = depth;
+  nodes_.push_back(std::move(internal));
+  const int32_t id = static_cast<int32_t>(nodes_.size() - 1);
+  rows->clear();
+  rows->shrink_to_fit();
+  const int32_t left = BuildNode(x, y, &left_rows, depth + 1, rng);
+  const int32_t right = BuildNode(x, y, &right_rows, depth + 1, rng);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+std::vector<double> DecisionTreeClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  if (nodes_.empty()) {
+    return std::vector<double>(num_classes_internal_, 0.0);
+  }
+  int32_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    const auto& node = nodes_[cur];
+    cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return nodes_[cur].proba;
+}
+
+std::unique_ptr<Classifier> DecisionTreeClassifier::Clone() const {
+  return std::make_unique<DecisionTreeClassifier>(params_);
+}
+
+std::string DecisionTreeClassifier::Name() const {
+  return "DecisionTree(depth=" + std::to_string(params_.max_depth) + ")";
+}
+
+size_t DecisionTreeClassifier::Depth() const {
+  size_t d = 0;
+  for (const auto& node : nodes_) d = std::max(d, node.depth);
+  return d;
+}
+
+}  // namespace mvg

@@ -1,0 +1,67 @@
+#ifndef MVG_ML_DECISION_TREE_H_
+#define MVG_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// CART classification tree: greedy binary splits on axis-aligned
+/// thresholds minimising Gini impurity (or entropy). Supports per-node
+/// random feature subsampling (`max_features`) so it doubles as the
+/// Random Forest base learner.
+class DecisionTreeClassifier : public Classifier {
+ public:
+  struct Params {
+    size_t max_depth = 16;
+    size_t min_samples_leaf = 1;
+    size_t min_samples_split = 2;
+    /// Number of features examined per split; 0 = all features.
+    size_t max_features = 0;
+    bool use_entropy = false;  ///< Gini by default.
+    uint64_t seed = 42;        ///< For feature subsampling.
+  };
+
+  DecisionTreeClassifier() = default;
+  explicit DecisionTreeClassifier(Params params) : params_(params) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+
+  /// Fits on a subset of rows (bootstrap support for the forest).
+  void FitOnIndices(const Matrix& x, const std::vector<size_t>& y_encoded,
+                    size_t num_classes, const std::vector<size_t>& rows);
+
+  /// Tree size diagnostics.
+  size_t NumNodes() const { return nodes_.size(); }
+  size_t Depth() const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  struct Node {
+    int feature = -1;          ///< -1 marks a leaf.
+    double threshold = 0.0;    ///< go left iff x[feature] <= threshold.
+    int32_t left = -1, right = -1;
+    std::vector<double> proba;  ///< leaf class distribution.
+    size_t depth = 0;
+  };
+
+  int32_t BuildNode(const Matrix& x, const std::vector<size_t>& y,
+                    std::vector<size_t>* rows, size_t depth,
+                    class Rng* rng);
+
+  Params params_;
+  size_t num_classes_internal_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_ML_DECISION_TREE_H_

@@ -1,0 +1,246 @@
+#include "ml/gradient_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace mvg {
+
+namespace {
+
+/// Numerically stable softmax over logits.
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void GradientBoostingClassifier::Fit(const Matrix& x,
+                                     const std::vector<int>& y) {
+  const std::vector<size_t> encoded = PrepareFit(x, y);
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  const size_t k = encoder_.num_classes();
+  num_features_ = d;
+  feature_gain_.assign(d, 0.0);
+  trees_.clear();
+
+  const bool binary = k == 2;
+  const size_t num_outputs = binary ? 1 : k;
+
+  // Base score: log-odds (binary) / log-prior (softmax).
+  base_score_.assign(num_outputs, 0.0);
+  if (binary) {
+    double pos = 0.0;
+    for (size_t c : encoded) pos += static_cast<double>(c);
+    const double p = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+    base_score_[0] = std::log(p / (1.0 - p));
+  }
+
+  // Current logit per sample per output.
+  Matrix logits(n, std::vector<double>(num_outputs));
+  for (size_t i = 0; i < n; ++i) logits[i] = base_score_;
+
+  std::vector<double> grad(n), hess(n);
+  Rng rng(params_.seed);
+  for (size_t round = 0; round < params_.num_rounds; ++round) {
+    // Row subsample (shared across the round's trees).
+    std::vector<size_t> rows;
+    if (params_.subsample < 1.0) {
+      const size_t take = std::max<size_t>(
+          2, static_cast<size_t>(params_.subsample * static_cast<double>(n)));
+      rows = rng.Sample(n, take);
+    } else {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), size_t{0});
+    }
+
+    std::vector<Tree> round_trees;
+    round_trees.reserve(num_outputs);
+    for (size_t out = 0; out < num_outputs; ++out) {
+      // Gradients/hessians of the loss wrt the logit of output `out`.
+      for (size_t i = 0; i < n; ++i) {
+        if (binary) {
+          const double p = Sigmoid(logits[i][0]);
+          const double target = encoded[i] == 1 ? 1.0 : 0.0;
+          grad[i] = p - target;
+          hess[i] = std::max(1e-12, p * (1.0 - p));
+        } else {
+          const std::vector<double> p = Softmax(logits[i]);
+          const double target = encoded[i] == out ? 1.0 : 0.0;
+          grad[i] = p[out] - target;
+          hess[i] = std::max(1e-12, p[out] * (1.0 - p[out]));
+        }
+      }
+      // Column subsample per tree.
+      std::vector<size_t> cols;
+      if (params_.colsample < 1.0) {
+        const size_t take = std::max<size_t>(
+            1,
+            static_cast<size_t>(params_.colsample * static_cast<double>(d)));
+        cols = rng.Sample(d, take);
+      } else {
+        cols.resize(d);
+        std::iota(cols.begin(), cols.end(), size_t{0});
+      }
+      round_trees.push_back(BuildTree(x, grad, hess, rows, cols));
+    }
+    // Update logits with shrinkage.
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t out = 0; out < num_outputs; ++out) {
+        logits[i][out] +=
+            params_.learning_rate * PredictTree(round_trees[out], x[i]);
+      }
+    }
+    trees_.push_back(std::move(round_trees));
+  }
+}
+
+GradientBoostingClassifier::Tree GradientBoostingClassifier::BuildTree(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, const std::vector<size_t>& rows,
+    const std::vector<size_t>& cols) {
+  Tree tree;
+  std::vector<size_t> mutable_rows = rows;
+  BuildTreeNode(x, grad, hess, &mutable_rows, cols, 0, &tree);
+  return tree;
+}
+
+int32_t GradientBoostingClassifier::BuildTreeNode(
+    const Matrix& x, const std::vector<double>& grad,
+    const std::vector<double>& hess, std::vector<size_t>* rows,
+    const std::vector<size_t>& cols, size_t depth, Tree* tree) {
+  double g_sum = 0.0, h_sum = 0.0;
+  for (size_t r : *rows) {
+    g_sum += grad[r];
+    h_sum += hess[r];
+  }
+
+  auto make_leaf = [&]() {
+    TreeNode leaf;
+    leaf.weight = -g_sum / (h_sum + params_.lambda);
+    tree->push_back(leaf);
+    return static_cast<int32_t>(tree->size() - 1);
+  };
+
+  if (depth >= params_.max_depth || rows->size() < 2) return make_leaf();
+
+  const double parent_score = g_sum * g_sum / (h_sum + params_.lambda);
+  double best_gain = params_.gamma + 1e-12;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+
+  std::vector<std::pair<double, size_t>> vals(rows->size());
+  for (size_t f : cols) {
+    for (size_t i = 0; i < rows->size(); ++i) {
+      vals[i] = {x[(*rows)[i]][f], (*rows)[i]};
+    }
+    std::sort(vals.begin(), vals.end());
+    double gl = 0.0, hl = 0.0;
+    for (size_t i = 0; i + 1 < vals.size(); ++i) {
+      gl += grad[vals[i].second];
+      hl += hess[vals[i].second];
+      if (vals[i].first == vals[i + 1].first) continue;
+      const double gr = g_sum - gl, hr = h_sum - hl;
+      if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
+        continue;
+      }
+      const double gain = 0.5 * (gl * gl / (hl + params_.lambda) +
+                                 gr * gr / (hr + params_.lambda) -
+                                 parent_score);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+  feature_gain_[static_cast<size_t>(best_feature)] += best_gain;
+
+  std::vector<size_t> left_rows, right_rows;
+  for (size_t r : *rows) {
+    (x[r][static_cast<size_t>(best_feature)] <= best_threshold ? left_rows
+                                                               : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf();
+
+  TreeNode internal;
+  internal.feature = best_feature;
+  internal.threshold = best_threshold;
+  tree->push_back(internal);
+  const int32_t id = static_cast<int32_t>(tree->size() - 1);
+  rows->clear();
+  rows->shrink_to_fit();
+  const int32_t left = BuildTreeNode(x, grad, hess, &left_rows, cols,
+                                     depth + 1, tree);
+  const int32_t right = BuildTreeNode(x, grad, hess, &right_rows, cols,
+                                      depth + 1, tree);
+  (*tree)[id].left = left;
+  (*tree)[id].right = right;
+  return id;
+}
+
+double GradientBoostingClassifier::PredictTree(const Tree& tree,
+                                               const std::vector<double>& x) {
+  int32_t cur = 0;
+  while (tree[cur].feature >= 0) {
+    const TreeNode& node = tree[cur];
+    cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
+                                                                 : node.right;
+  }
+  return tree[cur].weight;
+}
+
+std::vector<double> GradientBoostingClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  const size_t k = encoder_.num_classes();
+  const bool binary = k == 2;
+  std::vector<double> logits(base_score_);
+  for (const auto& round : trees_) {
+    for (size_t out = 0; out < round.size(); ++out) {
+      logits[out] += params_.learning_rate * PredictTree(round[out], x);
+    }
+  }
+  if (binary) {
+    const double p1 = Sigmoid(logits[0]);
+    return {1.0 - p1, p1};
+  }
+  return Softmax(logits);
+}
+
+std::unique_ptr<Classifier> GradientBoostingClassifier::Clone() const {
+  return std::make_unique<GradientBoostingClassifier>(params_);
+}
+
+std::string GradientBoostingClassifier::Name() const {
+  return "XGBoost(eta=" + std::to_string(params_.learning_rate).substr(0, 4) +
+         ",rounds=" + std::to_string(params_.num_rounds) +
+         ",depth=" + std::to_string(params_.max_depth) + ")";
+}
+
+std::vector<size_t> GradientBoostingClassifier::TopFeatures(size_t k) const {
+  std::vector<size_t> idx(feature_gain_.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return feature_gain_[a] > feature_gain_[b];
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+}  // namespace mvg

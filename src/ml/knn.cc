@@ -1,0 +1,56 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mvg {
+
+namespace {
+double DefaultEuclidean(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  double acc = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+}  // namespace
+
+KnnClassifier::KnnClassifier() : KnnClassifier(Params()) {}
+
+KnnClassifier::KnnClassifier(Params params, Distance distance)
+    : params_(params),
+      distance_(distance ? std::move(distance) : DefaultEuclidean) {}
+
+void KnnClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  train_y_ = PrepareFit(x, y);
+  train_x_ = x;
+}
+
+std::vector<double> KnnClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  const size_t n = train_x_.size();
+  const size_t k = std::min(params_.k, n);
+  std::vector<std::pair<double, size_t>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    dist[i] = {distance_(x, train_x_[i]), train_y_[i]};
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+  std::vector<double> proba(encoder_.num_classes(), 0.0);
+  for (size_t i = 0; i < k; ++i) proba[dist[i].second] += 1.0;
+  for (double& p : proba) p /= static_cast<double>(k);
+  return proba;
+}
+
+std::unique_ptr<Classifier> KnnClassifier::Clone() const {
+  return std::make_unique<KnnClassifier>(params_, distance_);
+}
+
+std::string KnnClassifier::Name() const {
+  return "kNN(k=" + std::to_string(params_.k) + ")";
+}
+
+}  // namespace mvg

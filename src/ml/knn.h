@@ -1,0 +1,43 @@
+#ifndef MVG_ML_KNN_H_
+#define MVG_ML_KNN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// k-nearest-neighbor classifier over feature vectors with a pluggable
+/// distance. The UCR-style 1NN baselines over raw series live in
+/// baselines/nn_classifiers.h; this class serves generic feature spaces.
+class KnnClassifier : public Classifier {
+ public:
+  using Distance =
+      std::function<double(const std::vector<double>&, const std::vector<double>&)>;
+
+  struct Params {
+    size_t k = 1;
+  };
+
+  /// Defaults to Euclidean distance.
+  KnnClassifier();
+  explicit KnnClassifier(Params params, Distance distance = nullptr);
+
+  void Fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+
+ private:
+  Params params_;
+  Distance distance_;
+  Matrix train_x_;
+  std::vector<size_t> train_y_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_ML_KNN_H_

@@ -1,0 +1,94 @@
+#include "ml/linear_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mvg {
+
+namespace {
+
+std::vector<double> SoftmaxScores(const Matrix& w,
+                                  const std::vector<double>& x) {
+  const size_t k = w.size();
+  std::vector<double> z(k, 0.0);
+  for (size_t c = 0; c < k; ++c) {
+    const auto& wc = w[c];
+    double acc = wc.back();  // bias
+    const size_t d = wc.size() - 1;
+    for (size_t f = 0; f < d && f < x.size(); ++f) acc += wc[f] * x[f];
+    z[c] = acc;
+  }
+  const double mx = *std::max_element(z.begin(), z.end());
+  double sum = 0.0;
+  for (double& v : z) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : z) v /= sum;
+  return z;
+}
+
+}  // namespace
+
+void LogisticRegressionClassifier::Fit(const Matrix& x,
+                                       const std::vector<int>& y) {
+  const std::vector<size_t> encoded = PrepareFit(x, y);
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  const size_t k = encoder_.num_classes();
+  weights_.assign(k, std::vector<double>(d + 1, 0.0));
+
+  double lr = params_.learning_rate;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  Matrix grad(k, std::vector<double>(d + 1, 0.0));
+  for (size_t iter = 0; iter < params_.max_iters; ++iter) {
+    for (auto& row : grad) std::fill(row.begin(), row.end(), 0.0);
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const std::vector<double> p = SoftmaxScores(weights_, x[i]);
+      loss -= std::log(std::max(1e-15, p[encoded[i]]));
+      for (size_t c = 0; c < k; ++c) {
+        const double err = p[c] - (encoded[i] == c ? 1.0 : 0.0);
+        auto& gc = grad[c];
+        for (size_t f = 0; f < d; ++f) gc[f] += err * x[i][f];
+        gc[d] += err;
+      }
+    }
+    loss /= static_cast<double>(n);
+    // L2 penalty (bias excluded).
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t f = 0; f < d; ++f) {
+        loss += 0.5 * params_.l2 * weights_[c][f] * weights_[c][f];
+        grad[c][f] = grad[c][f] / static_cast<double>(n) +
+                     params_.l2 * weights_[c][f];
+      }
+      grad[c][d] /= static_cast<double>(n);
+    }
+    if (loss > prev_loss) {
+      lr *= 0.5;  // crude backtracking
+    } else if (prev_loss - loss < params_.tolerance) {
+      break;
+    }
+    prev_loss = std::min(prev_loss, loss);
+    for (size_t c = 0; c < k; ++c) {
+      for (size_t f = 0; f <= d; ++f) weights_[c][f] -= lr * grad[c][f];
+    }
+  }
+}
+
+std::vector<double> LogisticRegressionClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  return SoftmaxScores(weights_, x);
+}
+
+std::unique_ptr<Classifier> LogisticRegressionClassifier::Clone() const {
+  return std::make_unique<LogisticRegressionClassifier>(params_);
+}
+
+std::string LogisticRegressionClassifier::Name() const {
+  return "LogisticRegression(l2=" + std::to_string(params_.l2).substr(0, 6) +
+         ")";
+}
+
+}  // namespace mvg

@@ -1,0 +1,44 @@
+#ifndef MVG_ML_LINEAR_MODEL_H_
+#define MVG_ML_LINEAR_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// Multinomial logistic regression (softmax) trained with full-batch
+/// gradient descent and L2 regularisation. Used directly as a classifier
+/// and as the meta-learner that computes estimator weights in the stacked
+/// ensemble (paper Algorithm 2, line "ComputeEstimatorWeights ... with
+/// logistic regression").
+class LogisticRegressionClassifier : public Classifier {
+ public:
+  struct Params {
+    double learning_rate = 0.5;
+    size_t max_iters = 400;
+    double l2 = 1e-3;
+    double tolerance = 1e-7;  ///< Stop when the loss improves less.
+  };
+
+  LogisticRegressionClassifier() = default;
+  explicit LogisticRegressionClassifier(Params params) : params_(params) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+
+  /// weights()[c][f] — per-class coefficient for feature f (bias last).
+  const Matrix& weights() const { return weights_; }
+
+ private:
+  Params params_;
+  Matrix weights_;  ///< k x (d+1), bias in the last column.
+};
+
+}  // namespace mvg
+
+#endif  // MVG_ML_LINEAR_MODEL_H_

@@ -1,0 +1,79 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace mvg {
+
+double ErrorRate(const std::vector<int>& truth, const std::vector<int>& pred) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("ErrorRate: size mismatch or empty");
+  }
+  size_t wrong = 0;
+  for (size_t i = 0; i < truth.size(); ++i) wrong += truth[i] != pred[i];
+  return static_cast<double>(wrong) / static_cast<double>(truth.size());
+}
+
+double Accuracy(const std::vector<int>& truth, const std::vector<int>& pred) {
+  return 1.0 - ErrorRate(truth, pred);
+}
+
+double LogLoss(const std::vector<int>& truth, const Matrix& proba,
+               const std::vector<int>& classes) {
+  if (truth.size() != proba.size() || truth.empty()) {
+    throw std::invalid_argument("LogLoss: size mismatch or empty");
+  }
+  double acc = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const auto it = std::lower_bound(classes.begin(), classes.end(), truth[i]);
+    if (it == classes.end() || *it != truth[i]) {
+      throw std::invalid_argument("LogLoss: label not in class list");
+    }
+    const size_t k = static_cast<size_t>(it - classes.begin());
+    const double p = std::clamp(proba[i].at(k), 1e-15, 1.0 - 1e-15);
+    acc -= std::log(p);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& pred,
+    const std::vector<int>& classes) {
+  const size_t k = classes.size();
+  std::vector<std::vector<size_t>> cm(k, std::vector<size_t>(k, 0));
+  auto index = [&](int label) {
+    const auto it = std::lower_bound(classes.begin(), classes.end(), label);
+    if (it == classes.end() || *it != label) {
+      throw std::invalid_argument("ConfusionMatrix: unknown label");
+    }
+    return static_cast<size_t>(it - classes.begin());
+  };
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ++cm[index(truth[i])][index(pred[i])];
+  }
+  return cm;
+}
+
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& pred) {
+  std::set<int> labels(truth.begin(), truth.end());
+  labels.insert(pred.begin(), pred.end());
+  const std::vector<int> classes(labels.begin(), labels.end());
+  const auto cm = ConfusionMatrix(truth, pred, classes);
+  const size_t k = classes.size();
+  double f1_sum = 0.0;
+  for (size_t c = 0; c < k; ++c) {
+    size_t tp = cm[c][c], fp = 0, fn = 0;
+    for (size_t o = 0; o < k; ++o) {
+      if (o == c) continue;
+      fp += cm[o][c];
+      fn += cm[c][o];
+    }
+    const double denom = static_cast<double>(2 * tp + fp + fn);
+    f1_sum += denom > 0.0 ? 2.0 * static_cast<double>(tp) / denom : 0.0;
+  }
+  return f1_sum / static_cast<double>(k);
+}
+
+}  // namespace mvg

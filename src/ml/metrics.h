@@ -1,0 +1,32 @@
+#ifndef MVG_ML_METRICS_H_
+#define MVG_ML_METRICS_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// Fraction of mismatching predictions (the paper's headline metric).
+double ErrorRate(const std::vector<int>& truth, const std::vector<int>& pred);
+
+double Accuracy(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Multiclass cross entropy (paper Eq. 5), the model-selection score.
+/// `proba[i]` are predicted class probabilities in `classes` order;
+/// probabilities are clipped to [1e-15, 1-1e-15].
+double LogLoss(const std::vector<int>& truth, const Matrix& proba,
+               const std::vector<int>& classes);
+
+/// confusion[i][j] = count of samples with true class index i predicted as
+/// class index j, indices into `classes` (sorted ascending).
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& pred,
+    const std::vector<int>& classes);
+
+/// Macro-averaged F1 score.
+double MacroF1(const std::vector<int>& truth, const std::vector<int>& pred);
+
+}  // namespace mvg
+
+#endif  // MVG_ML_METRICS_H_

@@ -1,0 +1,128 @@
+#include "ml/model_selection.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "ml/metrics.h"
+#include "util/random.h"
+
+namespace mvg {
+
+std::vector<FoldIndices> StratifiedKFold(const std::vector<int>& y,
+                                         size_t num_folds, uint64_t seed) {
+  if (num_folds < 2) {
+    throw std::invalid_argument("StratifiedKFold: need >= 2 folds");
+  }
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < y.size(); ++i) by_class[y[i]].push_back(i);
+
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> fold_members(num_folds);
+  for (auto& [label, idx] : by_class) {
+    rng.Shuffle(&idx);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      fold_members[i % num_folds].push_back(idx[i]);
+    }
+  }
+  std::vector<FoldIndices> folds(num_folds);
+  for (size_t f = 0; f < num_folds; ++f) {
+    folds[f].validation = fold_members[f];
+    std::sort(folds[f].validation.begin(), folds[f].validation.end());
+    for (size_t o = 0; o < num_folds; ++o) {
+      if (o == f) continue;
+      folds[f].train.insert(folds[f].train.end(), fold_members[o].begin(),
+                            fold_members[o].end());
+    }
+    std::sort(folds[f].train.begin(), folds[f].train.end());
+  }
+  return folds;
+}
+
+namespace {
+
+/// Shared CV loop; `use_log_loss` picks the score.
+double CrossValScore(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y, size_t num_folds,
+                     uint64_t seed, bool use_log_loss) {
+  const auto folds = StratifiedKFold(y, num_folds, seed);
+  double total = 0.0;
+  size_t used = 0;
+  for (const auto& fold : folds) {
+    if (fold.validation.empty() || fold.train.empty()) continue;
+    Matrix xtr, xval;
+    std::vector<int> ytr, yval;
+    for (size_t i : fold.train) {
+      xtr.push_back(x[i]);
+      ytr.push_back(y[i]);
+    }
+    for (size_t i : fold.validation) {
+      xval.push_back(x[i]);
+      yval.push_back(y[i]);
+    }
+    // A fold's training part may be missing a class entirely when a class
+    // has fewer members than folds; skip such folds (they cannot score
+    // unseen labels).
+    std::vector<int> train_classes = ytr;
+    std::sort(train_classes.begin(), train_classes.end());
+    train_classes.erase(
+        std::unique(train_classes.begin(), train_classes.end()),
+        train_classes.end());
+    bool label_gap = false;
+    for (int label : yval) {
+      if (!std::binary_search(train_classes.begin(), train_classes.end(),
+                              label)) {
+        label_gap = true;
+        break;
+      }
+    }
+    if (label_gap) continue;
+
+    std::unique_ptr<Classifier> clf = factory();
+    clf->Fit(xtr, ytr);
+    if (use_log_loss) {
+      total += LogLoss(yval, clf->PredictProbaAll(xval), clf->classes());
+    } else {
+      total += ErrorRate(yval, clf->PredictAll(xval));
+    }
+    ++used;
+  }
+  if (used == 0) {
+    throw std::runtime_error("CrossValScore: no usable folds");
+  }
+  return total / static_cast<double>(used);
+}
+
+}  // namespace
+
+double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
+                       const std::vector<int>& y, size_t num_folds,
+                       uint64_t seed) {
+  return CrossValScore(factory, x, y, num_folds, seed, true);
+}
+
+double CrossValError(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y, size_t num_folds,
+                     uint64_t seed) {
+  return CrossValScore(factory, x, y, num_folds, seed, false);
+}
+
+GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
+                            const Matrix& x, const std::vector<int>& y,
+                            size_t num_folds, uint64_t seed) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("GridSearch: no candidates");
+  }
+  GridSearchResult result;
+  result.scores.reserve(candidates.size());
+  for (const auto& factory : candidates) {
+    result.scores.push_back(CrossValLogLoss(factory, x, y, num_folds, seed));
+  }
+  result.best_index = static_cast<size_t>(
+      std::min_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  result.best_score = result.scores[result.best_index];
+  return result;
+}
+
+}  // namespace mvg

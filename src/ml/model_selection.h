@@ -1,0 +1,49 @@
+#ifndef MVG_ML_MODEL_SELECTION_H_
+#define MVG_ML_MODEL_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// One train/validation index split.
+struct FoldIndices {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+};
+
+/// Stratified k-fold: every fold preserves class proportions (paper §3.2
+/// uses stratified CV to keep class balance while validating). Classes
+/// with fewer members than folds still land in distinct validation folds.
+std::vector<FoldIndices> StratifiedKFold(const std::vector<int>& y,
+                                         size_t num_folds, uint64_t seed);
+
+/// Cross-validated log loss (paper Eq. 5) of the classifier built by
+/// `factory`, averaged over stratified folds.
+double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
+                       const std::vector<int>& y, size_t num_folds,
+                       uint64_t seed);
+
+/// Cross-validated error rate.
+double CrossValError(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y, size_t num_folds,
+                     uint64_t seed);
+
+/// Result of a grid search: scores per candidate plus the winner.
+struct GridSearchResult {
+  std::vector<double> scores;  ///< CV log loss per candidate.
+  size_t best_index = 0;
+  double best_score = 0.0;
+};
+
+/// Evaluates every candidate factory by stratified-CV log loss and picks
+/// the best (the paper's hyper-parameter tuning protocol, §3.2/§4.2).
+GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
+                            const Matrix& x, const std::vector<int>& y,
+                            size_t num_folds, uint64_t seed);
+
+}  // namespace mvg
+
+#endif  // MVG_ML_MODEL_SELECTION_H_

@@ -1,0 +1,114 @@
+#include "ml/preprocessing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+#include "util/random.h"
+
+namespace mvg {
+
+void MinMaxScaler::Fit(const Matrix& x) {
+  if (x.empty()) throw std::invalid_argument("MinMaxScaler: empty matrix");
+  const size_t d = x[0].size();
+  mins_.assign(d, std::numeric_limits<double>::infinity());
+  std::vector<double> maxs(d, -std::numeric_limits<double>::infinity());
+  for (const auto& row : x) {
+    for (size_t f = 0; f < d; ++f) {
+      mins_[f] = std::min(mins_[f], row[f]);
+      maxs[f] = std::max(maxs[f], row[f]);
+    }
+  }
+  ranges_.resize(d);
+  for (size_t f = 0; f < d; ++f) ranges_[f] = maxs[f] - mins_[f];
+}
+
+std::vector<double> MinMaxScaler::Transform(
+    const std::vector<double>& x) const {
+  std::vector<double> out(x.size(), 0.0);
+  for (size_t f = 0; f < x.size() && f < mins_.size(); ++f) {
+    if (ranges_[f] > 1e-12) {
+      out[f] = std::clamp((x[f] - mins_[f]) / ranges_[f], 0.0, 1.0);
+    }
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::TransformAll(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Transform(row));
+  return out;
+}
+
+Matrix MinMaxScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return TransformAll(x);
+}
+
+void StandardScaler::Fit(const Matrix& x) {
+  if (x.empty()) throw std::invalid_argument("StandardScaler: empty matrix");
+  const size_t d = x[0].size();
+  const double n = static_cast<double>(x.size());
+  means_.assign(d, 0.0);
+  stds_.assign(d, 0.0);
+  for (const auto& row : x) {
+    for (size_t f = 0; f < d; ++f) means_[f] += row[f];
+  }
+  for (double& m : means_) m /= n;
+  for (const auto& row : x) {
+    for (size_t f = 0; f < d; ++f) {
+      const double dv = row[f] - means_[f];
+      stds_[f] += dv * dv;
+    }
+  }
+  for (double& s : stds_) s = std::sqrt(s / n);
+}
+
+std::vector<double> StandardScaler::Transform(
+    const std::vector<double>& x) const {
+  std::vector<double> out(x.size(), 0.0);
+  for (size_t f = 0; f < x.size() && f < means_.size(); ++f) {
+    out[f] = stds_[f] > 1e-12 ? (x[f] - means_[f]) / stds_[f] : 0.0;
+  }
+  return out;
+}
+
+Matrix StandardScaler::TransformAll(const Matrix& x) const {
+  Matrix out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(Transform(row));
+  return out;
+}
+
+Matrix StandardScaler::FitTransform(const Matrix& x) {
+  Fit(x);
+  return TransformAll(x);
+}
+
+void RandomOversample(const Matrix& x, const std::vector<int>& y,
+                      uint64_t seed, Matrix* x_out, std::vector<int>* y_out) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("RandomOversample: bad input");
+  }
+  std::map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < y.size(); ++i) by_class[y[i]].push_back(i);
+  size_t majority = 0;
+  for (const auto& [label, idx] : by_class) {
+    majority = std::max(majority, idx.size());
+  }
+  Rng rng(seed);
+  *x_out = x;
+  *y_out = y;
+  for (const auto& [label, idx] : by_class) {
+    for (size_t extra = idx.size(); extra < majority; ++extra) {
+      const size_t pick = idx[rng.Index(idx.size())];
+      x_out->push_back(x[pick]);
+      y_out->push_back(label);
+    }
+  }
+}
+
+}  // namespace mvg

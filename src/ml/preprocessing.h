@@ -1,0 +1,49 @@
+#ifndef MVG_ML_PREPROCESSING_H_
+#define MVG_ML_PREPROCESSING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// Min-max scaling into [0, 1], as the paper applies before SVM training
+/// (§4.3). Constant features map to 0. Transform clamps to [0, 1] so test
+/// data outside the training range cannot explode kernel distances.
+class MinMaxScaler {
+ public:
+  void Fit(const Matrix& x);
+  std::vector<double> Transform(const std::vector<double>& x) const;
+  Matrix TransformAll(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x);
+
+  bool fitted() const { return !mins_.empty(); }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> ranges_;
+};
+
+/// Standard (z-score) scaling; used by ablations.
+class StandardScaler {
+ public:
+  void Fit(const Matrix& x);
+  std::vector<double> Transform(const std::vector<double>& x) const;
+  Matrix TransformAll(const Matrix& x) const;
+  Matrix FitTransform(const Matrix& x);
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stds_;
+};
+
+/// Random oversampling of minority classes up to the majority class size
+/// (paper §3.2: "apply random oversampling techniques over the minority
+/// class"). Returns resampled (X, y) with deterministic sampling.
+void RandomOversample(const Matrix& x, const std::vector<int>& y,
+                      uint64_t seed, Matrix* x_out, std::vector<int>* y_out);
+
+}  // namespace mvg
+
+#endif  // MVG_ML_PREPROCESSING_H_

@@ -1,0 +1,61 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/random.h"
+
+namespace mvg {
+
+void RandomForestClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
+  const std::vector<size_t> encoded = PrepareFit(x, y);
+  const size_t n = x.size();
+  const size_t d = x[0].size();
+  const size_t mtry =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max<size_t>(1, static_cast<size_t>(std::sqrt(
+                                    static_cast<double>(d))));
+  Rng rng(params_.seed);
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    DecisionTreeClassifier::Params tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.max_features = mtry;
+    tp.seed = rng.engine()();
+    DecisionTreeClassifier tree(tp);
+    std::vector<size_t> rows(n);
+    if (params_.bootstrap) {
+      for (size_t i = 0; i < n; ++i) rows[i] = rng.Index(n);
+    } else {
+      std::iota(rows.begin(), rows.end(), size_t{0});
+    }
+    tree.FitOnIndices(x, encoded, encoder_.num_classes(), rows);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::vector<double> RandomForestClassifier::PredictProba(
+    const std::vector<double>& x) const {
+  std::vector<double> acc(encoder_.num_classes(), 0.0);
+  if (trees_.empty()) return acc;
+  for (const auto& tree : trees_) {
+    const std::vector<double> p = tree.PredictProba(x);
+    for (size_t c = 0; c < acc.size(); ++c) acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+std::unique_ptr<Classifier> RandomForestClassifier::Clone() const {
+  return std::make_unique<RandomForestClassifier>(params_);
+}
+
+std::string RandomForestClassifier::Name() const {
+  return "RandomForest(trees=" + std::to_string(params_.num_trees) +
+         ",depth=" + std::to_string(params_.max_depth) + ")";
+}
+
+}  // namespace mvg

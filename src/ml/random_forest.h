@@ -1,0 +1,47 @@
+#ifndef MVG_ML_RANDOM_FOREST_H_
+#define MVG_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/decision_tree.h"
+
+namespace mvg {
+
+/// Random Forest: bagged CART trees with per-node feature subsampling,
+/// probabilities averaged over trees (one of the paper's three generic
+/// classifier families, §3.2/§4.3).
+class RandomForestClassifier : public Classifier {
+ public:
+  struct Params {
+    size_t num_trees = 100;
+    size_t max_depth = 16;
+    size_t min_samples_leaf = 1;
+    /// Features per split; 0 = floor(sqrt(d)).
+    size_t max_features = 0;
+    bool bootstrap = true;
+    uint64_t seed = 42;
+  };
+
+  RandomForestClassifier() = default;
+  explicit RandomForestClassifier(Params params) : params_(params) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+
+  const Params& params() const { return params_; }
+  size_t num_trees_fitted() const { return trees_.size(); }
+
+ private:
+  Params params_;
+  std::vector<DecisionTreeClassifier> trees_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_ML_RANDOM_FOREST_H_

@@ -1,0 +1,158 @@
+#include "ml/stat_tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.h"
+
+namespace mvg {
+
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+namespace {
+
+/// Regularised lower incomplete gamma P(a, x) by series / continued
+/// fraction (Numerical Recipes style), good to ~1e-10.
+double RegularizedGammaP(double a, double x) {
+  if (x < 0.0 || a <= 0.0) throw std::invalid_argument("gamma args");
+  if (x == 0.0) return 0.0;
+  const double gln = std::lgamma(a);
+  if (x < a + 1.0) {
+    // Series representation.
+    double ap = a;
+    double sum = 1.0 / a;
+    double del = sum;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      del *= x / ap;
+      sum += del;
+      if (std::abs(del) < std::abs(sum) * 1e-14) break;
+    }
+    return sum * std::exp(-x + a * std::log(x) - gln);
+  }
+  // Continued fraction for Q(a, x).
+  double b = x + 1.0 - a;
+  double c = 1e300;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < 1e-300) d = 1e-300;
+    c = b + an / c;
+    if (std::abs(c) < 1e-300) c = 1e-300;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 1e-14) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - gln) * h;
+  return 1.0 - q;
+}
+
+}  // namespace
+
+double ChiSquareSurvival(double x, size_t k) {
+  if (x <= 0.0) return 1.0;
+  return 1.0 - RegularizedGammaP(static_cast<double>(k) / 2.0, x / 2.0);
+}
+
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("WilcoxonSignedRank: size mismatch");
+  }
+  WilcoxonResult result;
+  std::vector<double> abs_diff;
+  std::vector<int> sign;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    if (d < 0.0) ++result.a_wins;
+    if (d > 0.0) ++result.b_wins;
+    if (d != 0.0) {
+      abs_diff.push_back(std::abs(d));
+      sign.push_back(d > 0.0 ? 1 : -1);
+    }
+  }
+  const size_t n = abs_diff.size();
+  result.num_nonzero = n;
+  if (n < 3) return result;
+
+  const std::vector<double> ranks = AverageRanks(abs_diff);
+  double w_plus = 0.0, w_minus = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    (sign[i] > 0 ? w_plus : w_minus) += ranks[i];
+  }
+  result.statistic = std::min(w_plus, w_minus);
+
+  // Normal approximation with tie correction.
+  const double dn = static_cast<double>(n);
+  const double mean = dn * (dn + 1.0) / 4.0;
+  double tie_term = 0.0;
+  {
+    std::vector<double> sorted = abs_diff;
+    std::sort(sorted.begin(), sorted.end());
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i;
+      while (j + 1 < n && sorted[j + 1] == sorted[i]) ++j;
+      const double t = static_cast<double>(j - i + 1);
+      tie_term += t * t * t - t;
+      i = j + 1;
+    }
+  }
+  const double var =
+      dn * (dn + 1.0) * (2.0 * dn + 1.0) / 24.0 - tie_term / 48.0;
+  if (var <= 0.0) return result;
+  const double z = (result.statistic - mean) / std::sqrt(var);
+  result.p_value = std::min(1.0, 2.0 * NormalCdf(z));
+  return result;
+}
+
+FriedmanNemenyiResult FriedmanNemenyi(
+    const std::vector<std::vector<double>>& scores) {
+  if (scores.empty() || scores[0].size() < 2) {
+    throw std::invalid_argument("FriedmanNemenyi: need >= 1 dataset, >= 2 methods");
+  }
+  const size_t num_datasets = scores.size();
+  const size_t k = scores[0].size();
+  for (const auto& row : scores) {
+    if (row.size() != k) {
+      throw std::invalid_argument("FriedmanNemenyi: ragged score matrix");
+    }
+  }
+
+  FriedmanNemenyiResult result;
+  result.average_ranks.assign(k, 0.0);
+  for (const auto& row : scores) {
+    const std::vector<double> r = AverageRanks(row);
+    for (size_t j = 0; j < k; ++j) result.average_ranks[j] += r[j];
+  }
+  for (double& r : result.average_ranks) {
+    r /= static_cast<double>(num_datasets);
+  }
+
+  const double dn = static_cast<double>(num_datasets);
+  const double dk = static_cast<double>(k);
+  double rank_sq = 0.0;
+  for (double r : result.average_ranks) rank_sq += r * r;
+  result.friedman_chi2 =
+      12.0 * dn / (dk * (dk + 1.0)) *
+      (rank_sq - dk * (dk + 1.0) * (dk + 1.0) / 4.0);
+  result.friedman_chi2 = std::max(0.0, result.friedman_chi2);
+  result.friedman_p = ChiSquareSurvival(result.friedman_chi2, k - 1);
+
+  // Nemenyi CD at alpha = 0.05: q values are the studentized range
+  // statistic divided by sqrt(2) (Demsar 2006, Table 5).
+  static constexpr double kQ05[] = {0.0,   0.0,   1.960, 2.343, 2.569, 2.728,
+                                    2.850, 2.949, 3.031, 3.102, 3.164};
+  if (k >= 2 && k <= 10) {
+    result.critical_difference =
+        kQ05[k] * std::sqrt(dk * (dk + 1.0) / (6.0 * dn));
+  }
+  return result;
+}
+
+}  // namespace mvg

@@ -1,0 +1,47 @@
+#ifndef MVG_ML_STAT_TESTS_H_
+#define MVG_ML_STAT_TESTS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mvg {
+
+/// Result of a Wilcoxon signed-rank test on paired samples.
+struct WilcoxonResult {
+  double statistic = 0.0;  ///< min(W+, W-).
+  double p_value = 1.0;    ///< two-sided, normal approximation.
+  size_t num_nonzero = 0;  ///< pairs with a non-zero difference.
+  size_t a_wins = 0;       ///< pairs where a < b (a "wins" on error rate).
+  size_t b_wins = 0;
+};
+
+/// Wilcoxon signed-rank test with tie correction, as the paper uses to
+/// compare error-rate columns across datasets (Tables 2-3). Zero
+/// differences are dropped; with fewer than 3 non-zero pairs p = 1.
+WilcoxonResult WilcoxonSignedRank(const std::vector<double>& a,
+                                  const std::vector<double>& b);
+
+/// Friedman test + Nemenyi post-hoc over a results matrix
+/// scores[dataset][method] (lower is better, e.g. error rates).
+struct FriedmanNemenyiResult {
+  std::vector<double> average_ranks;  ///< per method; rank 1 = best.
+  double friedman_chi2 = 0.0;
+  double friedman_p = 1.0;
+  double critical_difference = 0.0;  ///< Nemenyi CD at alpha = 0.05.
+};
+
+/// Computes average ranks, the Friedman chi-square (with its chi-square
+/// p-value) and the Nemenyi critical difference used by the paper's
+/// critical-difference diagrams (Figs. 6-7). Supports 2..10 methods.
+FriedmanNemenyiResult FriedmanNemenyi(
+    const std::vector<std::vector<double>>& scores);
+
+/// Standard normal CDF (exposed for tests).
+double NormalCdf(double z);
+
+/// Chi-square survival function P(X > x) with k degrees of freedom.
+double ChiSquareSurvival(double x, size_t k);
+
+}  // namespace mvg
+
+#endif  // MVG_ML_STAT_TESTS_H_

@@ -1,0 +1,69 @@
+#ifndef MVG_ML_SVM_H_
+#define MVG_ML_SVM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// Kernel support vector machine trained with simplified SMO, extended to
+/// multiclass with one-vs-rest (one of the paper's three classifier
+/// families). Probabilities come from a softmax over the per-class margin
+/// scores, which is what the stacked ensemble consumes.
+///
+/// The paper min-max scales features before SVM training (§4.3); combine
+/// with MinMaxScaler from ml/preprocessing.h.
+class SvmClassifier : public Classifier {
+ public:
+  enum class Kernel { kLinear, kRbf };
+
+  struct Params {
+    Kernel kernel = Kernel::kRbf;
+    double c = 1.0;          ///< Soft-margin penalty.
+    double gamma = 0.0;      ///< RBF width; 0 = 1/num_features.
+    double tolerance = 1e-3;
+    size_t max_passes = 5;   ///< Consecutive no-change sweeps before stop.
+    size_t max_iters = 200;  ///< Hard cap on sweeps.
+    uint64_t seed = 42;
+  };
+
+  SvmClassifier() = default;
+  explicit SvmClassifier(Params params) : params_(params) {}
+
+  void Fit(const Matrix& x, const std::vector<int>& y) override;
+  std::vector<double> PredictProba(const std::vector<double>& x) const override;
+  std::unique_ptr<Classifier> Clone() const override;
+  std::string Name() const override;
+
+  /// Raw one-vs-rest decision values (margin per class).
+  std::vector<double> DecisionFunction(const std::vector<double>& x) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  /// One binary one-vs-rest machine: dual coefficients over support
+  /// vectors plus bias.
+  struct BinaryMachine {
+    std::vector<double> alpha_y;     ///< alpha_i * y_i per support vector.
+    std::vector<size_t> sv_indices;  ///< rows of the stored training data.
+    double bias = 0.0;
+  };
+
+  double KernelEval(const std::vector<double>& a,
+                    const std::vector<double>& b) const;
+
+  BinaryMachine TrainBinary(const Matrix& x, const std::vector<double>& y);
+
+  Params params_;
+  double gamma_eff_ = 1.0;
+  Matrix support_data_;  ///< training rows referenced by machines.
+  std::vector<BinaryMachine> machines_;  ///< one per class (OvR).
+};
+
+}  // namespace mvg
+
+#endif  // MVG_ML_SVM_H_

@@ -1,0 +1,250 @@
+#include "motif/motif_counts.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace mvg {
+
+namespace {
+
+int64_t Choose2(int64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+int64_t Choose3(int64_t n) { return n < 3 ? 0 : n * (n - 1) * (n - 2) / 6; }
+int64_t Choose4(int64_t n) {
+  return n < 4 ? 0 : n * (n - 1) * (n - 2) * (n - 3) / 24;
+}
+
+/// Sorted-list intersection of two adjacency lists.
+void CommonNeighbors(const std::vector<Graph::VertexId>& a,
+                     const std::vector<Graph::VertexId>& b,
+                     std::vector<Graph::VertexId>* out) {
+  out->clear();
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(*out));
+}
+
+}  // namespace
+
+std::array<int64_t, kNumMotifs> MotifCounts::ToArray() const {
+  return {m21, m22, m31, m32, m33, m34, m41, m42,  m43,
+          m44, m45, m46, m47, m48, m49, m410, m411};
+}
+
+const std::array<std::string, kNumMotifs>& MotifNames() {
+  static const std::array<std::string, kNumMotifs> kNames = {
+      "M21", "M22", "M31", "M32", "M33", "M34", "M41", "M42", "M43",
+      "M44", "M45", "M46", "M47", "M48", "M49", "M410", "M411"};
+  return kNames;
+}
+
+MotifCounts CountMotifs(const Graph& g) {
+  const int64_t n = static_cast<int64_t>(g.num_vertices());
+  const int64_t m = static_cast<int64_t>(g.num_edges());
+  MotifCounts out;
+
+  // ---- size 2 ----
+  out.m21 = m;
+  out.m22 = Choose2(n) - m;
+
+  // ---- size 3 ----
+  // W = number of wedges (2-walk centers), counts each triangle 3 times.
+  int64_t wedges = 0;
+  for (Graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    wedges += Choose2(static_cast<int64_t>(g.Degree(v)));
+  }
+
+  // Triangle counts per edge (sorted-adjacency intersection) plus the
+  // accumulators that feed the 4-node equations.
+  int64_t triangles = 0;          // T
+  int64_t sum_tri_choose2 = 0;    // sum_e C(T_e, 2)  -> diamonds
+  int64_t cliques4_times6 = 0;    // 6 * #K4
+  int64_t tailed_raw = 0;         // sum_Delta (d_u + d_v + d_w - 6)
+  int64_t path3_walks = 0;        // sum_e (d_u - 1)(d_v - 1)
+  std::vector<Graph::VertexId> common;
+  for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    const auto& nu = g.Neighbors(u);
+    const int64_t du = static_cast<int64_t>(nu.size());
+    for (Graph::VertexId v : nu) {
+      if (v <= u) continue;
+      const auto& nv = g.Neighbors(v);
+      const int64_t dv = static_cast<int64_t>(nv.size());
+      path3_walks += (du - 1) * (dv - 1);
+      CommonNeighbors(nu, nv, &common);
+      const int64_t te = static_cast<int64_t>(common.size());
+      sum_tri_choose2 += Choose2(te);
+      // Enumerate each triangle exactly once with w > v > u.
+      for (Graph::VertexId w : common) {
+        if (w > v) {
+          ++triangles;
+          tailed_raw += du + dv + static_cast<int64_t>(g.Degree(w)) - 6;
+        }
+      }
+      // K4: adjacent pairs inside the common neighborhood; counted once
+      // per edge of the K4 (6 times total).
+      for (size_t i = 0; i < common.size(); ++i) {
+        const auto& nw = g.Neighbors(common[i]);
+        for (size_t j = i + 1; j < common.size(); ++j) {
+          if (std::binary_search(nw.begin(), nw.end(), common[j])) {
+            ++cliques4_times6;
+          }
+        }
+      }
+    }
+  }
+
+  out.m31 = triangles;
+  out.m32 = wedges - 3 * triangles;
+  out.m33 = m * (n - 2) - 2 * out.m32 - 3 * out.m31;
+  out.m34 = Choose3(n) - out.m31 - out.m32 - out.m33;
+
+  // ---- size 4, connected ----
+  // Non-induced 4-cycles: for every vertex u, count 2-walks u -> x -> w per
+  // far endpoint w; C(cnt,2) picks two parallel walks. Every cycle is seen
+  // from each of its 4 vertices once.
+  int64_t cycle_walks = 0;
+  {
+    std::unordered_map<Graph::VertexId, int64_t> cnt;
+    for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+      cnt.clear();
+      for (Graph::VertexId x : g.Neighbors(u)) {
+        for (Graph::VertexId w : g.Neighbors(x)) {
+          if (w != u) ++cnt[w];
+        }
+      }
+      for (const auto& [w, c] : cnt) cycle_walks += Choose2(c);
+    }
+  }
+  const int64_t noninduced_c4 = cycle_walks / 4;
+
+  int64_t star_raw = 0;  // sum_v C(d_v, 3)
+  for (Graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    star_raw += Choose3(static_cast<int64_t>(g.Degree(v)));
+  }
+  const int64_t noninduced_p4 = path3_walks - 3 * triangles;
+
+  const int64_t k4 = cliques4_times6 / 6;
+  const int64_t diamond = sum_tri_choose2 - 6 * k4;
+  const int64_t tailed = tailed_raw - 4 * diamond - 12 * k4;
+  const int64_t cycle4 = noninduced_c4 - diamond - 3 * k4;
+  const int64_t star = star_raw - tailed - 2 * diamond - 4 * k4;
+  const int64_t path4 =
+      noninduced_p4 - 2 * tailed - 4 * cycle4 - 6 * diamond - 12 * k4;
+
+  out.m41 = k4;
+  out.m42 = diamond;
+  out.m43 = tailed;
+  out.m44 = cycle4;
+  out.m45 = star;
+  out.m46 = path4;
+
+  // ---- size 4, disconnected ----
+  // Triangle + far vertex: (T, v) pairs minus those where v attaches.
+  out.m47 = triangles * (n - 3) - tailed - 2 * diamond - 4 * k4;
+  // Induced wedge + far vertex.
+  out.m48 = out.m32 * (n - 3) -
+            (2 * tailed + 2 * diamond + 4 * cycle4 + 3 * star + 2 * path4);
+  // Two disjoint edges: every unordered pair of distinct edges sharing a
+  // vertex corresponds to exactly one wedge, so disjoint pairs are
+  // C(m,2) - wedges; subtract the pairs lying inside connected shapes that
+  // contain a perfect matching on their 4 vertices.
+  const int64_t disjoint = Choose2(m) - wedges;
+  out.m49 = disjoint - (3 * k4 + 2 * diamond + 2 * cycle4 + tailed + path4);
+  // Edge + 2 isolated vertices: edge-in-4-set incidences.
+  out.m410 = m * Choose2(n - 2) -
+             (6 * k4 + 5 * diamond + 4 * tailed + 4 * cycle4 + 3 * star +
+              3 * path4 + 3 * out.m47 + 2 * out.m48 + 2 * out.m49);
+  out.m411 = Choose4(n) - (k4 + diamond + tailed + cycle4 + star + path4 +
+                           out.m47 + out.m48 + out.m49 + out.m410);
+  return out;
+}
+
+MotifCounts CountMotifsBruteForce(const Graph& g) {
+  const size_t n = g.num_vertices();
+  MotifCounts out;
+  // Size 2.
+  for (Graph::VertexId a = 0; a < n; ++a) {
+    for (Graph::VertexId b = a + 1; b < n; ++b) {
+      g.HasEdge(a, b) ? ++out.m21 : ++out.m22;
+    }
+  }
+  // Size 3.
+  for (Graph::VertexId a = 0; a < n; ++a) {
+    for (Graph::VertexId b = a + 1; b < n; ++b) {
+      for (Graph::VertexId c = b + 1; c < n; ++c) {
+        const int e = static_cast<int>(g.HasEdge(a, b)) +
+                      static_cast<int>(g.HasEdge(a, c)) +
+                      static_cast<int>(g.HasEdge(b, c));
+        switch (e) {
+          case 3: ++out.m31; break;
+          case 2: ++out.m32; break;
+          case 1: ++out.m33; break;
+          default: ++out.m34; break;
+        }
+      }
+    }
+  }
+  // Size 4: classify by edge count and degree multiset.
+  for (Graph::VertexId a = 0; a < n; ++a) {
+    for (Graph::VertexId b = a + 1; b < n; ++b) {
+      for (Graph::VertexId c = b + 1; c < n; ++c) {
+        for (Graph::VertexId d = c + 1; d < n; ++d) {
+          const Graph::VertexId vs[4] = {a, b, c, d};
+          int deg[4] = {0, 0, 0, 0};
+          int e = 0;
+          for (int i = 0; i < 4; ++i) {
+            for (int j = i + 1; j < 4; ++j) {
+              if (g.HasEdge(vs[i], vs[j])) {
+                ++e;
+                ++deg[i];
+                ++deg[j];
+              }
+            }
+          }
+          std::sort(deg, deg + 4);
+          switch (e) {
+            case 6: ++out.m41; break;
+            case 5: ++out.m42; break;
+            case 4:
+              (deg[0] == 2) ? ++out.m44 : ++out.m43;
+              break;
+            case 3:
+              if (deg[3] == 3) {
+                ++out.m45;          // star: degrees 1,1,1,3
+              } else if (deg[0] == 1) {
+                ++out.m46;          // path: degrees 1,1,2,2
+              } else {
+                ++out.m47;          // triangle + isolated: 0,2,2,2
+              }
+              break;
+            case 2:
+              (deg[0] == 0) ? ++out.m48 : ++out.m49;
+              break;
+            case 1: ++out.m410; break;
+            default: ++out.m411; break;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::array<double, kNumMotifs> MotifProbabilityDistribution(
+    const MotifCounts& counts) {
+  const std::array<int64_t, kNumMotifs> c = counts.ToArray();
+  // Normalisation groups per paper §3.1, as index ranges into c.
+  constexpr std::pair<size_t, size_t> kGroups[] = {
+      {0, 2}, {2, 4}, {4, 6}, {6, 12}, {12, 17}};
+  std::array<double, kNumMotifs> p{};
+  for (const auto& [lo, hi] : kGroups) {
+    int64_t total = 0;
+    for (size_t i = lo; i < hi; ++i) total += c[i];
+    if (total <= 0) continue;
+    for (size_t i = lo; i < hi; ++i) {
+      p[i] = static_cast<double>(c[i]) / static_cast<double>(total);
+    }
+  }
+  return p;
+}
+
+}  // namespace mvg

@@ -1,0 +1,83 @@
+#include "ts/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mvg {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+double SquaredEuclidean(const Series& a, const Series& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+double Euclidean(const Series& a, const Series& b) {
+  return std::sqrt(SquaredEuclidean(a, b));
+}
+
+double Dtw(const Series& a, const Series& b) {
+  return DtwWindowed(a, b, std::max(a.size(), b.size()));
+}
+
+double DtwWindowed(const Series& a, const Series& b, size_t window,
+                   double cutoff) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) return n == m ? 0.0 : kInf;
+  // The band must be at least |n - m| wide for a feasible path.
+  const size_t diff = n > m ? n - m : m - n;
+  window = std::max(window, diff);
+  const double cutoff_sq =
+      cutoff == kInf ? kInf : cutoff * cutoff;
+
+  std::vector<double> prev(m + 1, kInf), cur(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    const size_t lo = i > window ? i - window : 1;
+    const size_t hi = std::min(m, i + window);
+    double row_min = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double best =
+          std::min({prev[j], prev[j - 1], cur[j - 1]});
+      if (best == kInf) continue;
+      cur[j] = best + d * d;
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > cutoff_sq) return kInf;  // Early abandon.
+    std::swap(prev, cur);
+  }
+  return prev[m] == kInf ? kInf : std::sqrt(prev[m]);
+}
+
+double LbKeogh(const Series& query, const Series& candidate, size_t window) {
+  const size_t n = std::min(query.size(), candidate.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i > window ? i - window : 0;
+    const size_t hi = std::min(n - 1, i + window);
+    double u = -kInf, l = kInf;
+    for (size_t j = lo; j <= hi; ++j) {
+      u = std::max(u, candidate[j]);
+      l = std::min(l, candidate[j]);
+    }
+    if (query[i] > u) {
+      acc += (query[i] - u) * (query[i] - u);
+    } else if (query[i] < l) {
+      acc += (l - query[i]) * (l - query[i]);
+    }
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace mvg

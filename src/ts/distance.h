@@ -1,0 +1,33 @@
+#ifndef MVG_TS_DISTANCE_H_
+#define MVG_TS_DISTANCE_H_
+
+#include <cstddef>
+#include <limits>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Squared Euclidean distance (series must have equal length; the shorter
+/// length is used otherwise, matching common UCR tooling).
+double SquaredEuclidean(const Series& a, const Series& b);
+
+/// Euclidean distance.
+double Euclidean(const Series& a, const Series& b);
+
+/// Full Dynamic Time Warping distance (no window), O(|a||b|).
+/// Returns the square root of the minimal sum of squared point distances.
+double Dtw(const Series& a, const Series& b);
+
+/// DTW with a Sakoe-Chiba band of half-width `window` (in points).
+/// `window >= max(|a|,|b|)` degenerates to full DTW. Early-abandons when
+/// every cell in a row exceeds `cutoff` (pass infinity to disable).
+double DtwWindowed(const Series& a, const Series& b, size_t window,
+                   double cutoff = std::numeric_limits<double>::infinity());
+
+/// LB_Keogh lower bound for windowed DTW; requires equal lengths.
+double LbKeogh(const Series& query, const Series& candidate, size_t window);
+
+}  // namespace mvg
+
+#endif  // MVG_TS_DISTANCE_H_

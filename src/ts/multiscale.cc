@@ -1,0 +1,44 @@
+#include "ts/multiscale.h"
+
+#include "ts/transforms.h"
+
+namespace mvg {
+
+std::vector<Series> MultiscaleRepresentation(const Series& s, ScaleMode mode,
+                                             size_t tau) {
+  std::vector<Series> scales;
+  if (s.empty()) return scales;
+  if (mode != ScaleMode::kApproximateMultiscale) {
+    scales.push_back(s);
+  }
+  if (mode == ScaleMode::kUniscale) return scales;
+  Series cur = s;
+  while (true) {
+    Series next = HalveByPaa(cur);
+    if (next.size() <= tau || next.size() < 2) break;
+    scales.push_back(next);
+    cur = std::move(next);
+  }
+  // AMVG of a very short series: fall back to the original so the
+  // representation is never empty.
+  if (scales.empty()) scales.push_back(s);
+  return scales;
+}
+
+size_t FirstScaleIndex(ScaleMode mode) {
+  return mode == ScaleMode::kApproximateMultiscale ? 1 : 0;
+}
+
+const char* ToString(ScaleMode mode) {
+  switch (mode) {
+    case ScaleMode::kUniscale:
+      return "UVG";
+    case ScaleMode::kApproximateMultiscale:
+      return "AMVG";
+    case ScaleMode::kMultiscale:
+      return "MVG";
+  }
+  return "?";
+}
+
+}  // namespace mvg

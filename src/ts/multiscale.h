@@ -1,0 +1,41 @@
+#ifndef MVG_TS_MULTISCALE_H_
+#define MVG_TS_MULTISCALE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Which scales of the multiscale representation are kept (paper §3,
+/// Definitions 3.1-3.3 and the UVG/AMVG/MVG experiment in §4.2.3).
+enum class ScaleMode {
+  kUniscale,              ///< UVG: the original series only (T0).
+  kApproximateMultiscale, ///< AMVG: downscaled approximations only (T1..Tm).
+  kMultiscale,            ///< MVG: T0 plus all approximations.
+};
+
+/// Default minimum length of the smallest scale (paper §3: tau = 15; a
+/// value of 0 is also legal and simply keeps every non-trivial scale).
+inline constexpr size_t kDefaultTau = 15;
+
+/// Builds the multiscale representation of `s`:
+///  - kUniscale:             {T0}
+///  - kApproximateMultiscale:{T1, ..., Tm}
+///  - kMultiscale:           {T0, T1, ..., Tm}
+/// where |Ti| = |T0| / 2^i (halving PAA, Def. 3.1) and every emitted scale
+/// has length > tau. T0 itself is emitted even when |T0| <= tau so that
+/// short series still produce at least one scale.
+std::vector<Series> MultiscaleRepresentation(const Series& s, ScaleMode mode,
+                                             size_t tau = kDefaultTau);
+
+/// Index of the first emitted scale (0 for UVG/MVG, 1 for AMVG); used to
+/// give features stable names like "T2.VG.density".
+size_t FirstScaleIndex(ScaleMode mode);
+
+const char* ToString(ScaleMode mode);
+
+}  // namespace mvg
+
+#endif  // MVG_TS_MULTISCALE_H_

@@ -1,0 +1,112 @@
+#include "ts/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/statistics.h"
+
+namespace mvg {
+
+Series ZNormalize(const Series& s) {
+  const double m = Mean(s);
+  const double sd = StdDev(s);
+  Series out(s.size());
+  if (sd < 1e-12) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (size_t i = 0; i < s.size(); ++i) out[i] = (s[i] - m) / sd;
+  return out;
+}
+
+Series DetrendLinear(const Series& s) {
+  const size_t n = s.size();
+  if (n < 3) return s;
+  // Least squares fit of s[i] = a*i + b.
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += s[i];
+    sxx += x * x;
+    sxy += x * s[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return s;
+  const double a = (dn * sxy - sx * sy) / denom;
+  const double mean = sy / dn;
+  const double mid = (dn - 1.0) / 2.0;
+  Series out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = s[i] - a * (static_cast<double>(i) - mid);
+  }
+  // Re-centering around the original mean keeps the level of the series.
+  const double new_mean = Mean(out);
+  for (double& v : out) v += mean - new_mean;
+  return out;
+}
+
+Series Paa(const Series& s, size_t segments) {
+  const size_t n = s.size();
+  if (segments == 0 || segments > n) {
+    throw std::invalid_argument("Paa: need 1 <= segments <= |s|");
+  }
+  if (segments == n) return s;
+  Series out(segments, 0.0);
+  // Fractional-weight PAA: point i contributes to segment(s) covering
+  // [i, i+1) under the mapping t -> t * segments / n.
+  const double scale = static_cast<double>(segments) / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = static_cast<double>(i) * scale;
+    const double hi = static_cast<double>(i + 1) * scale;
+    size_t seg_lo = static_cast<size_t>(lo);
+    size_t seg_hi = static_cast<size_t>(hi);
+    if (seg_hi >= segments) seg_hi = segments - 1;
+    if (seg_lo == seg_hi) {
+      out[seg_lo] += s[i] * (hi - lo);
+    } else {
+      // The point straddles a segment boundary; split its mass.
+      const double boundary = static_cast<double>(seg_hi);
+      out[seg_lo] += s[i] * (boundary - lo);
+      out[seg_hi] += s[i] * (hi - boundary);
+    }
+  }
+  // Each segment covers n/segments original points worth of mass; divide by
+  // the segment width (in scaled units each segment has width 1).
+  for (double& v : out) v /= 1.0;
+  return out;
+}
+
+Series HalveByPaa(const Series& s) {
+  const size_t half = s.size() / 2;
+  if (half == 0) return {};
+  Series out(half);
+  for (size_t i = 0; i < half; ++i) out[i] = 0.5 * (s[2 * i] + s[2 * i + 1]);
+  return out;
+}
+
+Series MovingAverage(const Series& s, size_t window) {
+  if (window <= 1 || s.empty()) return s;
+  const size_t n = s.size();
+  const size_t half = window / 2;
+  Series out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t lo = i >= half ? i - half : 0;
+    const size_t hi = std::min(n - 1, i + half);
+    double acc = 0.0;
+    for (size_t j = lo; j <= hi; ++j) acc += s[j];
+    out[i] = acc / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+Series FirstDifference(const Series& s) {
+  if (s.size() < 2) return {};
+  Series out(s.size() - 1);
+  for (size_t i = 0; i + 1 < s.size(); ++i) out[i] = s[i + 1] - s[i];
+  return out;
+}
+
+}  // namespace mvg

@@ -1,0 +1,58 @@
+#include "ts/ucr_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace mvg {
+
+Dataset ReadUcrFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ReadUcrFile: cannot open " + path);
+  Dataset ds(path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> tokens = Split(line, ", \t");
+    if (tokens.size() < 2) {
+      throw std::runtime_error("ReadUcrFile: line " + std::to_string(line_no) +
+                               " has fewer than 2 fields");
+    }
+    char* end = nullptr;
+    const double label_val = std::strtod(tokens[0].c_str(), &end);
+    if (end == tokens[0].c_str()) {
+      throw std::runtime_error("ReadUcrFile: bad label on line " +
+                               std::to_string(line_no));
+    }
+    Series s;
+    s.reserve(tokens.size() - 1);
+    for (size_t i = 1; i < tokens.size(); ++i) {
+      end = nullptr;
+      const double v = std::strtod(tokens[i].c_str(), &end);
+      if (end == tokens[i].c_str()) {
+        throw std::runtime_error("ReadUcrFile: bad value on line " +
+                                 std::to_string(line_no));
+      }
+      s.push_back(v);
+    }
+    ds.Add(std::move(s), static_cast<int>(label_val));
+  }
+  return ds;
+}
+
+void WriteUcrFile(const Dataset& ds, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("WriteUcrFile: cannot open " + path);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    out << ds.label(i);
+    for (double v : ds.series(i)) out << ',' << v;
+    out << '\n';
+  }
+}
+
+}  // namespace mvg

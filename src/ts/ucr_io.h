@@ -1,0 +1,21 @@
+#ifndef MVG_TS_UCR_IO_H_
+#define MVG_TS_UCR_IO_H_
+
+#include <string>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Reads a UCR-archive-format file: one series per line, the first field is
+/// the integer class label, remaining fields are the values. Both comma-
+/// and whitespace-separated files are accepted. Throws std::runtime_error
+/// if the file cannot be opened or a line cannot be parsed.
+Dataset ReadUcrFile(const std::string& path);
+
+/// Writes a dataset in comma-separated UCR format.
+void WriteUcrFile(const Dataset& ds, const std::string& path);
+
+}  // namespace mvg
+
+#endif  // MVG_TS_UCR_IO_H_

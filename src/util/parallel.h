@@ -1,0 +1,46 @@
+#ifndef MVG_UTIL_PARALLEL_H_
+#define MVG_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace mvg {
+
+/// Runs fn(i) for i in [0, n) across `num_threads` worker threads with
+/// static block partitioning. `num_threads <= 1` (or n small) degrades to
+/// a plain loop. The paper stresses that MVG's "feature extraction and
+/// classification process is inherently parallel" (§1) — per-series
+/// extraction is embarrassingly parallel, and this helper is what
+/// MvgFeatureExtractor::ExtractAll uses to exploit it.
+///
+/// fn must be safe to call concurrently for distinct i.
+inline void ParallelFor(size_t n, size_t num_threads,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t workers = std::min(num_threads, n);
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t]() {
+      // Static interleaved partition: thread t takes i = t, t+W, t+2W, ...
+      for (size_t i = t; i < n; i += workers) fn(i);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+/// Default worker count: hardware concurrency, at least 1.
+inline size_t DefaultThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_PARALLEL_H_

@@ -1,0 +1,71 @@
+#ifndef MVG_UTIL_RANDOM_H_
+#define MVG_UTIL_RANDOM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mvg {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (data generators, bootstrap sampling, SGD
+/// shuffling, ...) takes an explicit seed so that experiments are exactly
+/// reproducible across runs, per the paper's goal of "reproducible results".
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (mean 0, stddev 1) unless overridden.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int Int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t Index(size_t n) {
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// Draws `k` distinct indices from [0, n) without replacement.
+  std::vector<size_t> Sample(size_t n, size_t k) {
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < k && i < n; ++i) {
+      size_t j = i + Index(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k < n ? k : n);
+    return idx;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_RANDOM_H_

@@ -1,0 +1,44 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+
+namespace mvg {
+
+std::vector<std::string> Split(const std::string& s, const std::string& delims) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (delims.find(c) != std::string::npos) {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& tokens, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) out += sep;
+    out += tokens[i];
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace mvg

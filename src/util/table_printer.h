@@ -1,0 +1,32 @@
+#ifndef MVG_UTIL_TABLE_PRINTER_H_
+#define MVG_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mvg {
+
+/// Aligned console table used by the benchmark harnesses to print the same
+/// row structure as the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles at the given precision.
+  void AddRow(const std::string& first, const std::vector<double>& values,
+              int precision = 3);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,29 @@
+#ifndef MVG_UTIL_TIMER_H_
+#define MVG_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mvg {
+
+/// Simple wall-clock timer for the runtime experiments (Table 3, Fig. 9).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_TIMER_H_

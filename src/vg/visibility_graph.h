@@ -1,0 +1,33 @@
+#ifndef MVG_VG_VISIBILITY_GRAPH_H_
+#define MVG_VG_VISIBILITY_GRAPH_H_
+
+#include "graph/graph.h"
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Construction algorithm for the natural visibility graph.
+enum class VgAlgorithm {
+  kNaive,          ///< O(n^2) reference: slope-maximum scan per vertex.
+  kDivideConquer,  ///< Divide & conquer on the range maximum; O(n log n)
+                   ///< expected for non-monotone series (paper ref. [1]
+                   ///< gives the sub-quadratic bound), exact same output.
+};
+
+/// Builds the natural visibility graph of `s` (paper Def. 2.3): vertices
+/// are time steps; i and j are connected iff every point between them lies
+/// strictly below the line segment from (i, v_i) to (j, v_j).
+Graph BuildVisibilityGraph(const Series& s,
+                           VgAlgorithm algorithm = VgAlgorithm::kDivideConquer);
+
+/// Builds the horizontal visibility graph (paper Def. 2.4): i and j are
+/// connected iff every point between them is strictly below both v_i and
+/// v_j. Uses the O(n) stack algorithm.
+Graph BuildHorizontalVisibilityGraph(const Series& s);
+
+/// O(n^2) reference HVG used by the property tests.
+Graph BuildHorizontalVisibilityGraphNaive(const Series& s);
+
+}  // namespace mvg
+
+#endif  // MVG_VG_VISIBILITY_GRAPH_H_

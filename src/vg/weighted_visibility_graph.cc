@@ -1,0 +1,92 @@
+#include "vg/weighted_visibility_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "vg/visibility_graph.h"
+
+namespace mvg {
+
+WeightedVisibilityGraph WeightedVisibilityGraph::Build(const Series& s) {
+  WeightedVisibilityGraph wvg;
+  wvg.num_vertices_ = s.size();
+  const Graph g = BuildVisibilityGraph(s);
+  wvg.edges_.reserve(g.num_edges());
+  for (const auto& [u, v] : g.Edges()) {
+    const double slope =
+        (s[v] - s[u]) / static_cast<double>(v - u);
+    wvg.edges_.push_back({u, v, std::abs(std::atan(slope))});
+  }
+  return wvg;
+}
+
+std::vector<double> WeightedVisibilityGraph::VertexStrengths() const {
+  std::vector<double> strength(num_vertices_, 0.0);
+  for (const auto& e : edges_) {
+    strength[e.u] += e.weight;
+    strength[e.v] += e.weight;
+  }
+  return strength;
+}
+
+WeightedVisibilityGraph::WeightStats
+WeightedVisibilityGraph::ComputeWeightStats() const {
+  WeightStats st;
+  if (edges_.empty()) return st;
+  double sum = 0.0, sq = 0.0;
+  for (const auto& e : edges_) {
+    sum += e.weight;
+    sq += e.weight * e.weight;
+    st.max = std::max(st.max, e.weight);
+  }
+  const double n = static_cast<double>(edges_.size());
+  st.mean = sum / n;
+  st.stddev = std::sqrt(std::max(0.0, sq / n - st.mean * st.mean));
+
+  const std::vector<double> strength = VertexStrengths();
+  double total = 0.0;
+  for (double v : strength) {
+    st.max_strength = std::max(st.max_strength, v);
+    total += v;
+  }
+  st.mean_strength = strength.empty()
+                         ? 0.0
+                         : total / static_cast<double>(strength.size());
+  if (total > 0.0) {
+    for (double v : strength) {
+      if (v <= 0.0) continue;
+      const double p = v / total;
+      st.strength_entropy -= p * std::log(p);
+    }
+  }
+  return st;
+}
+
+DirectedVgDegrees ComputeDirectedVgDegrees(const Series& s) {
+  const Graph g = BuildVisibilityGraph(s);
+  DirectedVgDegrees d;
+  d.in.assign(s.size(), 0);
+  d.out.assign(s.size(), 0);
+  for (const auto& [u, v] : g.Edges()) {
+    // Edges() yields u < v; orient forward in time.
+    ++d.out[u];
+    ++d.in[v];
+  }
+  return d;
+}
+
+double DegreeSequenceEntropy(const std::vector<size_t>& degrees) {
+  if (degrees.empty()) return 0.0;
+  std::map<size_t, double> hist;
+  for (size_t d : degrees) hist[d] += 1.0;
+  const double n = static_cast<double>(degrees.size());
+  double h = 0.0;
+  for (const auto& [degree, count] : hist) {
+    const double p = count / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace mvg

@@ -1,0 +1,72 @@
+#ifndef MVG_VG_WEIGHTED_VISIBILITY_GRAPH_H_
+#define MVG_VG_WEIGHTED_VISIBILITY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Weighted and directed visibility-graph variants (paper §2.1: "it is
+/// possible to create a directed version by limiting the direction of
+/// viewpoints", and ref. [41] uses edge-weighted VGs — view angles — to
+/// "quantitatively distinguish generic time series").
+
+/// One weighted visibility edge; weight is the absolute view angle
+/// |atan((v_j - v_i) / (j - i))| in radians, following Supriya et al.
+/// (paper ref. [41]).
+struct WeightedVgEdge {
+  Graph::VertexId u = 0;
+  Graph::VertexId v = 0;
+  double weight = 0.0;
+};
+
+/// Natural visibility graph with view-angle edge weights. The edge set is
+/// exactly BuildVisibilityGraph's; only weights are added.
+class WeightedVisibilityGraph {
+ public:
+  /// Builds from a series (same visibility criterion as Def. 2.3).
+  static WeightedVisibilityGraph Build(const Series& s);
+
+  size_t num_vertices() const { return num_vertices_; }
+  size_t num_edges() const { return edges_.size(); }
+  const std::vector<WeightedVgEdge>& edges() const { return edges_; }
+
+  /// Strength (sum of incident edge weights) per vertex.
+  std::vector<double> VertexStrengths() const;
+
+  /// Summary statistics of the edge-weight distribution: the features the
+  /// extended extractor consumes.
+  struct WeightStats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double max = 0.0;
+    double mean_strength = 0.0;   ///< average vertex strength.
+    double max_strength = 0.0;
+    double strength_entropy = 0.0;  ///< Shannon entropy of normalised strengths.
+  };
+  WeightStats ComputeWeightStats() const;
+
+ private:
+  size_t num_vertices_ = 0;
+  std::vector<WeightedVgEdge> edges_;
+};
+
+/// Degree sequences of the *directed* natural visibility graph, where each
+/// edge (i, j), i < j, is oriented forward in time: out-degree counts
+/// later vertices visible from i, in-degree counts earlier ones.
+struct DirectedVgDegrees {
+  std::vector<size_t> in;
+  std::vector<size_t> out;
+};
+DirectedVgDegrees ComputeDirectedVgDegrees(const Series& s);
+
+/// Shannon entropy (nats) of a degree sequence's empirical distribution —
+/// the "degree distribution entropy" the paper's §6 lists as future work.
+double DegreeSequenceEntropy(const std::vector<size_t>& degrees);
+
+}  // namespace mvg
+
+#endif  // MVG_VG_WEIGHTED_VISIBILITY_GRAPH_H_

@@ -1,0 +1,175 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "baselines/fast_shapelets.h"
+#include "baselines/learning_shapelets.h"
+#include "baselines/nn_classifiers.h"
+#include "baselines/sax.h"
+#include "baselines/sax_vsm.h"
+#include "ml/metrics.h"
+#include "ts/generators.h"
+
+namespace mvg {
+namespace {
+
+/// A split every reasonable TSC algorithm should handle: well-separated
+/// harmonic-signature classes.
+DatasetSplit EasySplit(uint64_t seed) {
+  SyntheticInfo info;
+  info.name = "easy";
+  info.family = "engine";
+  info.num_classes = 2;
+  info.train_size = 24;
+  info.test_size = 30;
+  info.length = 96;
+  return MakeSynthetic(info, seed);
+}
+
+TEST(SaxTest, BreakpointsAreGaussianQuantiles) {
+  const auto bp2 = GaussianBreakpoints(2);
+  ASSERT_EQ(bp2.size(), 1u);
+  EXPECT_NEAR(bp2[0], 0.0, 1e-6);
+  const auto bp4 = GaussianBreakpoints(4);
+  ASSERT_EQ(bp4.size(), 3u);
+  EXPECT_NEAR(bp4[0], -0.6745, 1e-3);
+  EXPECT_NEAR(bp4[1], 0.0, 1e-6);
+  EXPECT_NEAR(bp4[2], 0.6745, 1e-3);
+  EXPECT_THROW(GaussianBreakpoints(1), std::invalid_argument);
+}
+
+TEST(SaxTest, WordReflectsShape) {
+  // Rising ramp: symbols must be non-decreasing.
+  Series ramp(64);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  const std::string w = SaxWord(ramp, 8, 4);
+  ASSERT_EQ(w.size(), 8u);
+  for (size_t i = 0; i + 1 < w.size(); ++i) EXPECT_LE(w[i], w[i + 1]);
+  EXPECT_EQ(w.front(), 'a');
+  EXPECT_EQ(w.back(), 'd');
+}
+
+TEST(SaxTest, WindowsWithNumerosityReduction) {
+  // A constant series z-normalises to zeros -> identical words collapse to
+  // a single entry.
+  const Series s(50, 1.0);
+  const auto words = SaxWindows(s, 16, 4, 4);
+  EXPECT_EQ(words.size(), 1u);
+  const auto all = SaxWindows(s, 16, 4, 4, /*numerosity_reduction=*/false);
+  EXPECT_EQ(all.size(), 35u);
+}
+
+TEST(OneNnTest, EuclideanClassifiesEasySplit) {
+  const DatasetSplit split = EasySplit(1);
+  OneNnEuclidean nn;
+  nn.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), nn.PredictAll(split.test)), 0.15);
+}
+
+TEST(OneNnTest, DtwClassifiesEasySplit) {
+  const DatasetSplit split = EasySplit(2);
+  OneNnDtw nn;
+  nn.Fit(split.train);
+  // Unconstrained DTW can over-warp periodic signals (the window-size
+  // pathology the paper's §1 discusses), so the bar is looser than ED's.
+  EXPECT_LE(ErrorRate(split.test.labels(), nn.PredictAll(split.test)), 0.35);
+}
+
+TEST(OneNnTest, WindowedDtwMatchesFullOnSmallWarps) {
+  const DatasetSplit split = EasySplit(3);
+  OneNnDtw full(0), banded(10);
+  full.Fit(split.train);
+  banded.Fit(split.train);
+  // Banded DTW is a different metric but must stay a sane classifier.
+  EXPECT_LE(ErrorRate(split.test.labels(), banded.PredictAll(split.test)),
+            0.2);
+  EXPECT_NE(full.Name(), banded.Name());
+}
+
+TEST(OneNnTest, TrainingSetMemorized) {
+  const DatasetSplit split = EasySplit(4);
+  OneNnEuclidean nn;
+  nn.Fit(split.train);
+  EXPECT_EQ(ErrorRate(split.train.labels(), nn.PredictAll(split.train)), 0.0);
+}
+
+TEST(OneNnTest, EmptyTrainThrows) {
+  OneNnEuclidean nn;
+  EXPECT_THROW(nn.Fit(Dataset()), std::invalid_argument);
+}
+
+TEST(SaxVsmTest, ClassifiesFrequencyClasses) {
+  const DatasetSplit split = EasySplit(5);
+  SaxVsmClassifier vsm;
+  vsm.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), vsm.PredictAll(split.test)), 0.25);
+}
+
+TEST(SaxVsmTest, PredictBeforeFitThrows) {
+  SaxVsmClassifier vsm;
+  EXPECT_THROW(vsm.Predict(Series(10, 0.0)), std::runtime_error);
+}
+
+TEST(MinSubsequenceDistanceTest, ExactMatchIsZero) {
+  const Series s = {0, 1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(MinSubsequenceDistance({2, 3, 4}, s), 0.0);
+  EXPECT_GT(MinSubsequenceDistance({9, 9}, s), 0.0);
+  EXPECT_TRUE(std::isinf(MinSubsequenceDistance({1, 2, 3}, {1, 2})));
+}
+
+TEST(FastShapeletsTest, FindsPlantedShapelet) {
+  // The shapelet family is FS's home turf: a local pattern at random
+  // positions decides the class.
+  SyntheticInfo info;
+  info.name = "fs";
+  info.family = "shapelet";
+  info.num_classes = 2;
+  info.train_size = 30;
+  info.test_size = 40;
+  info.length = 96;
+  const DatasetSplit split = MakeSynthetic(info, 6);
+  FastShapeletsClassifier fs;
+  fs.Fit(split.train);
+  EXPECT_GT(fs.NumNodes(), 1u);  // really split somewhere
+  EXPECT_LE(ErrorRate(split.test.labels(), fs.PredictAll(split.test)), 0.3);
+}
+
+TEST(FastShapeletsTest, PureNodeBecomesLeaf) {
+  Dataset train("pure");
+  for (int i = 0; i < 6; ++i) train.Add(GaussianNoise(64, i), 3);
+  FastShapeletsClassifier fs;
+  fs.Fit(train);
+  EXPECT_EQ(fs.NumNodes(), 1u);
+  EXPECT_EQ(fs.Predict(GaussianNoise(64, 99)), 3);
+}
+
+TEST(LearningShapeletsTest, ClassifiesEasySplit) {
+  const DatasetSplit split = EasySplit(7);
+  LearningShapeletsClassifier::Params params;
+  params.max_epochs = 120;
+  LearningShapeletsClassifier ls(params);
+  ls.Fit(split.train);
+  EXPECT_EQ(ls.shapelets().size(), params.num_shapelets);
+  EXPECT_LE(ErrorRate(split.test.labels(), ls.PredictAll(split.test)), 0.25);
+}
+
+TEST(LearningShapeletsTest, ShapeletsActuallyMove) {
+  const DatasetSplit split = EasySplit(8);
+  LearningShapeletsClassifier::Params params;
+  params.max_epochs = 30;
+  params.seed = 11;
+  LearningShapeletsClassifier ls(params);
+  ls.Fit(split.train);
+  // Re-initialise with 0 epochs to get the starting shapelets.
+  params.max_epochs = 0;
+  LearningShapeletsClassifier init(params);
+  init.Fit(split.train);
+  ASSERT_EQ(ls.shapelets().size(), init.shapelets().size());
+  bool moved = false;
+  for (size_t k = 0; k < ls.shapelets().size(); ++k) {
+    if (ls.shapelets()[k] != init.shapelets()[k]) moved = true;
+  }
+  EXPECT_TRUE(moved);
+}
+
+}  // namespace
+}  // namespace mvg

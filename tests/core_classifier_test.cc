@@ -1,0 +1,130 @@
+#include <algorithm>
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/mvg_classifier.h"
+#include "ml/metrics.h"
+#include "ts/generators.h"
+
+namespace mvg {
+namespace {
+
+DatasetSplit Easy(uint64_t seed, const std::string& family = "chaos") {
+  SyntheticInfo info;
+  info.name = "core-test";
+  info.family = family;
+  info.num_classes = 2;
+  info.train_size = 24;
+  info.test_size = 30;
+  info.length = 96;
+  return MakeSynthetic(info, seed);
+}
+
+MvgClassifier::Config FastConfig(MvgModel model) {
+  MvgClassifier::Config c;
+  c.model = model;
+  c.grid = GridPreset::kNone;
+  return c;
+}
+
+TEST(MvgClassifierTest, XgboostLearnsEasySplit) {
+  const DatasetSplit split = Easy(1);
+  MvgClassifier clf(FastConfig(MvgModel::kXgboost));
+  clf.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.2);
+  EXPECT_GT(clf.feature_extraction_seconds(), 0.0);
+  EXPECT_GT(clf.training_seconds(), 0.0);
+}
+
+TEST(MvgClassifierTest, RandomForestLearnsEasySplit) {
+  const DatasetSplit split = Easy(2);
+  MvgClassifier clf(FastConfig(MvgModel::kRandomForest));
+  clf.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.2);
+}
+
+TEST(MvgClassifierTest, SvmLearnsEasySplit) {
+  const DatasetSplit split = Easy(3);
+  MvgClassifier clf(FastConfig(MvgModel::kSvm));
+  clf.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.25);
+}
+
+TEST(MvgClassifierTest, StackingLearnsEasySplit) {
+  const DatasetSplit split = Easy(4);
+  MvgClassifier clf(FastConfig(MvgModel::kStacking));
+  clf.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.25);
+}
+
+TEST(MvgClassifierTest, GridSearchRuns) {
+  const DatasetSplit split = Easy(5);
+  MvgClassifier::Config config;
+  config.grid = GridPreset::kSmall;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.25);
+}
+
+TEST(MvgClassifierTest, TopFeaturesNamed) {
+  const DatasetSplit split = Easy(6);
+  MvgClassifier clf(FastConfig(MvgModel::kXgboost));
+  clf.Fit(split.train);
+  const auto top = clf.TopFeatures(10);
+  ASSERT_EQ(top.size(), 10u);
+  // Names follow the T<i>.<graph>.<feature> scheme.
+  EXPECT_EQ(top[0].first.substr(0, 1), "T");
+  // Gains are sorted descending.
+  for (size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(top[i].second, top[i + 1].second);
+  }
+}
+
+TEST(MvgClassifierTest, TopFeaturesThrowsForNonXgboost) {
+  const DatasetSplit split = Easy(7);
+  MvgClassifier clf(FastConfig(MvgModel::kRandomForest));
+  clf.Fit(split.train);
+  EXPECT_THROW(clf.TopFeatures(5), std::runtime_error);
+}
+
+TEST(MvgClassifierTest, HandlesImbalanceWithOversampling) {
+  const DatasetSplit split = MakeSyntheticByName("SynWafer", 8);
+  MvgClassifier clf(FastConfig(MvgModel::kXgboost));
+  clf.Fit(split.train);
+  const std::vector<int> pred = clf.PredictAll(split.test);
+  // Must predict the minority class at least once (oversampling worked).
+  EXPECT_NE(std::count(pred.begin(), pred.end(), 1), 0);
+}
+
+TEST(MvgClassifierTest, PredictBeforeFitThrows) {
+  MvgClassifier clf;
+  EXPECT_THROW(clf.Predict(Series(10, 0.0)), std::runtime_error);
+  EXPECT_THROW(clf.model(), std::runtime_error);
+}
+
+TEST(MvgClassifierTest, NameReflectsConfig) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kXgboost;
+  config.extractor.scale_mode = ScaleMode::kMultiscale;
+  EXPECT_EQ(MvgClassifier(config).Name(), "MVG(XGBoost)");
+  config.extractor.scale_mode = ScaleMode::kUniscale;
+  config.model = MvgModel::kSvm;
+  EXPECT_EQ(MvgClassifier(config).Name(), "UVG(SVM)");
+}
+
+TEST(MvgClassifierTest, HeuristicColumnsAllTrainable) {
+  const DatasetSplit split = Easy(9, "shapelet");
+  for (char col : {'A', 'B', 'C', 'D', 'E', 'F', 'G'}) {
+    MvgClassifier::Config config;
+    config.extractor = ConfigForHeuristicColumn(col);
+    config.grid = GridPreset::kNone;
+    MvgClassifier clf(config);
+    clf.Fit(split.train);
+    const double err =
+        ErrorRate(split.test.labels(), clf.PredictAll(split.test));
+    EXPECT_LE(err, 0.6) << "column " << col;  // sanity, not accuracy
+  }
+}
+
+}  // namespace
+}  // namespace mvg

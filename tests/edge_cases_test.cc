@@ -1,0 +1,160 @@
+// Third-wave tests: cross-cutting edge cases — ragged prediction lengths,
+// multiclass baselines, I/O formats, statistics-test semantics.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "baselines/learning_shapelets.h"
+#include "baselines/sax_vsm.h"
+#include "core/mvg_classifier.h"
+#include "graph/graph.h"
+#include "graph/graph_io.h"
+#include "vg/visibility_graph.h"
+#include "ml/metrics.h"
+#include "ml/stat_tests.h"
+#include "ts/generators.h"
+#include "ts/ucr_io.h"
+
+namespace mvg {
+namespace {
+
+TEST(GraphEdgeCases, FromEdgesDeduplicatesAndIgnoresSelfLoops) {
+  const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(2, 2));
+}
+
+TEST(GraphEdgeCases, FinalizeIsIdempotent) {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.Finalize();
+  g.Finalize();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.finalized());
+}
+
+TEST(UcrIoEdgeCases, NegativeAndScientificValues) {
+  const std::string path = ::testing::TempDir() + "/ucr_sci.csv";
+  {
+    std::ofstream out(path);
+    out << "-1,-0.5,1e-3,2.5E2\n";
+  }
+  const Dataset ds = ReadUcrFile(path);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds.label(0), -1);
+  EXPECT_DOUBLE_EQ(ds.series(0)[0], -0.5);
+  EXPECT_DOUBLE_EQ(ds.series(0)[1], 1e-3);
+  EXPECT_DOUBLE_EQ(ds.series(0)[2], 250.0);
+  std::remove(path.c_str());
+}
+
+TEST(UcrIoEdgeCases, MalformedLinesThrow) {
+  const std::string path = ::testing::TempDir() + "/ucr_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "1,2,3\nnot-a-label,1,2\n";
+  }
+  EXPECT_THROW(ReadUcrFile(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "1\n";  // label with no values
+  }
+  EXPECT_THROW(ReadUcrFile(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(WilcoxonSemantics, WinCountsMatchDirection) {
+  // a is uniformly worse (higher error) than b on 4 of 5; ties dropped.
+  const std::vector<double> a = {0.5, 0.6, 0.7, 0.8, 0.3};
+  const std::vector<double> b = {0.4, 0.5, 0.6, 0.7, 0.3};
+  const WilcoxonResult r = WilcoxonSignedRank(a, b);
+  EXPECT_EQ(r.b_wins, 4u);  // b lower (better) on 4
+  EXPECT_EQ(r.a_wins, 0u);
+  EXPECT_EQ(r.num_nonzero, 4u);
+}
+
+TEST(LearningShapeletsEdgeCases, MulticlassTraining) {
+  SyntheticInfo info;
+  info.name = "ls-multi";
+  info.family = "phoneme";
+  info.num_classes = 3;
+  info.train_size = 24;
+  info.test_size = 24;
+  info.length = 96;
+  const DatasetSplit split = MakeSynthetic(info, 5);
+  LearningShapeletsClassifier::Params p;
+  p.max_epochs = 80;
+  LearningShapeletsClassifier ls(p);
+  ls.Fit(split.train);
+  const std::vector<int> pred = ls.PredictAll(split.test);
+  const auto classes = split.train.ClassLabels();
+  for (int v : pred) {
+    EXPECT_TRUE(std::binary_search(classes.begin(), classes.end(), v));
+  }
+}
+
+TEST(SaxVsmEdgeCases, ManyClassesStillPredictValidLabels) {
+  const DatasetSplit split = MakeSyntheticByName("SynPhoneme", 6);
+  SaxVsmClassifier vsm;
+  vsm.Fit(split.train);
+  const auto classes = split.train.ClassLabels();
+  for (int v : vsm.PredictAll(split.test)) {
+    EXPECT_TRUE(std::binary_search(classes.begin(), classes.end(), v));
+  }
+}
+
+TEST(MvgClassifierEdgeCases, PredictsShorterAndLongerSeriesThanTraining) {
+  // Feature vectors are padded/truncated to the training width, so the
+  // pipeline must survive ragged test lengths.
+  const DatasetSplit split = MakeSyntheticByName("SynChaos", 8);
+  MvgClassifier::Config config;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(split.train);
+  const auto classes = split.train.ClassLabels();
+  const int short_pred = clf.Predict(LogisticMap(64, 4.0, 0.3));
+  const int long_pred = clf.Predict(LogisticMap(900, 4.0, 0.3));
+  EXPECT_TRUE(std::binary_search(classes.begin(), classes.end(), short_pred));
+  EXPECT_TRUE(std::binary_search(classes.begin(), classes.end(), long_pred));
+}
+
+TEST(MvgClassifierEdgeCases, SingleClassTrainingPredictsThatClass) {
+  Dataset train("mono");
+  for (int i = 0; i < 6; ++i) train.Add(GaussianNoise(96, i), 7);
+  MvgClassifier::Config config;
+  config.grid = GridPreset::kNone;
+  config.oversample = false;
+  MvgClassifier clf(config);
+  clf.Fit(train);
+  EXPECT_EQ(clf.Predict(GaussianNoise(96, 42)), 7);
+}
+
+TEST(GraphIoTest, DotAndEdgeListExport) {
+  const Series s = {1.0, 3.0, 2.0};
+  const Graph g = BuildVisibilityGraph(s);
+  std::ostringstream dot;
+  WriteDot(g, dot, s);
+  EXPECT_NE(dot.str().find("graph vg {"), std::string::npos);
+  EXPECT_NE(dot.str().find("0 -- 1;"), std::string::npos);
+  EXPECT_NE(dot.str().find("label=\"1\\n3.00\""), std::string::npos);
+  std::ostringstream edges;
+  WriteEdgeList(g, edges);
+  // 3-point series: at least the two chain edges.
+  EXPECT_NE(edges.str().find("0 1"), std::string::npos);
+  EXPECT_NE(edges.str().find("1 2"), std::string::npos);
+  EXPECT_THROW(WriteDotFile(g, "/nonexistent/dir/x.dot"),
+               std::runtime_error);
+}
+
+TEST(ErrorRateSemantics, PerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 1}, {2, 2}), 1.0);
+}
+
+}  // namespace
+}  // namespace mvg

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "ml/gradient_boosting.h"
+#include "ml/metrics.h"
+#include "ml/linear_model.h"
+#include "ml/model_selection.h"
+#include "ml/stacking.h"
+#include "ml/svm.h"
+#include "util/random.h"
+
+namespace mvg {
+namespace {
+
+void MakeBlobs(size_t per_class, size_t num_classes, double gap, uint64_t seed,
+               Matrix* x, std::vector<int>* y) {
+  Rng rng(seed);
+  x->clear();
+  y->clear();
+  for (size_t c = 0; c < num_classes; ++c) {
+    for (size_t i = 0; i < per_class; ++i) {
+      x->push_back({gap * static_cast<double>(c) + rng.Gaussian(0, 0.5),
+                    rng.Gaussian(0, 0.5)});
+      y->push_back(static_cast<int>(c));
+    }
+  }
+}
+
+TEST(StratifiedKFoldTest, PreservesClassBalance) {
+  std::vector<int> y;
+  for (int i = 0; i < 30; ++i) y.push_back(0);
+  for (int i = 0; i < 15; ++i) y.push_back(1);
+  const auto folds = StratifiedKFold(y, 3, 1);
+  ASSERT_EQ(folds.size(), 3u);
+  for (const auto& fold : folds) {
+    size_t c0 = 0, c1 = 0;
+    for (size_t i : fold.validation) (y[i] == 0 ? c0 : c1) += 1;
+    EXPECT_EQ(c0, 10u);
+    EXPECT_EQ(c1, 5u);
+    EXPECT_EQ(fold.train.size() + fold.validation.size(), y.size());
+  }
+}
+
+TEST(StratifiedKFoldTest, ValidationSetsPartitionData) {
+  std::vector<int> y = {0, 0, 0, 1, 1, 1, 2, 2, 2, 2};
+  const auto folds = StratifiedKFold(y, 3, 2);
+  std::vector<size_t> seen(y.size(), 0);
+  for (const auto& fold : folds) {
+    for (size_t i : fold.validation) ++seen[i];
+  }
+  for (size_t s : seen) EXPECT_EQ(s, 1u);
+}
+
+TEST(StratifiedKFoldTest, ThrowsOnOneFold) {
+  EXPECT_THROW(StratifiedKFold({0, 1}, 1, 0), std::invalid_argument);
+}
+
+TEST(CrossValidationTest, GoodModelScoresBetterThanBad) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(30, 2, 3.0, 3, &x, &y);
+  ClassifierFactory good = []() {
+    GradientBoostingClassifier::Params p;
+    p.num_rounds = 40;
+    return std::make_unique<GradientBoostingClassifier>(p);
+  };
+  ClassifierFactory bad = []() {
+    GradientBoostingClassifier::Params p;
+    p.num_rounds = 1;
+    p.learning_rate = 0.01;
+    return std::make_unique<GradientBoostingClassifier>(p);
+  };
+  const double loss_good = CrossValLogLoss(good, x, y, 3, 1);
+  const double loss_bad = CrossValLogLoss(bad, x, y, 3, 1);
+  EXPECT_LT(loss_good, loss_bad);
+  EXPECT_LE(CrossValError(good, x, y, 3, 1), 0.1);
+}
+
+TEST(GridSearchTest, PicksTheBetterCandidate) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(30, 2, 3.0, 4, &x, &y);
+  std::vector<ClassifierFactory> candidates;
+  candidates.push_back([]() {  // deliberately weak
+    GradientBoostingClassifier::Params p;
+    p.num_rounds = 1;
+    p.learning_rate = 0.01;
+    return std::make_unique<GradientBoostingClassifier>(p);
+  });
+  candidates.push_back([]() {
+    GradientBoostingClassifier::Params p;
+    p.num_rounds = 40;
+    return std::make_unique<GradientBoostingClassifier>(p);
+  });
+  const GridSearchResult result = GridSearch(candidates, x, y, 3, 1);
+  EXPECT_EQ(result.best_index, 1u);
+  ASSERT_EQ(result.scores.size(), 2u);
+  EXPECT_LT(result.scores[1], result.scores[0]);
+}
+
+TEST(StackingTest, BeatsOrMatchesWorstFamilyMember) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(40, 2, 2.0, 5, &x, &y);
+  std::vector<std::vector<ClassifierFactory>> families;
+  families.push_back({[]() {
+                        GradientBoostingClassifier::Params p;
+                        p.num_rounds = 30;
+                        return std::make_unique<GradientBoostingClassifier>(p);
+                      },
+                      []() {
+                        GradientBoostingClassifier::Params p;
+                        p.num_rounds = 60;
+                        return std::make_unique<GradientBoostingClassifier>(p);
+                      }});
+  families.push_back({[]() {
+    LogisticRegressionClassifier::Params p;
+    return std::make_unique<LogisticRegressionClassifier>(p);
+  }});
+  StackingEnsemble::Params sp;
+  sp.top_k_per_family = 1;
+  StackingEnsemble ensemble(std::move(families), sp);
+  ensemble.Fit(x, y);
+  EXPECT_LE(ErrorRate(y, ensemble.PredictAll(x)), 0.1);
+  EXPECT_EQ(ensemble.SelectedNames().size(), 2u);
+  EXPECT_EQ(ensemble.EstimatorWeights().size(), 2u);
+}
+
+TEST(StackingTest, ProbabilitiesAreDistribution) {
+  Matrix x;
+  std::vector<int> y;
+  MakeBlobs(20, 3, 3.0, 6, &x, &y);
+  std::vector<std::vector<ClassifierFactory>> families;
+  families.push_back({[]() {
+    return std::make_unique<GradientBoostingClassifier>();
+  }});
+  StackingEnsemble ensemble(std::move(families));
+  ensemble.Fit(x, y);
+  const auto p = ensemble.PredictProba(x[0]);
+  ASSERT_EQ(p.size(), 3u);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mvg

@@ -1,0 +1,129 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ml/stat_tests.h"
+#include "util/random.h"
+
+namespace mvg {
+namespace {
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(ChiSquareTest, KnownValues) {
+  // chi2 with 1 dof: P(X > 3.841) ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(3.841, 1), 0.05, 1e-3);
+  // chi2 with 5 dof: P(X > 11.070) ~ 0.05.
+  EXPECT_NEAR(ChiSquareSurvival(11.070, 5), 0.05, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareSurvival(0.0, 3), 1.0);
+}
+
+TEST(WilcoxonTest, IdenticalSamplesNotSignificant) {
+  const std::vector<double> a = {0.1, 0.2, 0.3, 0.4};
+  const auto result = WilcoxonSignedRank(a, a);
+  EXPECT_EQ(result.num_nonzero, 0u);
+  EXPECT_DOUBLE_EQ(result.p_value, 1.0);
+}
+
+TEST(WilcoxonTest, ClearlyShiftedSamplesSignificant) {
+  // b = a + 1 on 20 pairs: maximally one-sided.
+  std::vector<double> a, b;
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const double v = rng.Uniform(0, 1);
+    a.push_back(v);
+    b.push_back(v + 1.0 + 0.1 * rng.Uniform());
+  }
+  const auto result = WilcoxonSignedRank(a, b);
+  EXPECT_EQ(result.a_wins, 20u);
+  EXPECT_LT(result.p_value, 0.001);
+}
+
+TEST(WilcoxonTest, SymmetricDifferencesNotSignificant) {
+  std::vector<double> a, b;
+  Rng rng(2);
+  for (int i = 0; i < 30; ++i) {
+    const double v = rng.Uniform(0, 1);
+    a.push_back(v);
+    b.push_back(v + rng.Gaussian(0.0, 0.05));  // zero-mean noise
+  }
+  const auto result = WilcoxonSignedRank(a, b);
+  EXPECT_GT(result.p_value, 0.05);
+}
+
+TEST(WilcoxonTest, MatchesKnownTextbookExample) {
+  // Classic example: n=10, differences with |W-| = 11 -> p ~ 0.2 range;
+  // verify statistic rather than p. Pairs: (125,110),(115,122),(130,125),
+  // (140,120),(140,140),(115,124),(140,123),(125,137),(140,135),(135,145).
+  const std::vector<double> x = {125, 115, 130, 140, 140,
+                                 115, 140, 125, 140, 135};
+  const std::vector<double> y = {110, 122, 125, 120, 140,
+                                 124, 123, 137, 135, 145};
+  const auto result = WilcoxonSignedRank(x, y);
+  EXPECT_EQ(result.num_nonzero, 9u);
+  // W+ = 9+2+7+8+5+3 hand computation: diffs 15,-7,5,20,0,-9,17,-12,5,-10
+  // |d| ranks: 15->7, 7->3, 5->1.5, 20->9, 9->4, 17->8, 12->6, 5->1.5,
+  // 10->5. W+ = 7+1.5+9+8+1.5 = 27, W- = 3+4+6+5 = 18. min = 18.
+  EXPECT_DOUBLE_EQ(result.statistic, 18.0);
+}
+
+TEST(WilcoxonTest, SizeMismatchThrows) {
+  EXPECT_THROW(WilcoxonSignedRank({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(FriedmanNemenyiTest, RanksOrderedByQuality) {
+  // Method 0 always best (lowest error), method 2 always worst.
+  std::vector<std::vector<double>> scores;
+  Rng rng(3);
+  for (int d = 0; d < 20; ++d) {
+    const double base = rng.Uniform(0.1, 0.3);
+    scores.push_back({base, base + 0.05, base + 0.10});
+  }
+  const auto result = FriedmanNemenyi(scores);
+  ASSERT_EQ(result.average_ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.average_ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.average_ranks[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.average_ranks[2], 3.0);
+  EXPECT_LT(result.friedman_p, 0.001);
+  // Demsar: CD = q * sqrt(k(k+1)/(6N)) = 2.343 * sqrt(12/120) = 0.741.
+  EXPECT_NEAR(result.critical_difference, 2.343 * std::sqrt(12.0 / 120.0),
+              1e-9);
+}
+
+TEST(FriedmanNemenyiTest, IndistinguishableMethodsHighP) {
+  std::vector<std::vector<double>> scores;
+  Rng rng(4);
+  for (int d = 0; d < 15; ++d) {
+    scores.push_back({rng.Uniform(), rng.Uniform(), rng.Uniform()});
+  }
+  const auto result = FriedmanNemenyi(scores);
+  EXPECT_GT(result.friedman_p, 0.01);
+}
+
+TEST(FriedmanNemenyiTest, PaperFig6CriticalDifference) {
+  // The paper reports CD = 0.5307 for k = 3 over its 39 datasets.
+  std::vector<std::vector<double>> scores(39, std::vector<double>{0.1, 0.2, 0.3});
+  const auto result = FriedmanNemenyi(scores);
+  EXPECT_NEAR(result.critical_difference, 0.5307, 5e-4);
+}
+
+TEST(FriedmanNemenyiTest, PaperFig7CriticalDifference) {
+  // The paper reports CD = 0.7511 for k = 4 over 39 datasets.
+  std::vector<std::vector<double>> scores(
+      39, std::vector<double>{0.1, 0.2, 0.3, 0.4});
+  const auto result = FriedmanNemenyi(scores);
+  EXPECT_NEAR(result.critical_difference, 0.7511, 5e-4);
+}
+
+TEST(FriedmanNemenyiTest, BadInputThrows) {
+  EXPECT_THROW(FriedmanNemenyi({}), std::invalid_argument);
+  EXPECT_THROW(FriedmanNemenyi({{1.0}}), std::invalid_argument);
+  EXPECT_THROW(FriedmanNemenyi({{1.0, 2.0}, {1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mvg

@@ -1,0 +1,191 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "motif/motif_counts.h"
+#include "ts/generators.h"
+#include "util/random.h"
+#include "vg/visibility_graph.h"
+
+namespace mvg {
+namespace {
+
+Graph MakeRandom(size_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  Graph g(n);
+  for (Graph::VertexId i = 0; i < n; ++i) {
+    for (Graph::VertexId j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+void ExpectSameCounts(const MotifCounts& a, const MotifCounts& b,
+                      const std::string& context) {
+  const auto aa = a.ToArray();
+  const auto bb = b.ToArray();
+  for (size_t i = 0; i < kNumMotifs; ++i) {
+    EXPECT_EQ(aa[i], bb[i]) << context << " motif " << MotifNames()[i];
+  }
+}
+
+TEST(MotifCounts, TriangleGraph) {
+  Graph g = Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const MotifCounts c = CountMotifs(g);
+  EXPECT_EQ(c.m21, 3);
+  EXPECT_EQ(c.m22, 0);
+  EXPECT_EQ(c.m31, 1);
+  EXPECT_EQ(c.m32, 0);
+}
+
+TEST(MotifCounts, CliqueK4) {
+  Graph g(4);
+  for (Graph::VertexId i = 0; i < 4; ++i) {
+    for (Graph::VertexId j = i + 1; j < 4; ++j) g.AddEdge(i, j);
+  }
+  g.Finalize();
+  const MotifCounts c = CountMotifs(g);
+  EXPECT_EQ(c.m41, 1);
+  EXPECT_EQ(c.m42, 0);
+  EXPECT_EQ(c.m31, 4);  // 4 triangles inside K4
+}
+
+TEST(MotifCounts, CycleC4) {
+  Graph g = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  const MotifCounts c = CountMotifs(g);
+  EXPECT_EQ(c.m44, 1);
+  EXPECT_EQ(c.m41, 0);
+  EXPECT_EQ(c.m42, 0);
+  EXPECT_EQ(c.m43, 0);
+  EXPECT_EQ(c.m32, 4);
+}
+
+TEST(MotifCounts, DiamondAndStarAndPath) {
+  // Diamond: chord (0,1), outer 2,3.
+  Graph diamond =
+      Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  EXPECT_EQ(CountMotifs(diamond).m42, 1);
+  // Star.
+  Graph star = Graph::FromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(CountMotifs(star).m45, 1);
+  // Path.
+  Graph path = Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(CountMotifs(path).m46, 1);
+  // Tailed triangle.
+  Graph tailed = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}});
+  EXPECT_EQ(CountMotifs(tailed).m43, 1);
+}
+
+TEST(MotifCounts, DisconnectedShapes) {
+  // Triangle + isolated vertex.
+  Graph tri_k1 = Graph::FromEdges(4, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(CountMotifs(tri_k1).m47, 1);
+  // Wedge + isolated vertex.
+  Graph wedge_k1 = Graph::FromEdges(4, {{0, 1}, {1, 2}});
+  EXPECT_EQ(CountMotifs(wedge_k1).m48, 1);
+  // Two independent edges.
+  Graph two_edges = Graph::FromEdges(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(CountMotifs(two_edges).m49, 1);
+  // One edge + two isolated vertices.
+  Graph one_edge = Graph::FromEdges(4, {{0, 1}});
+  EXPECT_EQ(CountMotifs(one_edge).m410, 1);
+  // Empty graph on 4 vertices.
+  Graph empty(4);
+  empty.Finalize();
+  EXPECT_EQ(CountMotifs(empty).m411, 1);
+}
+
+TEST(MotifCounts, TotalsAreSubsetCounts) {
+  // Counts within each size must sum to C(n,k).
+  const Graph g = MakeRandom(18, 0.3, 5);
+  const MotifCounts c = CountMotifs(g);
+  const int64_t n = 18;
+  EXPECT_EQ(c.m21 + c.m22, n * (n - 1) / 2);
+  EXPECT_EQ(c.m31 + c.m32 + c.m33 + c.m34, n * (n - 1) * (n - 2) / 6);
+  EXPECT_EQ(c.m41 + c.m42 + c.m43 + c.m44 + c.m45 + c.m46 + c.m47 + c.m48 +
+                c.m49 + c.m410 + c.m411,
+            n * (n - 1) * (n - 2) * (n - 3) / 24);
+}
+
+struct RandomGraphCase {
+  size_t n;
+  double p;
+  uint64_t seed;
+};
+
+class MotifPropertyTest : public ::testing::TestWithParam<RandomGraphCase> {};
+
+TEST_P(MotifPropertyTest, FastCounterMatchesBruteForce) {
+  const auto& pc = GetParam();
+  const Graph g = MakeRandom(pc.n, pc.p, pc.seed);
+  ExpectSameCounts(CountMotifs(g), CountMotifsBruteForce(g),
+                   "n=" + std::to_string(pc.n) +
+                       " p=" + std::to_string(pc.p) +
+                       " seed=" + std::to_string(pc.seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, MotifPropertyTest,
+    ::testing::Values(
+        RandomGraphCase{8, 0.1, 1}, RandomGraphCase{8, 0.5, 2},
+        RandomGraphCase{8, 0.9, 3}, RandomGraphCase{12, 0.2, 4},
+        RandomGraphCase{12, 0.4, 5}, RandomGraphCase{12, 0.7, 6},
+        RandomGraphCase{16, 0.1, 7}, RandomGraphCase{16, 0.3, 8},
+        RandomGraphCase{16, 0.6, 9}, RandomGraphCase{20, 0.15, 10},
+        RandomGraphCase{20, 0.35, 11}, RandomGraphCase{24, 0.1, 12},
+        RandomGraphCase{24, 0.25, 13}, RandomGraphCase{28, 0.2, 14},
+        RandomGraphCase{32, 0.12, 15}));
+
+TEST(MotifCounts, MatchesBruteForceOnVisibilityGraphs) {
+  // The real use case: VGs/HVGs of small series.
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const Series s = GaussianNoise(24, seed * 7 + 1);
+    const Graph vg = BuildVisibilityGraph(s);
+    const Graph hvg = BuildHorizontalVisibilityGraph(s);
+    ExpectSameCounts(CountMotifs(vg), CountMotifsBruteForce(vg), "vg");
+    ExpectSameCounts(CountMotifs(hvg), CountMotifsBruteForce(hvg), "hvg");
+  }
+}
+
+TEST(MotifProbability, GroupsSumToOne) {
+  const Graph g = MakeRandom(20, 0.3, 77);
+  const auto p = MotifProbabilityDistribution(CountMotifs(g));
+  const double g1 = p[0] + p[1];
+  const double g2 = p[2] + p[3];
+  const double g3 = p[4] + p[5];
+  const double g4 = p[6] + p[7] + p[8] + p[9] + p[10] + p[11];
+  const double g5 = p[12] + p[13] + p[14] + p[15] + p[16];
+  EXPECT_NEAR(g1, 1.0, 1e-12);
+  EXPECT_NEAR(g2, 1.0, 1e-12);
+  EXPECT_NEAR(g3, 1.0, 1e-12);
+  EXPECT_NEAR(g4, 1.0, 1e-12);
+  EXPECT_NEAR(g5, 1.0, 1e-12);
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MotifProbability, EmptyGroupsAreZero) {
+  // Path graph on 3 vertices has no 4-node connected motifs beyond those
+  // possible; use an edgeless graph so connected groups are empty.
+  Graph g(5);
+  g.Finalize();
+  const auto p = MotifProbabilityDistribution(CountMotifs(g));
+  EXPECT_EQ(p[0], 0.0);  // M21 group has mass only on M22
+  EXPECT_EQ(p[1], 1.0);
+  EXPECT_EQ(p[6], 0.0);  // no connected 4-motifs at all
+}
+
+TEST(MotifNamesTest, OrderAndSize) {
+  const auto& names = MotifNames();
+  EXPECT_EQ(names.size(), kNumMotifs);
+  EXPECT_EQ(names[0], "M21");
+  EXPECT_EQ(names[6], "M41");
+  EXPECT_EQ(names[16], "M411");
+}
+
+}  // namespace
+}  // namespace mvg

@@ -1,0 +1,314 @@
+// Cross-module property and metamorphic tests: invariants that must hold
+// for every input, checked over parameterized sweeps of lengths, families
+// and seeds.
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/feature_extractor.h"
+#include "graph/graph_stats.h"
+#include "motif/motif_counts.h"
+#include "ts/distance.h"
+#include "ts/generators.h"
+#include "ts/transforms.h"
+#include "util/random.h"
+#include "vg/visibility_graph.h"
+
+namespace mvg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Visibility-graph invariants over (length, seed) sweeps.
+// ---------------------------------------------------------------------------
+
+class VgInvariantTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {
+ protected:
+  Series MakeSeries() const {
+    const auto [length, seed] = GetParam();
+    // Mix of structured and noisy content.
+    Series s = Sine(length, static_cast<double>(length) / 7.0);
+    Rng rng(seed);
+    for (double& v : s) v += rng.Gaussian(0.0, 0.4);
+    return s;
+  }
+};
+
+TEST_P(VgInvariantTest, TimeReversalMapsEdges) {
+  // Visibility is symmetric in time: reversing the series reverses the
+  // edge indices but preserves the edge set.
+  const Series s = MakeSeries();
+  Series reversed(s.rbegin(), s.rend());
+  const auto forward = BuildVisibilityGraph(s).Edges();
+  const Graph backward = BuildVisibilityGraph(reversed);
+  const auto n = static_cast<Graph::VertexId>(s.size());
+  ASSERT_EQ(forward.size(), backward.num_edges());
+  for (const auto& [u, v] : forward) {
+    EXPECT_TRUE(backward.HasEdge(n - 1 - v, n - 1 - u));
+  }
+}
+
+TEST_P(VgInvariantTest, HvgTimeReversalMapsEdges) {
+  const Series s = MakeSeries();
+  Series reversed(s.rbegin(), s.rend());
+  const auto forward = BuildHorizontalVisibilityGraph(s).Edges();
+  const Graph backward = BuildHorizontalVisibilityGraph(reversed);
+  const auto n = static_cast<Graph::VertexId>(s.size());
+  ASSERT_EQ(forward.size(), backward.num_edges());
+  for (const auto& [u, v] : forward) {
+    EXPECT_TRUE(backward.HasEdge(n - 1 - v, n - 1 - u));
+  }
+}
+
+TEST_P(VgInvariantTest, EdgeCountBounds) {
+  // VG of n points has at least the n-1 chain edges and at most C(n,2).
+  const Series s = MakeSeries();
+  const Graph vg = BuildVisibilityGraph(s);
+  const size_t n = s.size();
+  EXPECT_GE(vg.num_edges(), n - 1);
+  EXPECT_LE(vg.num_edges(), n * (n - 1) / 2);
+  // HVG of distinct-valued series has exactly <= 2n - 3 edges
+  // (Luque et al. 2009); with ties it can only be fewer.
+  const Graph hvg = BuildHorizontalVisibilityGraph(s);
+  EXPECT_LE(hvg.num_edges(), 2 * n - 3);
+}
+
+TEST_P(VgInvariantTest, DegreeOfInteriorVertexAtLeastTwo) {
+  const Series s = MakeSeries();
+  const Graph vg = BuildVisibilityGraph(s);
+  for (Graph::VertexId v = 1; v + 1 < vg.num_vertices(); ++v) {
+    EXPECT_GE(vg.Degree(v), 2u) << "vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, VgInvariantTest,
+    ::testing::Combine(::testing::Values(size_t{16}, size_t{64}, size_t{257}),
+                       ::testing::Values(uint64_t{1}, uint64_t{7},
+                                         uint64_t{99})),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, uint64_t>>& info) {
+      return "len" + std::to_string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Closed-form motif counts on structured graphs.
+// ---------------------------------------------------------------------------
+
+class PathGraphMotifTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PathGraphMotifTest, ClosedFormCounts) {
+  const int64_t n = GetParam();
+  Graph g(static_cast<size_t>(n));
+  for (Graph::VertexId i = 0; i + 1 < static_cast<Graph::VertexId>(n); ++i) {
+    g.AddEdge(i, i + 1);
+  }
+  g.Finalize();
+  const MotifCounts c = CountMotifs(g);
+  EXPECT_EQ(c.m21, n - 1);
+  EXPECT_EQ(c.m31, 0);             // no triangles in a path
+  EXPECT_EQ(c.m32, n - 2);         // wedges = interior vertices
+  EXPECT_EQ(c.m41, 0);
+  EXPECT_EQ(c.m42, 0);
+  EXPECT_EQ(c.m44, 0);
+  EXPECT_EQ(c.m45, 0);
+  EXPECT_EQ(c.m46, n - 3);         // induced 4-paths = consecutive windows
+  // Disjoint edge pairs in a path: C(n-1,2) - (n-2) adjacent pairs.
+  EXPECT_EQ(c.m49 + c.m46, (n - 1) * (n - 2) / 2 - (n - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PathGraphMotifTest,
+                         ::testing::Values(4, 5, 8, 16, 33),
+                         [](const ::testing::TestParamInfo<int64_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class StarGraphMotifTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(StarGraphMotifTest, ClosedFormCounts) {
+  // Star K_{1,n-1}: hub 0.
+  const int64_t n = GetParam();
+  Graph g(static_cast<size_t>(n));
+  for (Graph::VertexId i = 1; i < static_cast<Graph::VertexId>(n); ++i) {
+    g.AddEdge(0, i);
+  }
+  g.Finalize();
+  const MotifCounts c = CountMotifs(g);
+  const int64_t leaves = n - 1;
+  EXPECT_EQ(c.m21, leaves);
+  EXPECT_EQ(c.m31, 0);
+  EXPECT_EQ(c.m32, leaves * (leaves - 1) / 2);  // wedges through the hub
+  EXPECT_EQ(c.m45, leaves * (leaves - 1) * (leaves - 2) / 6);  // 3-stars
+  EXPECT_EQ(c.m46, 0);
+  EXPECT_EQ(c.m44, 0);
+  EXPECT_EQ(c.m49, 0);  // all edges share the hub
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StarGraphMotifTest,
+                         ::testing::Values(4, 6, 10, 21),
+                         [](const ::testing::TestParamInfo<int64_t>& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+TEST(CompleteGraphMotifs, AllSubsetsAreCliques) {
+  const int64_t n = 9;
+  Graph g(static_cast<size_t>(n));
+  for (Graph::VertexId i = 0; i < n; ++i) {
+    for (Graph::VertexId j = i + 1; j < n; ++j) g.AddEdge(i, j);
+  }
+  g.Finalize();
+  const MotifCounts c = CountMotifs(g);
+  EXPECT_EQ(c.m31, n * (n - 1) * (n - 2) / 6);
+  EXPECT_EQ(c.m41, n * (n - 1) * (n - 2) * (n - 3) / 24);
+  EXPECT_EQ(c.m42 + c.m43 + c.m44 + c.m45 + c.m46, 0);
+  EXPECT_EQ(c.m47 + c.m48 + c.m49 + c.m410 + c.m411, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Distance properties.
+// ---------------------------------------------------------------------------
+
+class DistancePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DistancePropertyTest, DtwIsSymmetric) {
+  const Series a = GaussianNoise(45, GetParam());
+  const Series b = GaussianNoise(45, GetParam() + 1000);
+  EXPECT_NEAR(Dtw(a, b), Dtw(b, a), 1e-9);
+}
+
+TEST_P(DistancePropertyTest, DtwNonNegativeAndIdentity) {
+  const Series a = GaussianNoise(45, GetParam());
+  EXPECT_GE(Dtw(a, GaussianNoise(45, GetParam() + 2000)), 0.0);
+  EXPECT_DOUBLE_EQ(Dtw(a, a), 0.0);
+}
+
+TEST_P(DistancePropertyTest, WiderWindowNeverIncreasesDtw) {
+  const Series a = GaussianNoise(50, GetParam());
+  const Series b = GaussianNoise(50, GetParam() + 3000);
+  double prev = DtwWindowed(a, b, 1);
+  for (size_t w : {2, 5, 10, 25, 50}) {
+    const double cur = DtwWindowed(a, b, w);
+    EXPECT_LE(cur, prev + 1e-9) << "window " << w;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistancePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Feature extraction invariances (paper §2.1: affine invariance of VGs).
+// ---------------------------------------------------------------------------
+
+class ExtractorInvarianceTest : public ::testing::TestWithParam<char> {};
+
+TEST_P(ExtractorInvarianceTest, FeaturesInvariantToPositiveAffineTransform) {
+  MvgConfig config = ConfigForHeuristicColumn(GetParam());
+  config.detrend = false;  // isolate the graph-level invariance
+  const MvgFeatureExtractor fx(config);
+  const Series s = GaussianNoise(128, 11);
+  Series t(s.size());
+  for (size_t i = 0; i < s.size(); ++i) t[i] = 3.7 * s[i] - 2.0;
+  const auto fs = fx.Extract(s);
+  const auto ft = fx.Extract(t);
+  ASSERT_EQ(fs.size(), ft.size());
+  for (size_t i = 0; i < fs.size(); ++i) {
+    EXPECT_NEAR(fs[i], ft[i], 1e-9) << "feature " << i;
+  }
+}
+
+TEST_P(ExtractorInvarianceTest, FeaturesAreFiniteAndBounded) {
+  const MvgFeatureExtractor fx(ConfigForHeuristicColumn(GetParam()));
+  for (const char* fam : {"SynChaos", "SynWafer", "SynPhoneme"}) {
+    const DatasetSplit split = MakeSyntheticByName(fam, 23);
+    const auto f = fx.Extract(split.train.series(0));
+    for (double v : f) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Columns, ExtractorInvarianceTest,
+                         ::testing::Values('A', 'C', 'E', 'F', 'G'),
+                         [](const ::testing::TestParamInfo<char>& info) {
+                           return std::string("col") + info.param;
+                         });
+
+// ---------------------------------------------------------------------------
+// PAA properties.
+// ---------------------------------------------------------------------------
+
+class PaaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(PaaPropertyTest, MeanPreservedAndBoundsRespected) {
+  const auto [n, segments] = GetParam();
+  const Series s = GaussianNoise(n, n * 31 + segments);
+  const Series p = Paa(s, segments);
+  ASSERT_EQ(p.size(), segments);
+  // Segment means stay inside the series range.
+  const double lo = *std::min_element(s.begin(), s.end());
+  const double hi = *std::max_element(s.begin(), s.end());
+  for (double v : p) {
+    EXPECT_GE(v, lo - 1e-9);
+    EXPECT_LE(v, hi + 1e-9);
+  }
+  // Equal-width segments: the mean of means equals the overall mean.
+  double mp = 0.0, ms = 0.0;
+  for (double v : p) mp += v;
+  for (double v : s) ms += v;
+  EXPECT_NEAR(mp / static_cast<double>(segments),
+              ms / static_cast<double>(n), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PaaPropertyTest,
+    ::testing::Values(std::tuple<size_t, size_t>{100, 10},
+                      std::tuple<size_t, size_t>{100, 7},
+                      std::tuple<size_t, size_t>{64, 64},
+                      std::tuple<size_t, size_t>{13, 5},
+                      std::tuple<size_t, size_t>{128, 1}),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, size_t>>& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Graph statistics cross-checks on visibility graphs.
+// ---------------------------------------------------------------------------
+
+TEST(GraphStatsOnVg, CoreNeverExceedsMaxDegree) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = BuildVisibilityGraph(GaussianNoise(150, seed));
+    const auto core = CoreNumbers(g);
+    for (Graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(core[v], g.Degree(v));
+    }
+  }
+}
+
+TEST(GraphStatsOnVg, DensityMatchesEdgeCount) {
+  const Graph g = BuildVisibilityGraph(GaussianNoise(97, 5));
+  const double n = 97.0;
+  EXPECT_NEAR(Density(g),
+              2.0 * static_cast<double>(g.num_edges()) / (n * (n - 1.0)),
+              1e-12);
+}
+
+TEST(GraphStatsOnVg, AssortativityWithinMinusOneOne) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = BuildVisibilityGraph(LogisticMap(200, 4.0, 0.1 + 0.1 * seed));
+    const double r = DegreeAssortativity(g);
+    EXPECT_GE(r, -1.0 - 1e-9);
+    EXPECT_LE(r, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mvg

@@ -1,0 +1,85 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "ts/distance.h"
+#include "ts/generators.h"
+
+namespace mvg {
+namespace {
+
+TEST(EuclideanTest, Basics) {
+  EXPECT_DOUBLE_EQ(Euclidean({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclidean({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(DtwTest, IdenticalSeriesZero) {
+  const Series s = GaussianNoise(50, 1);
+  EXPECT_DOUBLE_EQ(Dtw(s, s), 0.0);
+}
+
+TEST(DtwTest, NeverExceedsEuclidean) {
+  // DTW relaxes the alignment, so dtw <= euclidean for equal lengths.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Series a = GaussianNoise(40, seed);
+    const Series b = GaussianNoise(40, seed + 100);
+    EXPECT_LE(Dtw(a, b), Euclidean(a, b) + 1e-9);
+  }
+}
+
+TEST(DtwTest, HandlesPhaseShift) {
+  // A shifted sine is much closer under DTW than under Euclidean.
+  const Series a = Sine(100, 25.0);
+  const Series b = Sine(100, 25.0, 1.0, 0.6);
+  EXPECT_LT(Dtw(a, b), 0.5 * Euclidean(a, b));
+}
+
+TEST(DtwTest, KnownSmallExample) {
+  // [1,2,3] vs [1,1,2,3]: perfect warp alignment -> 0.
+  EXPECT_DOUBLE_EQ(Dtw({1, 2, 3}, {1, 1, 2, 3}), 0.0);
+  // [0,0] vs [1,1]: all pairs cost 1, path length min -> sqrt(2).
+  EXPECT_DOUBLE_EQ(Dtw({0, 0}, {1, 1}), std::sqrt(2.0));
+}
+
+TEST(DtwTest, WindowRestrictsWarping) {
+  const Series a = Sine(64, 16.0);
+  const Series b = Sine(64, 16.0, 1.0, 1.0);
+  const double full = Dtw(a, b);
+  const double banded = DtwWindowed(a, b, 2);
+  EXPECT_LE(full, banded + 1e-9);  // tighter band can only increase cost
+}
+
+TEST(DtwTest, WindowZeroIsEuclideanForEqualLengths) {
+  const Series a = GaussianNoise(30, 7);
+  const Series b = GaussianNoise(30, 8);
+  EXPECT_NEAR(DtwWindowed(a, b, 0), Euclidean(a, b), 1e-9);
+}
+
+TEST(DtwTest, EarlyAbandonReturnsInfinity) {
+  const Series a(50, 0.0);
+  const Series b(50, 10.0);
+  const double d = DtwWindowed(a, b, 50, 1.0);
+  EXPECT_TRUE(std::isinf(d));
+}
+
+TEST(DtwTest, EmptySeries) {
+  EXPECT_DOUBLE_EQ(Dtw({}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(Dtw({}, {1.0})));
+}
+
+TEST(LbKeoghTest, IsLowerBoundOfWindowedDtw) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const Series a = GaussianNoise(60, seed);
+    const Series b = GaussianNoise(60, seed + 500);
+    const size_t window = 5;
+    EXPECT_LE(LbKeogh(a, b, window), DtwWindowed(a, b, window) + 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST(LbKeoghTest, ZeroForIdenticalSeries) {
+  const Series s = GaussianNoise(30, 3);
+  EXPECT_DOUBLE_EQ(LbKeogh(s, s, 3), 0.0);
+}
+
+}  // namespace
+}  // namespace mvg

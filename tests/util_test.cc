@@ -1,0 +1,102 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/statistics.h"
+#include "util/string_util.h"
+
+namespace mvg {
+namespace {
+
+TEST(Statistics, MeanVarianceBasics) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(StdDev(v), std::sqrt(1.25));
+  EXPECT_NEAR(SampleStdDev(v), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Statistics, EmptyInputsAreZero) {
+  std::vector<double> v;
+  EXPECT_EQ(Mean(v), 0.0);
+  EXPECT_EQ(Variance(v), 0.0);
+  EXPECT_EQ(Min(v), 0.0);
+  EXPECT_EQ(Max(v), 0.0);
+  EXPECT_EQ(Median(v), 0.0);
+}
+
+TEST(Statistics, MedianAndQuantiles) {
+  std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  std::vector<double> w = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Median(w), 2.5);
+}
+
+TEST(Statistics, PearsonCorrelation) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-12);
+  std::vector<double> c = {3, 3, 3, 3, 3};
+  EXPECT_EQ(PearsonCorrelation(x, c), 0.0);
+}
+
+TEST(Statistics, AverageRanksWithTies) {
+  std::vector<double> v = {10.0, 20.0, 20.0, 30.0};
+  const auto r = AverageRanks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(3);
+  const auto idx = rng.Sample(10, 5);
+  ASSERT_EQ(idx.size(), 5u);
+  std::set<size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (size_t i : idx) EXPECT_LT(i, 10u);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+    const int k = rng.Int(-2, 2);
+    EXPECT_GE(k, -2);
+    EXPECT_LE(k, 2);
+  }
+}
+
+TEST(StringUtil, SplitJoinTrim) {
+  const auto tokens = Split("a, b\tc  d", ", \t");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[3], "d");
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtil, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(2.0, 1), "2.0");
+}
+
+}  // namespace
+}  // namespace mvg

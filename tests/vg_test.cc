@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph_stats.h"
+#include "ts/generators.h"
+#include "util/random.h"
+#include "vg/visibility_graph.h"
+
+namespace mvg {
+namespace {
+
+TEST(VisibilityGraph, AdjacentPointsAlwaysConnected) {
+  const Series s = GaussianNoise(64, 1);
+  const Graph g = BuildVisibilityGraph(s);
+  for (Graph::VertexId i = 0; i + 1 < 64; ++i) {
+    EXPECT_TRUE(g.HasEdge(i, i + 1)) << i;
+  }
+}
+
+TEST(VisibilityGraph, KnownSmallExample) {
+  // Series: 1 3 2 4. Edges: (0,1),(1,2),(2,3),(1,3). (0,2): blocked by 3
+  // at index 1 (line from 1 to 2 passes below 3). (0,3): line 1->4 at
+  // index 1 is 2 < 3? value at k=1: 1 + (4-1)*1/3 = 2 < 3 blocked.
+  const Series s = {1, 3, 2, 4};
+  const Graph g = BuildVisibilityGraph(s);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  EXPECT_EQ(g.num_edges(), 4u);
+}
+
+TEST(VisibilityGraph, ConvexValleySeesEverything) {
+  // Strictly convex series: every pair is mutually visible.
+  Series s(16);
+  for (size_t i = 0; i < s.size(); ++i) {
+    const double x = static_cast<double>(i) - 7.5;
+    s[i] = x * x;
+  }
+  const Graph g = BuildVisibilityGraph(s);
+  EXPECT_EQ(g.num_edges(), 16u * 15u / 2u);
+}
+
+TEST(VisibilityGraph, ConcaveHillOnlyNeighbors) {
+  // Strictly concave series: only consecutive points see each other.
+  Series s(16);
+  for (size_t i = 0; i < s.size(); ++i) {
+    const double x = static_cast<double>(i) - 7.5;
+    s[i] = -x * x;
+  }
+  const Graph g = BuildVisibilityGraph(s);
+  EXPECT_EQ(g.num_edges(), 15u);
+}
+
+TEST(VisibilityGraph, AlwaysConnected) {
+  // Paper §2.1: VGs are always connected.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Series s = GaussianNoise(100, seed);
+    EXPECT_TRUE(IsConnected(BuildVisibilityGraph(s)));
+    EXPECT_TRUE(IsConnected(BuildHorizontalVisibilityGraph(s)));
+  }
+}
+
+TEST(VisibilityGraph, AffineInvariance) {
+  // Paper §2.1: VGs are invariant under affine transforms of the values
+  // and of the (implicit, uniform) time axis rescaling.
+  const Series s = GaussianNoise(80, 17);
+  Series t(s.size());
+  for (size_t i = 0; i < s.size(); ++i) t[i] = 2.5 * s[i] + 7.0;
+  const auto es = BuildVisibilityGraph(s).Edges();
+  const auto et = BuildVisibilityGraph(t).Edges();
+  EXPECT_EQ(es, et);
+  const auto hs = BuildHorizontalVisibilityGraph(s).Edges();
+  const auto ht = BuildHorizontalVisibilityGraph(t).Edges();
+  EXPECT_EQ(hs, ht);
+}
+
+TEST(VisibilityGraph, DivideConquerMatchesNaive) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    const Series s = GaussianNoise(20 + 30 * (seed % 4), seed);
+    const auto naive = BuildVisibilityGraph(s, VgAlgorithm::kNaive).Edges();
+    const auto dc =
+        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer).Edges();
+    EXPECT_EQ(naive, dc) << "seed=" << seed;
+  }
+}
+
+TEST(VisibilityGraph, DivideConquerMatchesNaiveOnStructuredSeries) {
+  const Series shapes[] = {
+      Sine(100, 12.0),
+      LogisticMap(100, 4.0, 0.3),
+      RandomWalk(100, 3),
+      Series(50, 1.0),                    // constant
+      {1, 2, 3, 4, 5, 6, 7, 8},           // monotone
+      {8, 7, 6, 5, 4, 3, 2, 1},           // monotone decreasing
+      {1, 5, 1, 5, 1, 5, 1, 5},           // alternating
+  };
+  for (const Series& s : shapes) {
+    const auto naive = BuildVisibilityGraph(s, VgAlgorithm::kNaive).Edges();
+    const auto dc =
+        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer).Edges();
+    EXPECT_EQ(naive, dc);
+  }
+}
+
+TEST(HorizontalVisibilityGraph, KnownSmallExample) {
+  // Series 3 1 2: edges (0,1),(1,2),(0,2) — 1 is below both 3 and 2.
+  const Series s = {3, 1, 2};
+  const Graph g = BuildHorizontalVisibilityGraph(s);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(HorizontalVisibilityGraph, EqualValuesBlockVisibility) {
+  // Strict inequality in Def 2.4: [1,1,1] chains only adjacents.
+  const Graph g = BuildHorizontalVisibilityGraph({1, 1, 1});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_FALSE(g.HasEdge(0, 2));
+}
+
+TEST(HorizontalVisibilityGraph, StackMatchesNaive) {
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    const Series s = GaussianNoise(150, seed + 100);
+    EXPECT_EQ(BuildHorizontalVisibilityGraph(s).Edges(),
+              BuildHorizontalVisibilityGraphNaive(s).Edges());
+  }
+  // Include ties (integer-quantised series exercise equal values).
+  Rng rng(7);
+  Series q(200);
+  for (double& v : q) v = static_cast<double>(rng.Int(0, 4));
+  EXPECT_EQ(BuildHorizontalVisibilityGraph(q).Edges(),
+            BuildHorizontalVisibilityGraphNaive(q).Edges());
+}
+
+TEST(HorizontalVisibilityGraph, SubgraphOfVisibilityGraph) {
+  // Paper §2.1: HVG is a subgraph of VG.
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const Series s = GaussianNoise(120, seed + 500);
+    const Graph vg = BuildVisibilityGraph(s);
+    const Graph hvg = BuildHorizontalVisibilityGraph(s);
+    for (const auto& [u, v] : hvg.Edges()) {
+      EXPECT_TRUE(vg.HasEdge(u, v)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(HorizontalVisibilityGraph, MeanDegreeOfNoiseApproachesFour) {
+  // Luque et al. 2009: HVG of i.i.d. series has mean degree -> 4.
+  const Series s = GaussianNoise(4000, 12345);
+  const Graph g = BuildHorizontalVisibilityGraph(s);
+  const double mean_degree =
+      2.0 * static_cast<double>(g.num_edges()) /
+      static_cast<double>(g.num_vertices());
+  EXPECT_NEAR(mean_degree, 4.0, 0.15);
+}
+
+TEST(VisibilityGraph, EmptyAndSingleton) {
+  EXPECT_EQ(BuildVisibilityGraph({}).num_vertices(), 0u);
+  EXPECT_EQ(BuildVisibilityGraph({1.0}).num_edges(), 0u);
+  EXPECT_EQ(BuildHorizontalVisibilityGraph({}).num_vertices(), 0u);
+  EXPECT_EQ(BuildHorizontalVisibilityGraph({1.0}).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace mvg
