@@ -1,6 +1,9 @@
 #include "core/feature_extractor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 
 #include "graph/graph_stats.h"
@@ -10,6 +13,75 @@
 #include "vg/weighted_visibility_graph.h"
 
 namespace mvg {
+
+namespace {
+
+/// Replaces non-finite samples so detrending and the visibility builders
+/// see totally ordered values: +inf maps to strictly above the finite
+/// maximum, -inf to strictly below the finite minimum, NaN to the finite
+/// mean. When the finite magnitudes are large enough that the least-squares
+/// sums in DetrendLinear could overflow, the series is first rescaled;
+/// VG/HVG edge sets are invariant under positive affine maps, so graph
+/// features are unaffected (weighted-VG view-angle features do change, the
+/// price of keeping the arithmetic finite). Returns nullopt when the input
+/// needs no fixing, so the common clean path copies nothing. A series with
+/// no finite sample at all degrades to the corresponding constant/step
+/// shape around zero.
+std::optional<Series> SanitizeNonFinite(const Series& s) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t finite = 0;
+  bool has_nonfinite = false;
+  for (double v : s) {
+    if (std::isfinite(v)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      ++finite;
+    } else {
+      has_nonfinite = true;
+    }
+  }
+  if (finite == 0) {
+    lo = 0.0;
+    hi = 0.0;
+  }
+  // Rescaling keeps every derived value (pad, plateau levels, detrend
+  // sums) comfortably finite even when the finite range spans most of the
+  // double range — and is applied to all-finite series too, since
+  // DetrendLinear's least-squares sums overflow just the same on them.
+  constexpr double kSafeMagnitude = 1e150;
+  const double amax = std::max(std::abs(lo), std::abs(hi));
+  const double scale = amax > kSafeMagnitude ? kSafeMagnitude / amax : 1.0;
+  if (!has_nonfinite && scale == 1.0) return std::nullopt;
+  lo *= scale;
+  hi *= scale;
+  // Mean of the *scaled* finite values: |v * scale| <= kSafeMagnitude, so
+  // the accumulation cannot overflow the way a raw sum of ~1e308 samples
+  // would.
+  double sum = 0.0;
+  for (double v : s) {
+    if (std::isfinite(v)) sum += v * scale;
+  }
+  const double mean = finite > 0 ? sum / static_cast<double>(finite) : 0.0;
+  const double pad = std::max(hi - lo, 1.0);
+  const double above = hi + pad;
+  const double below = lo - pad;
+  Series out = s;
+  for (double& v : out) {
+    if (std::isnan(v)) {
+      v = mean;
+    } else if (v == std::numeric_limits<double>::infinity()) {
+      v = above;
+    } else if (v == -std::numeric_limits<double>::infinity()) {
+      v = below;
+    } else {
+      v *= scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 MvgConfig ConfigForHeuristicColumn(char column) {
   MvgConfig c;
@@ -139,9 +211,16 @@ std::vector<double> MvgFeatureExtractor::GraphFeatures(const Graph& g) const {
 
 std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
   if (s.empty()) throw std::invalid_argument("Extract: empty series");
-  const Series prepared = config_.detrend ? DetrendLinear(s) : s;
-  const std::vector<Series> scales =
-      MultiscaleRepresentation(prepared, config_.scale_mode, config_.tau);
+  const std::optional<Series> sanitized = SanitizeNonFinite(s);
+  const Series& finite = sanitized ? *sanitized : s;
+  std::vector<Series> scales;
+  if (config_.detrend) {
+    scales = MultiscaleRepresentation(DetrendLinear(finite),
+                                      config_.scale_mode, config_.tau);
+  } else {
+    scales = MultiscaleRepresentation(finite, config_.scale_mode,
+                                      config_.tau);
+  }
   std::vector<double> features;
   features.reserve(scales.size() * 2 * FeaturesPerGraph());
   for (const Series& scale : scales) {

@@ -64,7 +64,9 @@ class MvgFeatureExtractor {
   explicit MvgFeatureExtractor(MvgConfig config);
 
   /// Feature vector of one series. Feature count depends only on the
-  /// series length (through the number of scales).
+  /// series length (through the number of scales). Non-finite samples
+  /// (NaN, ±inf) are sanitized to nearby finite values first, so features
+  /// are always finite; an empty series throws std::invalid_argument.
   std::vector<double> Extract(const Series& s) const;
 
   /// Feature matrix for a whole dataset. Rows are padded with zeros to the

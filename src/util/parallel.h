@@ -1,21 +1,28 @@
 #ifndef MVG_UTIL_PARALLEL_H_
 #define MVG_UTIL_PARALLEL_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace mvg {
 
 /// Runs fn(i) for i in [0, n) across `num_threads` worker threads with
-/// static block partitioning. `num_threads <= 1` (or n small) degrades to
-/// a plain loop. The paper stresses that MVG's "feature extraction and
-/// classification process is inherently parallel" (§1) — per-series
-/// extraction is embarrassingly parallel, and this helper is what
-/// MvgFeatureExtractor::ExtractAll uses to exploit it.
+/// static block partitioning: thread t owns the contiguous range
+/// [t*ceil(n/W), min((t+1)*ceil(n/W), n)). `num_threads <= 1` (or n small)
+/// degrades to a plain loop. The paper stresses that MVG's "feature
+/// extraction and classification process is inherently parallel" (§1) —
+/// per-series extraction is embarrassingly parallel, and this helper is
+/// what MvgFeatureExtractor::ExtractAll uses to exploit it.
 ///
-/// fn must be safe to call concurrently for distinct i.
+/// fn must be safe to call concurrently for distinct i. If any invocation
+/// throws, the first exception is captured and rethrown on the calling
+/// thread after all workers join; remaining iterations in other blocks may
+/// still run.
 inline void ParallelFor(size_t n, size_t num_threads,
                         const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -23,16 +30,29 @@ inline void ParallelFor(size_t n, size_t num_threads,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  const size_t workers = std::min(num_threads, n);
+  const size_t block = (n + std::min(num_threads, n) - 1) /
+                       std::min(num_threads, n);
+  // Recompute so every spawned thread owns a non-empty block (e.g. n=7,
+  // num_threads=5 gives block=2 and only 4 useful workers).
+  const size_t workers = (n + block - 1) / block;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> threads;
   threads.reserve(workers);
   for (size_t t = 0; t < workers; ++t) {
     threads.emplace_back([&, t]() {
-      // Static interleaved partition: thread t takes i = t, t+W, t+2W, ...
-      for (size_t i = t; i < n; i += workers) fn(i);
+      const size_t begin = t * block;
+      const size_t end = std::min(begin + block, n);
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
     });
   }
   for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 /// Default worker count: hardware concurrency, at least 1.

@@ -7,6 +7,7 @@
 #include "baselines/sax.h"
 #include "baselines/sax_vsm.h"
 #include "ml/metrics.h"
+#include "tests/test_util.h"
 #include "ts/generators.h"
 
 namespace mvg {
@@ -134,8 +135,7 @@ TEST(FastShapeletsTest, FindsPlantedShapelet) {
 }
 
 TEST(FastShapeletsTest, PureNodeBecomesLeaf) {
-  Dataset train("pure");
-  for (int i = 0; i < 6; ++i) train.Add(GaussianNoise(64, i), 3);
+  const Dataset train = testutil::MakeNoiseDataset("pure", {3}, 6, 64, 0);
   FastShapeletsClassifier fs;
   fs.Fit(train);
   EXPECT_EQ(fs.NumNodes(), 1u);

@@ -2,6 +2,7 @@
 
 #include "core/feature_extractor.h"
 #include "motif/motif_counts.h"
+#include "tests/test_util.h"
 #include "ts/generators.h"
 
 namespace mvg {
@@ -102,6 +103,23 @@ TEST(FeatureExtractor, ExtractAllPadsRaggedLengths) {
   const Matrix x = fx.ExtractAll(ds);
   ASSERT_EQ(x.size(), 2u);
   EXPECT_EQ(x[0].size(), x[1].size());
+}
+
+TEST(FeatureExtractor, ExtractAllThreadCountDoesNotChangeResults) {
+  // ParallelFor assigns disjoint row blocks, so the feature matrix must be
+  // bit-for-bit identical for any worker count.
+  const Dataset ds =
+      testutil::MakeNoiseDataset("threads", {0, 1, 2}, 4, 96, 7);
+  const MvgFeatureExtractor fx;
+  const Matrix serial = fx.ExtractAll(ds, 1);
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{8}}) {
+    const Matrix parallel = fx.ExtractAll(ds, threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (size_t row = 0; row < serial.size(); ++row) {
+      EXPECT_EQ(parallel[row], serial[row])
+          << "threads=" << threads << " row=" << row;
+    }
+  }
 }
 
 TEST(FeatureExtractor, NaiveAndDcAlgorithmsAgree) {

@@ -5,23 +5,138 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "baselines/learning_shapelets.h"
 #include "baselines/sax_vsm.h"
+#include "core/feature_extractor.h"
 #include "core/mvg_classifier.h"
 #include "graph/graph.h"
 #include "graph/graph_io.h"
 #include "vg/visibility_graph.h"
 #include "ml/metrics.h"
 #include "ml/stat_tests.h"
+#include "tests/test_util.h"
 #include "ts/generators.h"
 #include "ts/ucr_io.h"
 
 namespace mvg {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Degenerate series through the graph builders and the feature extractor:
+// empty, single point, all-equal values, and ±inf plateaus must never
+// crash, and no NaN may leak into extracted features.
+// ---------------------------------------------------------------------------
+
+Series SeriesWithInfPlateaus() {
+  const double inf = std::numeric_limits<double>::infinity();
+  Series s = GaussianNoise(64, 9);
+  for (size_t i = 10; i < 18; ++i) s[i] = inf;
+  for (size_t i = 40; i < 48; ++i) s[i] = -inf;
+  return s;
+}
+
+TEST(DegenerateSeries, EmptyAndSinglePointGraphs) {
+  for (const Series& s : {Series{}, Series{3.25}}) {
+    for (auto algorithm : {VgAlgorithm::kNaive, VgAlgorithm::kDivideConquer}) {
+      const Graph vg = BuildVisibilityGraph(s, algorithm);
+      EXPECT_EQ(vg.num_vertices(), s.size());
+      EXPECT_EQ(vg.num_edges(), 0u);
+    }
+    const Graph hvg = BuildHorizontalVisibilityGraph(s);
+    EXPECT_EQ(hvg.num_vertices(), s.size());
+    EXPECT_EQ(hvg.num_edges(), 0u);
+  }
+}
+
+TEST(DegenerateSeries, AllEqualValuesChainOnly) {
+  // Strict visibility: a flat series only connects neighbours, in both VG
+  // algorithms and both HVG implementations.
+  const Series s(40, 2.5);
+  for (auto algorithm : {VgAlgorithm::kNaive, VgAlgorithm::kDivideConquer}) {
+    const Graph vg = BuildVisibilityGraph(s, algorithm);
+    EXPECT_EQ(vg.num_edges(), s.size() - 1);
+  }
+  testutil::ExpectSameEdges(BuildHorizontalVisibilityGraph(s),
+                            BuildHorizontalVisibilityGraphNaive(s));
+  EXPECT_EQ(BuildHorizontalVisibilityGraph(s).num_edges(), s.size() - 1);
+}
+
+TEST(DegenerateSeries, InfPlateausDoNotCrashGraphBuilders) {
+  // Behaviour on non-finite input is not fully specified (NaN slopes), but
+  // construction must stay within basic structural bounds.
+  const Series s = SeriesWithInfPlateaus();
+  const size_t n = s.size();
+  for (auto algorithm : {VgAlgorithm::kNaive, VgAlgorithm::kDivideConquer}) {
+    const Graph vg = BuildVisibilityGraph(s, algorithm);
+    EXPECT_EQ(vg.num_vertices(), n);
+    EXPECT_LE(vg.num_edges(), n * (n - 1) / 2);
+  }
+  const Graph hvg = BuildHorizontalVisibilityGraph(s);
+  EXPECT_EQ(hvg.num_vertices(), n);
+  EXPECT_LE(hvg.num_edges(), n * (n - 1) / 2);
+}
+
+TEST(DegenerateSeries, ExtractorNeverLeaksNonFiniteFeatures) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<std::pair<std::string, Series>> cases = {
+      {"single_point", Series{1.0}},
+      {"all_equal", Series(50, 3.0)},
+      {"inf_plateaus", SeriesWithInfPlateaus()},
+      {"all_pos_inf", Series(32, inf)},
+      {"all_neg_inf", Series(32, -inf)},
+      // Finite range so wide that padding or detrending without rescaling
+      // would overflow back to inf/NaN.
+      {"huge_range_inf", Series{-1e308, 1e308, inf, 0.5, -inf, 2.0, -3.0,
+                                1e308, 0.1, -1e308}},
+      // All-finite but huge: detrending overflows unless rescaled.
+      {"huge_finite_only", Series{-1e308, 1e308, 1e307, -5e307, 2e307,
+                                  8e307, -1e306, 3e307}},
+      // Same-sign huge values: a raw (unscaled) sum would overflow to inf
+      // and poison the NaN-replacement mean.
+      {"huge_same_sign_nan", [] {
+         Series s(16, 1e308);
+         s[5] = std::nan("");
+         s[11] = 9e307;
+         return s;
+       }()},
+      {"nan_mixed", [] {
+         Series s = GaussianNoise(48, 3);
+         s[7] = std::nan("");
+         s[30] = std::nan("");
+         return s;
+       }()},
+  };
+  for (char column : {'A', 'E', 'G'}) {
+    const MvgFeatureExtractor fx(ConfigForHeuristicColumn(column));
+    for (const auto& [name, series] : cases) {
+      std::vector<double> f;
+      ASSERT_NO_THROW(f = fx.Extract(series)) << name;
+      EXPECT_FALSE(f.empty()) << name;
+      testutil::ExpectAllFinite(f, name + std::string(1, column));
+      if (series.size() >= 2) {
+        // Multi-point series build a graph with at least the chain edges,
+        // so a sane pipeline never yields an all-zero feature vector (which
+        // is what NaN-collapsed graph construction degrades to).
+        EXPECT_TRUE(std::any_of(f.begin(), f.end(),
+                                [](double v) { return v != 0.0; }))
+            << name << " collapsed to all-zero features";
+      }
+    }
+  }
+}
+
+TEST(DegenerateSeries, ExtractorRejectsEmptySeriesOnly) {
+  const MvgFeatureExtractor fx;
+  EXPECT_THROW(fx.Extract({}), std::invalid_argument);
+}
 
 TEST(GraphEdgeCases, FromEdgesDeduplicatesAndIgnoresSelfLoops) {
   const Graph g = Graph::FromEdges(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}});
@@ -124,8 +239,7 @@ TEST(MvgClassifierEdgeCases, PredictsShorterAndLongerSeriesThanTraining) {
 }
 
 TEST(MvgClassifierEdgeCases, SingleClassTrainingPredictsThatClass) {
-  Dataset train("mono");
-  for (int i = 0; i < 6; ++i) train.Add(GaussianNoise(96, i), 7);
+  const Dataset train = testutil::MakeNoiseDataset("mono", {7}, 6, 96, 0);
   MvgClassifier::Config config;
   config.grid = GridPreset::kNone;
   config.oversample = false;

@@ -1,7 +1,7 @@
 // Tests for the paper's extension / future-work features: weighted and
 // directed visibility graphs, extended graph statistics (degree entropy,
-// betweenness), the kExtended feature mode, multivariate TSC, parallel
-// extraction and the Bag-of-Patterns baseline.
+// betweenness), the kExtended feature mode, multivariate TSC and the
+// Bag-of-Patterns baseline.
 
 #include <algorithm>
 #include <cmath>
@@ -14,9 +14,9 @@
 #include "core/mvg_classifier.h"
 #include "graph/graph_stats.h"
 #include "ml/metrics.h"
+#include "tests/test_util.h"
 #include "ts/generators.h"
 #include "ts/multivariate.h"
-#include "util/parallel.h"
 #include "vg/visibility_graph.h"
 #include "vg/weighted_visibility_graph.h"
 
@@ -42,8 +42,12 @@ TEST(WeightedVg, WeightsAreViewAngles) {
   const Series s = {0.0, 1.0, 1.0};
   const WeightedVisibilityGraph wvg = WeightedVisibilityGraph::Build(s);
   for (const auto& e : wvg.edges()) {
-    if (e.u == 0 && e.v == 1) EXPECT_NEAR(e.weight, std::atan(1.0), 1e-12);
-    if (e.u == 1 && e.v == 2) EXPECT_NEAR(e.weight, 0.0, 1e-12);
+    if (e.u == 0 && e.v == 1) {
+      EXPECT_NEAR(e.weight, std::atan(1.0), 1e-12);
+    }
+    if (e.u == 1 && e.v == 2) {
+      EXPECT_NEAR(e.weight, 0.0, 1e-12);
+    }
   }
 }
 
@@ -156,7 +160,7 @@ TEST(ExtendedFeatures, CountsAndNamesAlign) {
             names.end());
   EXPECT_NE(std::find(names.begin(), names.end(), "T2.WVG.strength_entropy"),
             names.end());
-  for (double v : values) EXPECT_TRUE(std::isfinite(v));
+  testutil::ExpectAllFinite(values, "extended features");
 }
 
 TEST(ExtendedFeatures, SupersetOfAllMode) {
@@ -172,7 +176,9 @@ TEST(ExtendedFeatures, SupersetOfAllMode) {
   const auto fa = MvgFeatureExtractor(all_cfg).Extract(s);
   const auto fe = MvgFeatureExtractor(ext_cfg).Extract(s);
   ASSERT_EQ(fa.size(), 23u);
-  for (size_t i = 0; i < fa.size(); ++i) EXPECT_EQ(fa[i], fe[i]);
+  ASSERT_GE(fe.size(), 23u);
+  testutil::ExpectSeriesNear({fe.begin(), fe.begin() + 23}, fa, 0.0,
+                             "kAll prefix");
 }
 
 TEST(ExtendedFeatures, TrainableEndToEnd) {
@@ -185,27 +191,8 @@ TEST(ExtendedFeatures, TrainableEndToEnd) {
   EXPECT_LE(ErrorRate(split.test.labels(), clf.PredictAll(split.test)), 0.2);
 }
 
-// ---------------------------------------------------------------------------
-// Parallel extraction.
-// ---------------------------------------------------------------------------
-
-TEST(ParallelFor, CoversEveryIndexOnce) {
-  std::vector<int> hits(1000, 0);
-  ParallelFor(hits.size(), 4, [&](size_t i) { ++hits[i]; });
-  for (int h : hits) EXPECT_EQ(h, 1);
-  ParallelFor(0, 4, [&](size_t) { FAIL(); });
-}
-
-TEST(ParallelExtraction, MatchesSequential) {
-  const DatasetSplit split = MakeSyntheticByName("SynWafer", 13);
-  const MvgFeatureExtractor fx;
-  const Matrix seq = fx.ExtractAll(split.train, 1);
-  const Matrix par = fx.ExtractAll(split.train, 4);
-  ASSERT_EQ(seq.size(), par.size());
-  for (size_t i = 0; i < seq.size(); ++i) {
-    EXPECT_EQ(seq[i], par[i]) << "row " << i;
-  }
-}
+// Parallel extraction coverage lives in util_test.cc (ParallelFor
+// semantics) and core_extractor_test.cc (ExtractAll thread invariance).
 
 // ---------------------------------------------------------------------------
 // Multivariate TSC.

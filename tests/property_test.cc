@@ -11,6 +11,7 @@
 #include "core/feature_extractor.h"
 #include "graph/graph_stats.h"
 #include "motif/motif_counts.h"
+#include "tests/test_util.h"
 #include "ts/distance.h"
 #include "ts/generators.h"
 #include "ts/transforms.h"
@@ -19,6 +20,52 @@
 
 namespace mvg {
 namespace {
+
+using testutil::AllSeriesFamilies;
+using testutil::MakeFamilySeries;
+using testutil::SeriesFamily;
+
+// ---------------------------------------------------------------------------
+// Algorithm equivalence: the comments in src/vg/visibility_graph.cc promise
+// that kNaive and kDivideConquer agree bit-for-bit, and that the O(n) HVG
+// stack matches its naive counterpart. Pin it over 100 random series:
+// 4 families (Gaussian, random walk, constant, monotone) x 25 seeds.
+// ---------------------------------------------------------------------------
+
+class VgAlgorithmEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<SeriesFamily, uint64_t>> {
+ protected:
+  Series MakeSeries() const {
+    const auto [family, seed] = GetParam();
+    // Lengths vary with the seed so the sweep hits odd sizes too.
+    const size_t n = 16 + 11 * (seed % 13);
+    return MakeFamilySeries(family, n, seed);
+  }
+};
+
+TEST_P(VgAlgorithmEquivalenceTest, NaiveAndDivideConquerEdgeSetsIdentical) {
+  const Series s = MakeSeries();
+  testutil::ExpectSameEdges(BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer),
+                            BuildVisibilityGraph(s, VgAlgorithm::kNaive),
+                            "VG dc vs naive");
+}
+
+TEST_P(VgAlgorithmEquivalenceTest, HvgStackMatchesNaive) {
+  const Series s = MakeSeries();
+  testutil::ExpectSameEdges(BuildHorizontalVisibilityGraph(s),
+                            BuildHorizontalVisibilityGraphNaive(s),
+                            "HVG stack vs naive");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HundredSeries, VgAlgorithmEquivalenceTest,
+    ::testing::Combine(::testing::ValuesIn(AllSeriesFamilies()),
+                       ::testing::Range(uint64_t{0}, uint64_t{25})),
+    [](const ::testing::TestParamInfo<std::tuple<SeriesFamily, uint64_t>>&
+           info) {
+      return std::string(testutil::ToString(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 // ---------------------------------------------------------------------------
 // Visibility-graph invariants over (length, seed) sweeps.
@@ -40,27 +87,14 @@ class VgInvariantTest
 TEST_P(VgInvariantTest, TimeReversalMapsEdges) {
   // Visibility is symmetric in time: reversing the series reverses the
   // edge indices but preserves the edge set.
-  const Series s = MakeSeries();
-  Series reversed(s.rbegin(), s.rend());
-  const auto forward = BuildVisibilityGraph(s).Edges();
-  const Graph backward = BuildVisibilityGraph(reversed);
-  const auto n = static_cast<Graph::VertexId>(s.size());
-  ASSERT_EQ(forward.size(), backward.num_edges());
-  for (const auto& [u, v] : forward) {
-    EXPECT_TRUE(backward.HasEdge(n - 1 - v, n - 1 - u));
-  }
+  testutil::ExpectTimeReversalMapsEdges(
+      [](const Series& s) { return BuildVisibilityGraph(s); }, MakeSeries());
 }
 
 TEST_P(VgInvariantTest, HvgTimeReversalMapsEdges) {
-  const Series s = MakeSeries();
-  Series reversed(s.rbegin(), s.rend());
-  const auto forward = BuildHorizontalVisibilityGraph(s).Edges();
-  const Graph backward = BuildHorizontalVisibilityGraph(reversed);
-  const auto n = static_cast<Graph::VertexId>(s.size());
-  ASSERT_EQ(forward.size(), backward.num_edges());
-  for (const auto& [u, v] : forward) {
-    EXPECT_TRUE(backward.HasEdge(n - 1 - v, n - 1 - u));
-  }
+  testutil::ExpectTimeReversalMapsEdges(
+      [](const Series& s) { return BuildHorizontalVisibilityGraph(s); },
+      MakeSeries());
 }
 
 TEST_P(VgInvariantTest, EdgeCountBounds) {
@@ -215,22 +249,14 @@ TEST_P(ExtractorInvarianceTest, FeaturesInvariantToPositiveAffineTransform) {
   const Series s = GaussianNoise(128, 11);
   Series t(s.size());
   for (size_t i = 0; i < s.size(); ++i) t[i] = 3.7 * s[i] - 2.0;
-  const auto fs = fx.Extract(s);
-  const auto ft = fx.Extract(t);
-  ASSERT_EQ(fs.size(), ft.size());
-  for (size_t i = 0; i < fs.size(); ++i) {
-    EXPECT_NEAR(fs[i], ft[i], 1e-9) << "feature " << i;
-  }
+  testutil::ExpectSeriesNear(fx.Extract(t), fx.Extract(s), 1e-9, "feature");
 }
 
 TEST_P(ExtractorInvarianceTest, FeaturesAreFiniteAndBounded) {
   const MvgFeatureExtractor fx(ConfigForHeuristicColumn(GetParam()));
   for (const char* fam : {"SynChaos", "SynWafer", "SynPhoneme"}) {
     const DatasetSplit split = MakeSyntheticByName(fam, 23);
-    const auto f = fx.Extract(split.train.series(0));
-    for (double v : f) {
-      EXPECT_TRUE(std::isfinite(v));
-    }
+    testutil::ExpectAllFinite(fx.Extract(split.train.series(0)), fam);
   }
 }
 

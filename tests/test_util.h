@@ -1,0 +1,151 @@
+#ifndef MVG_TESTS_TEST_UTIL_H_
+#define MVG_TESTS_TEST_UTIL_H_
+
+// Shared test support: seeded series/dataset builders and graph/series
+// comparators that used to be re-implemented ad hoc across the suites.
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "ts/dataset.h"
+#include "ts/generators.h"
+#include "util/random.h"
+
+namespace mvg {
+namespace testutil {
+
+// ---------------------------------------------------------------------------
+// Series builders
+// ---------------------------------------------------------------------------
+
+/// Input families for property sweeps, chosen to stress different code
+/// paths of the visibility-graph builders: i.i.d. noise (generic), random
+/// walks (long monotone runs), constants (all ties), and monotone ramps
+/// (the divide & conquer worst case).
+enum class SeriesFamily { kGaussian, kRandomWalk, kConstant, kMonotone };
+
+inline const std::vector<SeriesFamily>& AllSeriesFamilies() {
+  static const std::vector<SeriesFamily> kFamilies = {
+      SeriesFamily::kGaussian, SeriesFamily::kRandomWalk,
+      SeriesFamily::kConstant, SeriesFamily::kMonotone};
+  return kFamilies;
+}
+
+inline const char* ToString(SeriesFamily family) {
+  switch (family) {
+    case SeriesFamily::kGaussian: return "gaussian";
+    case SeriesFamily::kRandomWalk: return "random_walk";
+    case SeriesFamily::kConstant: return "constant";
+    case SeriesFamily::kMonotone: return "monotone";
+  }
+  return "unknown";
+}
+
+/// Deterministic series of the given family. Constants and monotone ramps
+/// vary their level/slope with the seed so sweeps do not test one input.
+inline Series MakeFamilySeries(SeriesFamily family, size_t n, uint64_t seed) {
+  switch (family) {
+    case SeriesFamily::kGaussian:
+      return GaussianNoise(n, seed);
+    case SeriesFamily::kRandomWalk:
+      return RandomWalk(n, seed);
+    case SeriesFamily::kConstant:
+      return Series(n, 1.0 + 0.5 * static_cast<double>(seed % 7));
+    case SeriesFamily::kMonotone: {
+      const double slope = 0.25 + 0.25 * static_cast<double>(seed % 5);
+      Series s(n);
+      for (size_t i = 0; i < n; ++i) s[i] = slope * static_cast<double>(i);
+      return s;
+    }
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Dataset builders
+// ---------------------------------------------------------------------------
+
+/// `per_class` Gaussian-noise series of length `length` for each label in
+/// `labels`, deterministically seeded. Replaces the hand-rolled
+/// Dataset-plus-Add loops that several suites repeated.
+inline Dataset MakeNoiseDataset(const std::string& name,
+                                const std::vector<int>& labels,
+                                size_t per_class, size_t length,
+                                uint64_t seed = 42) {
+  Dataset ds(name);
+  uint64_t counter = seed;
+  for (int label : labels) {
+    for (size_t i = 0; i < per_class; ++i) {
+      ds.Add(GaussianNoise(length, counter++), label);
+    }
+  }
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// Comparators
+// ---------------------------------------------------------------------------
+
+/// Element-wise EXPECT_NEAR over two vectors (sizes must match).
+inline void ExpectSeriesNear(const std::vector<double>& actual,
+                             const std::vector<double>& expected, double tol,
+                             const std::string& context = "") {
+  ASSERT_EQ(actual.size(), expected.size()) << context;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], tol) << context << " index " << i;
+  }
+}
+
+/// Every element is finite (no NaN/inf leaking out of a pipeline).
+inline void ExpectAllFinite(const std::vector<double>& values,
+                            const std::string& context = "") {
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(values[i]))
+        << context << " index " << i << " = " << values[i];
+  }
+}
+
+/// Two graphs have bit-for-bit identical edge sets (and vertex counts).
+inline void ExpectSameEdges(const Graph& actual, const Graph& expected,
+                            const std::string& context = "") {
+  ASSERT_EQ(actual.num_vertices(), expected.num_vertices()) << context;
+  EXPECT_EQ(actual.Edges(), expected.Edges())
+      << context << " (" << actual.num_edges() << " vs "
+      << expected.num_edges() << " edges)";
+}
+
+/// Reversing the series must reverse edge indices but preserve the edge
+/// set, for any visibility-graph builder.
+template <typename BuildFn>
+void ExpectTimeReversalMapsEdges(const BuildFn& build, const Series& s) {
+  Series reversed(s.rbegin(), s.rend());
+  const auto forward = build(s).Edges();
+  const Graph backward = build(reversed);
+  const auto n = static_cast<Graph::VertexId>(s.size());
+  ASSERT_EQ(forward.size(), backward.num_edges());
+  for (const auto& [u, v] : forward) {
+    EXPECT_TRUE(backward.HasEdge(n - 1 - v, n - 1 - u))
+        << "edge (" << u << "," << v << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+/// Base fixture with a deterministic per-test RNG.
+class SeededTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kSeed = 42;
+  Rng rng_{kSeed};
+};
+
+}  // namespace testutil
+}  // namespace mvg
+
+#endif  // MVG_TESTS_TEST_UTIL_H_

@@ -1,14 +1,51 @@
+#include <atomic>
 #include <cmath>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/parallel.h"
 #include "util/random.h"
 #include "util/statistics.h"
 #include "util/string_util.h"
 
 namespace mvg {
 namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{13}}) {
+    const size_t n = 103;  // not a multiple of any worker count
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v = 0;
+    ParallelFor(n, threads, [&](size_t i) { visits[i]++; });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelFor, HandlesFewerItemsThanThreads) {
+  std::atomic<int> calls{0};
+  ParallelFor(3, 16, [&](size_t) { calls++; });
+  EXPECT_EQ(calls.load(), 3);
+  ParallelFor(0, 4, [](size_t) { FAIL() << "no work expected"; });
+}
+
+TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
+  // A throwing body must not std::terminate; the first exception reaches
+  // the calling thread after all workers join.
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EXPECT_THROW(
+        ParallelFor(64, threads,
+                    [](size_t i) {
+                      if (i == 17) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error)
+        << "threads=" << threads;
+  }
+}
 
 TEST(Statistics, MeanVarianceBasics) {
   std::vector<double> v = {1.0, 2.0, 3.0, 4.0};

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "graph/graph_stats.h"
+#include "tests/test_util.h"
 #include "ts/generators.h"
 #include "util/random.h"
 #include "vg/visibility_graph.h"
@@ -79,10 +80,10 @@ TEST(VisibilityGraph, AffineInvariance) {
 TEST(VisibilityGraph, DivideConquerMatchesNaive) {
   for (uint64_t seed = 0; seed < 25; ++seed) {
     const Series s = GaussianNoise(20 + 30 * (seed % 4), seed);
-    const auto naive = BuildVisibilityGraph(s, VgAlgorithm::kNaive).Edges();
-    const auto dc =
-        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer).Edges();
-    EXPECT_EQ(naive, dc) << "seed=" << seed;
+    testutil::ExpectSameEdges(
+        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer),
+        BuildVisibilityGraph(s, VgAlgorithm::kNaive),
+        "seed=" + std::to_string(seed));
   }
 }
 
@@ -97,10 +98,9 @@ TEST(VisibilityGraph, DivideConquerMatchesNaiveOnStructuredSeries) {
       {1, 5, 1, 5, 1, 5, 1, 5},           // alternating
   };
   for (const Series& s : shapes) {
-    const auto naive = BuildVisibilityGraph(s, VgAlgorithm::kNaive).Edges();
-    const auto dc =
-        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer).Edges();
-    EXPECT_EQ(naive, dc);
+    testutil::ExpectSameEdges(
+        BuildVisibilityGraph(s, VgAlgorithm::kDivideConquer),
+        BuildVisibilityGraph(s, VgAlgorithm::kNaive));
   }
 }
 
