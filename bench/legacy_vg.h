@@ -1,0 +1,93 @@
+#ifndef MVG_BENCH_LEGACY_VG_H_
+#define MVG_BENCH_LEGACY_VG_H_
+
+// The PR-1 graph representation (vector-of-vectors adjacency with a
+// sort+unique Finalize), preserved verbatim as the performance baseline the
+// CSR rewrite is measured against. Bench-only: nothing in src/ links this.
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg::bench {
+
+class LegacyAdjGraph {
+ public:
+  using VertexId = uint32_t;
+
+  explicit LegacyAdjGraph(size_t num_vertices) : adj_(num_vertices) {}
+
+  void AddEdge(VertexId u, VertexId v) {
+    if (u == v) return;
+    adj_[u].push_back(v);
+    adj_[v].push_back(u);
+  }
+
+  void Finalize() {
+    num_edges_ = 0;
+    for (auto& list : adj_) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+      num_edges_ += list.size();
+    }
+    num_edges_ /= 2;
+  }
+
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+  const std::vector<VertexId>& Neighbors(VertexId v) const { return adj_[v]; }
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  size_t num_edges_ = 0;
+};
+
+/// The PR-1 divide & conquer natural-VG builder writing into the legacy
+/// representation — identical edge set and visit order to the CSR path.
+inline LegacyAdjGraph BuildLegacyVisibilityGraph(const Series& s) {
+  const size_t n = s.size();
+  LegacyAdjGraph g(n);
+  if (n >= 2) {
+    std::vector<std::pair<size_t, size_t>> stack;
+    stack.emplace_back(0, n - 1);
+    while (!stack.empty()) {
+      const auto [l, r] = stack.back();
+      stack.pop_back();
+      if (l >= r) continue;
+      size_t k = l;
+      for (size_t i = l + 1; i <= r; ++i) {
+        if (s[i] > s[k]) k = i;
+      }
+      double max_slope = -std::numeric_limits<double>::infinity();
+      for (size_t j = k + 1; j <= r; ++j) {
+        const double slope = (s[j] - s[k]) / static_cast<double>(j - k);
+        if (slope > max_slope) {
+          g.AddEdge(static_cast<LegacyAdjGraph::VertexId>(k),
+                    static_cast<LegacyAdjGraph::VertexId>(j));
+        }
+        max_slope = std::max(max_slope, slope);
+      }
+      max_slope = -std::numeric_limits<double>::infinity();
+      for (size_t i = k; i-- > l;) {
+        const double slope = (s[i] - s[k]) / static_cast<double>(k - i);
+        if (slope > max_slope) {
+          g.AddEdge(static_cast<LegacyAdjGraph::VertexId>(i),
+                    static_cast<LegacyAdjGraph::VertexId>(k));
+        }
+        max_slope = std::max(max_slope, slope);
+      }
+      if (k > l) stack.emplace_back(l, k - 1);
+      if (k < r) stack.emplace_back(k + 1, r);
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace mvg::bench
+
+#endif  // MVG_BENCH_LEGACY_VG_H_

@@ -37,6 +37,31 @@ void BM_ExtractByLength(benchmark::State& state) {
 }
 BENCHMARK(BM_ExtractByLength)->Range(64, 1024);
 
+void BM_ExtractPooledWorkspace(benchmark::State& state) {
+  // Same extraction with one reused VgWorkspace: the graph-construction
+  // side of the pipeline runs with zero steady-state allocation.
+  const MvgFeatureExtractor fx;
+  const Series s = GaussianNoise(static_cast<size_t>(state.range(0)), 5);
+  VgWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.Extract(s, &ws));
+  }
+}
+BENCHMARK(BM_ExtractPooledWorkspace)->Range(64, 1024);
+
+void BM_ExtractAllBatch(benchmark::State& state) {
+  // Batch path: ExtractAll pools one workspace per worker across rows.
+  const MvgFeatureExtractor fx;
+  Dataset ds("bench_batch");
+  for (size_t i = 0; i < static_cast<size_t>(state.range(0)); ++i) {
+    ds.Add(GaussianNoise(256, 100 + i), static_cast<int>(i % 2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.ExtractAll(ds, 1));
+  }
+}
+BENCHMARK(BM_ExtractAllBatch)->Arg(16)->Arg(64);
+
 void BM_DetrendAblation(benchmark::State& state) {
   // Cost of the optional detrending step alone.
   MvgConfig with;

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/legacy_vg.h"
 #include "ts/generators.h"
 #include "vg/visibility_graph.h"
 
@@ -38,6 +39,31 @@ void BM_Hvg(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_Hvg)->Range(128, 8192)->Complexity(benchmark::oN);
+
+void BM_VgPooledWorkspace(benchmark::State& state) {
+  // Steady-state pooled construction: the workspace (edge buffers,
+  // counting-sort scratch, output CSR arrays) is reused across builds, so
+  // iterations after the first allocate nothing.
+  const Series s = GaussianNoise(static_cast<size_t>(state.range(0)), 1);
+  VgWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildVisibilityGraph(s, &ws, VgAlgorithm::kDivideConquer));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VgPooledWorkspace)->Range(128, 4096)->Complexity();
+
+void BM_VgLegacyVectorOfVectors(benchmark::State& state) {
+  // The PR-1 representation (vector<vector> adjacency, sort+unique
+  // finalize): the baseline the CSR rewrite is measured against.
+  const Series s = GaussianNoise(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench::BuildLegacyVisibilityGraph(s));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VgLegacyVectorOfVectors)->Range(128, 4096)->Complexity();
 
 void BM_VgDcOnSmoothSeries(benchmark::State& state) {
   // Smooth series have deep recursion structure (close to worst case for

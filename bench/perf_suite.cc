@@ -1,0 +1,304 @@
+// Machine-readable performance suite for the hot paths: visibility-graph
+// construction (CSR pooled vs the PR-1 vector-of-vectors baseline), motif
+// counting, and end-to-end feature extraction across series lengths.
+//
+// Unlike the micro_* binaries this has no Google Benchmark dependency, so
+// it builds everywhere the library builds and is what CI's perf lane runs:
+//
+//   perf_suite                  human-readable table
+//   perf_suite --json           + writes BENCH_perf_suite.json to the cwd
+//   perf_suite --out FILE       JSON to a chosen path (implies --json)
+//   perf_suite --check FILE     gate dimensionless metrics against a
+//                               checked-in baseline (exit 1 on regression)
+//   perf_suite --quick          smaller sizes/times (smoke-test mode)
+//
+// Raw ns/iter numbers are machine-dependent and are uploaded as artifacts
+// for trend tracking only; the --check gate compares *ratios* (e.g. CSR
+// speedup over the legacy representation), which transfer across hosts.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/legacy_vg.h"
+#include "core/feature_extractor.h"
+#include "motif/motif_counts.h"
+#include "ts/generators.h"
+#include "util/timer.h"
+#include "vg/visibility_graph.h"
+
+namespace {
+
+using namespace mvg;
+
+struct BenchResult {
+  std::string name;
+  size_t n = 0;
+  size_t iters = 0;
+  double ns_per_iter = 0.0;
+};
+
+struct SuiteOptions {
+  bool quick = false;
+  double min_seconds = 0.1;
+  size_t min_iters = 3;
+  int repetitions = 3;
+};
+
+/// Best-of-`repetitions` adaptive timing: each repetition runs fn until
+/// both the iteration floor and the time floor are met; the fastest
+/// repetition is reported (standard microbenchmark practice — the minimum
+/// is the least noisy estimator on a shared machine).
+template <typename Fn>
+BenchResult TimeIt(const std::string& name, size_t n, const SuiteOptions& opt,
+                   Fn&& fn) {
+  fn();  // warmup
+  BenchResult best{name, n, 0, 0.0};
+  for (int rep = 0; rep < opt.repetitions; ++rep) {
+    size_t iters = 0;
+    WallTimer timer;
+    do {
+      fn();
+      ++iters;
+    } while (iters < opt.min_iters || timer.Seconds() < opt.min_seconds);
+    const double ns = timer.Seconds() * 1e9 / static_cast<double>(iters);
+    if (best.iters == 0 || ns < best.ns_per_iter) {
+      best.iters = iters;
+      best.ns_per_iter = ns;
+    }
+  }
+  std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n", name.c_str(),
+              n, best.ns_per_iter, best.iters);
+  return best;
+}
+
+/// Escape-aware scan of one JSON string literal; `i` must point at the
+/// opening quote. Returns the index just past the closing quote and leaves
+/// the raw (unescaped) contents in *out.
+size_t ScanJsonString(const std::string& text, size_t i, std::string* out) {
+  out->clear();
+  ++i;  // opening quote
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      out->push_back(text[i + 1]);
+      i += 2;
+    } else {
+      out->push_back(text[i]);
+      ++i;
+    }
+  }
+  return i < text.size() ? i + 1 : i;
+}
+
+/// Extracts every `"key": <number>` pair from a flat-ish JSON document.
+/// Good enough for baseline.json, which is kept flat by construction.
+/// String values (e.g. the comment fields) are skipped whole, so their
+/// contents — escaped quotes included — are never re-scanned as keys.
+std::map<std::string, double> ParseJsonNumbers(const std::string& text) {
+  std::map<std::string, double> out;
+  std::string key, discard;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] != '"') {
+      ++i;
+      continue;
+    }
+    i = ScanJsonString(text, i, &key);
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i >= text.size() || text[i] != ':') continue;
+    ++i;
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i < text.size() && text[i] == '"') {
+      i = ScanJsonString(text, i, &discard);  // string value: skip entirely
+      continue;
+    }
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str() + i, &end);
+    if (end != text.c_str() + i) {
+      out[key] = value;
+      i = static_cast<size_t>(end - text.c_str());
+    }
+  }
+  return out;
+}
+
+void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
+               const std::map<std::string, double>& metrics) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "perf_suite: cannot open %s for writing\n",
+                 path.c_str());
+    std::exit(2);
+  }
+  out << "{\n  \"schema\": 1,\n  \"suite\": \"mvg_perf_suite\",\n";
+#ifdef NDEBUG
+  out << "  \"build_type\": \"Release\",\n";
+#else
+  out << "  \"build_type\": \"Debug\",\n";
+#endif
+  out << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"n\": "
+        << r.n << ", \"iters\": " << r.iters << ", \"ns_per_iter\": "
+        << r.ns_per_iter << "}" << (i + 1 < results.size() ? "," : "")
+        << "\n";
+  }
+  out << "  ],\n  \"metrics\": {\n";
+  size_t k = 0;
+  for (const auto& [name, value] : metrics) {
+    out << "    \"" << name << "\": " << value
+        << (++k < metrics.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+  std::printf("perf_suite: wrote %s\n", path.c_str());
+}
+
+int CheckAgainstBaseline(const std::string& baseline_path,
+                         const std::map<std::string, double>& metrics) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "perf_suite: cannot read baseline %s\n",
+                 baseline_path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::map<std::string, double> baseline = ParseJsonNumbers(buf.str());
+  const double tolerance =
+      baseline.count("tolerance") ? baseline["tolerance"] : 0.25;
+  baseline.erase("tolerance");
+  baseline.erase("schema");
+
+  int failures = 0;
+  std::printf("\nBaseline check (%s, tolerance %.0f%%):\n",
+              baseline_path.c_str(), tolerance * 100.0);
+  for (const auto& [name, expected] : baseline) {
+    const auto it = metrics.find(name);
+    if (it == metrics.end()) {
+      std::printf("  FAIL %-40s missing from this run\n", name.c_str());
+      ++failures;
+      continue;
+    }
+    // All gated metrics are higher-is-better ratios (speedups).
+    const double floor = expected * (1.0 - tolerance);
+    const bool ok = it->second >= floor;
+    std::printf("  %s %-40s %.3f (baseline %.3f, floor %.3f)\n",
+                ok ? "ok  " : "FAIL", name.c_str(), it->second, expected,
+                floor);
+    if (!ok) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "perf_suite: %d metric(s) regressed more than %.0f%% vs %s\n",
+                 failures, tolerance * 100.0, baseline_path.c_str());
+    return 1;
+  }
+  std::printf("perf_suite: all %zu baseline metrics within tolerance\n",
+              baseline.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SuiteOptions opt;
+  bool emit_json = false;
+  std::string json_path = "BENCH_perf_suite.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      emit_json = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      emit_json = true;
+      json_path = argv[++i];
+    } else if (arg == "--check" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--quick") {
+      opt.quick = true;
+      opt.min_seconds = 0.01;
+      opt.min_iters = 1;
+      opt.repetitions = 1;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_suite [--json] [--out FILE] [--check "
+                   "BASELINE] [--quick]\n");
+      return 2;
+    }
+  }
+
+  std::vector<BenchResult> results;
+  std::map<std::string, double> metrics;
+
+  // --- Visibility-graph construction: pooled CSR vs legacy baseline ---
+  // Quick mode shrinks the time budget, never the size sweep, so every
+  // gated metric exists in every mode and --quick --check composes.
+  std::printf("Visibility-graph construction:\n");
+  const std::vector<size_t> vg_sizes = {256, 1024, 4096};
+  VgWorkspace ws;
+  for (size_t n : vg_sizes) {
+    const Series s = GaussianNoise(n, 7);
+    const BenchResult csr =
+        TimeIt("vg_build_csr_pooled", n, opt,
+               [&] { BuildVisibilityGraph(s, &ws); });
+    const BenchResult legacy =
+        TimeIt("vg_build_legacy_vecvec", n, opt,
+               [&] { bench::BuildLegacyVisibilityGraph(s); });
+    results.push_back(csr);
+    results.push_back(legacy);
+    if (csr.ns_per_iter > 0.0) {
+      metrics["vg_csr_speedup_vs_legacy_n" + std::to_string(n)] =
+          legacy.ns_per_iter / csr.ns_per_iter;
+    }
+  }
+  for (size_t n : vg_sizes) {
+    const Series s = GaussianNoise(n, 11);
+    results.push_back(TimeIt("hvg_build_csr_pooled", n, opt,
+                             [&] { BuildHorizontalVisibilityGraph(s, &ws); }));
+  }
+
+  // --- Motif counting on prebuilt visibility graphs ---
+  std::printf("Motif counting:\n");
+  for (size_t n : {size_t{256}, size_t{1024}}) {
+    const Series s = GaussianNoise(n, 13);
+    const Graph g = BuildVisibilityGraph(s);
+    results.push_back(
+        TimeIt("motif_counts_vg", n, opt, [&] { CountMotifs(g); }));
+  }
+
+  // --- End-to-end extraction (Algorithm 1, the paper's column G) ---
+  std::printf("Feature extraction:\n");
+  const MvgFeatureExtractor fx(ConfigForHeuristicColumn('G'));
+  for (size_t n : {size_t{256}, size_t{1024}}) {
+    const Series s = GaussianNoise(n, 17);
+    results.push_back(
+        TimeIt("extract_col_g_pooled", n, opt, [&] { fx.Extract(s, &ws); }));
+  }
+  {
+    // Batch path: ExtractAll pools one workspace per worker.
+    const size_t batch = opt.quick ? 8 : 32;
+    Dataset ds("perf_batch");
+    for (size_t i = 0; i < batch; ++i) {
+      ds.Add(GaussianNoise(256, 100 + i), static_cast<int>(i % 2));
+    }
+    results.push_back(TimeIt("extract_all_batch256", batch, opt,
+                             [&] { fx.ExtractAll(ds, 1); }));
+  }
+
+  for (const auto& [name, value] : metrics) {
+    std::printf("metric %-40s %.3f\n", name.c_str(), value);
+  }
+
+  if (emit_json) WriteJson(json_path, results, metrics);
+  if (!baseline_path.empty()) return CheckAgainstBaseline(baseline_path, metrics);
+  return 0;
+}

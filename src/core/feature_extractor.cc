@@ -210,6 +210,12 @@ std::vector<double> MvgFeatureExtractor::GraphFeatures(const Graph& g) const {
 }
 
 std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
+  VgWorkspace ws;
+  return Extract(s, &ws);
+}
+
+std::vector<double> MvgFeatureExtractor::Extract(const Series& s,
+                                                 VgWorkspace* ws) const {
   if (s.empty()) throw std::invalid_argument("Extract: empty series");
   const std::optional<Series> sanitized = SanitizeNonFinite(s);
   const Series& finite = sanitized ? *sanitized : s;
@@ -223,29 +229,41 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
   }
   std::vector<double> features;
   features.reserve(scales.size() * 2 * FeaturesPerGraph());
+  const bool want_series_features = SeriesFeaturesPerScale() > 0;
   for (const Series& scale : scales) {
+    // The natural VG is built once per scale and serves the graph
+    // features, the weighted view-angle statistics and the directed
+    // degree entropies; its derived numbers are staged so the feature
+    // order (VG, HVG, WVG) survives the workspace reuse (building the
+    // HVG below recycles ws->graph).
+    WeightedVisibilityGraph::WeightStats wstats;
+    double in_entropy = 0.0, out_entropy = 0.0;
     if (config_.graph_mode != GraphMode::kHvgOnly) {
-      const Graph vg = BuildVisibilityGraph(scale, config_.vg_algorithm);
+      const Graph& vg = BuildVisibilityGraph(scale, ws, config_.vg_algorithm);
       const std::vector<double> f = GraphFeatures(vg);
       features.insert(features.end(), f.begin(), f.end());
+      if (want_series_features) {
+        wstats = WeightedVisibilityGraph::FromGraph(vg, scale)
+                     .ComputeWeightStats();
+        const DirectedVgDegrees dd = ComputeDirectedVgDegrees(vg);
+        in_entropy = DegreeSequenceEntropy(dd.in);
+        out_entropy = DegreeSequenceEntropy(dd.out);
+      }
     }
     if (config_.graph_mode != GraphMode::kVgOnly) {
-      const Graph hvg = BuildHorizontalVisibilityGraph(scale);
+      const Graph& hvg = BuildHorizontalVisibilityGraph(scale, ws);
       const std::vector<double> f = GraphFeatures(hvg);
       features.insert(features.end(), f.begin(), f.end());
     }
-    if (SeriesFeaturesPerScale() > 0) {
-      const WeightedVisibilityGraph wvg = WeightedVisibilityGraph::Build(scale);
-      const auto ws = wvg.ComputeWeightStats();
-      features.push_back(ws.mean);
-      features.push_back(ws.stddev);
-      features.push_back(ws.max);
-      features.push_back(ws.mean_strength);
-      features.push_back(ws.max_strength);
-      features.push_back(ws.strength_entropy);
-      const DirectedVgDegrees dd = ComputeDirectedVgDegrees(scale);
-      features.push_back(DegreeSequenceEntropy(dd.in));
-      features.push_back(DegreeSequenceEntropy(dd.out));
+    if (want_series_features) {
+      features.push_back(wstats.mean);
+      features.push_back(wstats.stddev);
+      features.push_back(wstats.max);
+      features.push_back(wstats.mean_strength);
+      features.push_back(wstats.max_strength);
+      features.push_back(wstats.strength_entropy);
+      features.push_back(in_entropy);
+      features.push_back(out_entropy);
     }
   }
   return features;
@@ -254,8 +272,10 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
 Matrix MvgFeatureExtractor::ExtractAll(const Dataset& ds,
                                        size_t num_threads) const {
   Matrix x(ds.size());
-  ParallelFor(ds.size(), num_threads,
-              [&](size_t i) { x[i] = Extract(ds.series(i)); });
+  std::vector<VgWorkspace> workspaces(MaxWorkers(ds.size(), num_threads));
+  ParallelForWorker(ds.size(), num_threads, [&](size_t worker, size_t i) {
+    x[i] = Extract(ds.series(i), &workspaces[worker]);
+  });
   size_t width = 0;
   for (const auto& row : x) width = std::max(width, row.size());
   for (auto& row : x) row.resize(width, 0.0);

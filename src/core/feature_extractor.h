@@ -69,10 +69,17 @@ class MvgFeatureExtractor {
   /// are always finite; an empty series throws std::invalid_argument.
   std::vector<double> Extract(const Series& s) const;
 
+  /// Pooled variant: every graph built during extraction (one VG and/or
+  /// HVG per scale) goes through `ws`, so a workspace reused across a
+  /// batch of series reaches zero steady-state allocation on the graph
+  /// construction path. Results are identical to Extract(s).
+  std::vector<double> Extract(const Series& s, VgWorkspace* ws) const;
+
   /// Feature matrix for a whole dataset. Rows are padded with zeros to the
   /// widest vector so short series coexist with long ones. Extraction is
   /// embarrassingly parallel (paper §1); `num_threads > 1` fans the rows
-  /// out across worker threads with identical results.
+  /// out across worker threads with identical results. Each worker thread
+  /// pools one VgWorkspace across all its rows.
   Matrix ExtractAll(const Dataset& ds, size_t num_threads = 1) const;
 
   /// Names aligned with Extract() for a series of the given length, e.g.

@@ -17,10 +17,10 @@ MvgMultivariateClassifier::MvgMultivariateClassifier(Config config)
     : config_(config), extractor_(config.extractor) {}
 
 std::vector<double> MvgMultivariateClassifier::ExtractInstance(
-    const MultiSeries& instance) const {
+    const MultiSeries& instance, VgWorkspace* ws) const {
   std::vector<double> features;
   for (const Series& channel : instance) {
-    const std::vector<double> f = extractor_.Extract(channel);
+    const std::vector<double> f = extractor_.Extract(channel, ws);
     features.insert(features.end(), f.begin(), f.end());
   }
   return features;
@@ -43,8 +43,9 @@ void MvgMultivariateClassifier::Fit(const MultivariateDataset& train) {
   Matrix x;
   x.reserve(train.size());
   size_t width = 0;
+  VgWorkspace ws;  // pooled across every instance and channel
   for (size_t i = 0; i < train.size(); ++i) {
-    x.push_back(ExtractInstance(train.instance(i)));
+    x.push_back(ExtractInstance(train.instance(i), &ws));
     width = std::max(width, x.back().size());
   }
   for (auto& row : x) row.resize(width, 0.0);
@@ -98,7 +99,8 @@ int MvgMultivariateClassifier::Predict(const MultiSeries& instance) const {
     throw std::invalid_argument(
         "MvgMultivariateClassifier: channel count mismatch");
   }
-  std::vector<double> features = ExtractInstance(instance);
+  VgWorkspace ws;
+  std::vector<double> features = ExtractInstance(instance, &ws);
   features.resize(feature_width_, 0.0);
   return model_->Predict(features);
 }

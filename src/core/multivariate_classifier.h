@@ -42,7 +42,10 @@ class MvgMultivariateClassifier {
   size_t num_channels() const { return num_channels_; }
 
  private:
-  std::vector<double> ExtractInstance(const MultiSeries& instance) const;
+  /// Concatenated per-channel features; all graph builds go through `ws`
+  /// (Fit pools one workspace across the whole instances x channels loop).
+  std::vector<double> ExtractInstance(const MultiSeries& instance,
+                                      VgWorkspace* ws) const;
 
   Config config_;
   MvgFeatureExtractor extractor_;

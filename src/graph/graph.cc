@@ -5,40 +5,19 @@
 
 namespace mvg {
 
-void Graph::AddEdge(VertexId u, VertexId v) {
-  if (u == v) return;
-  if (u >= adj_.size() || v >= adj_.size()) {
-    throw std::out_of_range("Graph::AddEdge: vertex id out of range");
-  }
-  adj_[u].push_back(v);
-  adj_[v].push_back(u);
-  finalized_ = false;
-}
-
-void Graph::Finalize() {
-  if (finalized_) return;
-  num_edges_ = 0;
-  for (auto& list : adj_) {
-    std::sort(list.begin(), list.end());
-    list.erase(std::unique(list.begin(), list.end()), list.end());
-    num_edges_ += list.size();
-  }
-  num_edges_ /= 2;
-  finalized_ = true;
-}
-
 bool Graph::HasEdge(VertexId u, VertexId v) const {
-  if (u >= adj_.size() || v >= adj_.size()) return false;
-  const auto& list = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
-  const VertexId target = adj_[u].size() <= adj_[v].size() ? v : u;
-  return std::binary_search(list.begin(), list.end(), target);
+  const size_t n = num_vertices();
+  if (u >= n || v >= n) return false;
+  if (Degree(v) < Degree(u)) std::swap(u, v);
+  const NeighborSpan nb = Neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
 }
 
 std::vector<std::pair<Graph::VertexId, Graph::VertexId>> Graph::Edges() const {
   std::vector<std::pair<VertexId, VertexId>> edges;
-  edges.reserve(num_edges_);
-  for (VertexId u = 0; u < adj_.size(); ++u) {
-    for (VertexId v : adj_[u]) {
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    for (VertexId v : Neighbors(u)) {
       if (u < v) edges.emplace_back(u, v);
     }
   }
@@ -48,10 +27,104 @@ std::vector<std::pair<Graph::VertexId, Graph::VertexId>> Graph::Edges() const {
 Graph Graph::FromEdges(
     size_t num_vertices,
     const std::vector<std::pair<VertexId, VertexId>>& edges) {
-  Graph g(num_vertices);
-  for (const auto& [u, v] : edges) g.AddEdge(u, v);
-  g.Finalize();
+  GraphBuilder builder(num_vertices);
+  builder.Reserve(edges.size());
+  for (const auto& [u, v] : edges) builder.AddEdge(u, v);
+  return builder.Build();
+}
+
+void GraphBuilder::Reset(size_t num_vertices) {
+  num_vertices_ = num_vertices;
+  edge_u_.clear();
+  edge_v_.clear();
+}
+
+void GraphBuilder::Reserve(size_t num_edges) {
+  edge_u_.reserve(num_edges);
+  edge_v_.reserve(num_edges);
+}
+
+void GraphBuilder::AddEdge(Graph::VertexId u, Graph::VertexId v) {
+  if (u >= num_vertices_ || v >= num_vertices_) {
+    throw std::out_of_range("GraphBuilder::AddEdge: vertex id out of range");
+  }
+  if (u == v) return;
+  edge_u_.push_back(u);
+  edge_v_.push_back(v);
+}
+
+Graph GraphBuilder::Build() {
+  Graph g;
+  BuildInto(&g);
   return g;
+}
+
+void GraphBuilder::BuildInto(Graph* g) {
+  const size_t n = num_vertices_;
+  const size_t m = edge_u_.size();
+
+  // Pass 1: counting sort of the 2m directed arcs by *neighbor* id. After
+  // this pass arc_owner_/arc_nbr_ hold the arcs ordered by neighbor.
+  count_.assign(n + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    ++count_[edge_u_[i]];
+    ++count_[edge_v_[i]];
+  }
+  size_t run = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const size_t c = count_[v];
+    count_[v] = run;
+    run += c;
+  }
+  arc_owner_.resize(2 * m);
+  arc_nbr_.resize(2 * m);
+  for (size_t i = 0; i < m; ++i) {
+    const Graph::VertexId u = edge_u_[i];
+    const Graph::VertexId v = edge_v_[i];
+    size_t& slot_v = count_[v];  // arc u -> v lands in bucket of neighbor v
+    arc_owner_[slot_v] = u;
+    arc_nbr_[slot_v] = v;
+    ++slot_v;
+    size_t& slot_u = count_[u];
+    arc_owner_[slot_u] = v;
+    arc_nbr_[slot_u] = u;
+    ++slot_u;
+  }
+
+  // Pass 2: stable counting sort by *owner* id. Stability preserves the
+  // by-neighbor order within each owner, so every adjacency list comes out
+  // sorted ascending.
+  count_.assign(n + 1, 0);
+  for (size_t a = 0; a < 2 * m; ++a) ++count_[arc_owner_[a]];
+  g->offsets_.resize(n + 1);
+  run = 0;
+  for (size_t v = 0; v < n; ++v) {
+    g->offsets_[v] = run;
+    run += count_[v];
+    count_[v] = g->offsets_[v];
+  }
+  g->offsets_[n] = run;
+  g->neighbors_.resize(2 * m);
+  for (size_t a = 0; a < 2 * m; ++a) {
+    g->neighbors_[count_[arc_owner_[a]]++] = arc_nbr_[a];
+  }
+
+  // Compact consecutive duplicates in place (the write cursor never
+  // overtakes the read cursor), rebuilding offsets as we go.
+  size_t w = 0;
+  for (size_t v = 0; v < n; ++v) {
+    const size_t begin = g->offsets_[v];
+    const size_t end = g->offsets_[v + 1];
+    g->offsets_[v] = w;
+    const size_t vstart = w;
+    for (size_t a = begin; a < end; ++a) {
+      const Graph::VertexId x = g->neighbors_[a];
+      if (w > vstart && g->neighbors_[w - 1] == x) continue;
+      g->neighbors_[w++] = x;
+    }
+  }
+  g->offsets_[n] = w;
+  g->neighbors_.resize(w);
 }
 
 }  // namespace mvg

@@ -17,15 +17,20 @@ void WriteDot(const Graph& g, std::ostream& os,
     }
     os << ";\n";
   }
-  for (const auto& [u, v] : g.Edges()) {
-    os << "  " << u << " -- " << v << ";\n";
+  for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (Graph::VertexId v : g.Neighbors(u)) {
+      if (u < v) os << "  " << u << " -- " << v << ";\n";
+    }
   }
   os << "}\n";
 }
 
 void WriteEdgeList(const Graph& g, std::ostream& os) {
-  for (const auto& [u, v] : g.Edges()) {
-    os << u << ' ' << v << '\n';
+  // Stream straight off the CSR arrays; no intermediate edge list.
+  for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (Graph::VertexId v : g.Neighbors(u)) {
+      if (u < v) os << u << ' ' << v << '\n';
+    }
   }
 }
 

@@ -237,7 +237,7 @@ double AverageClustering(const Graph& g) {
   if (n == 0) return 0.0;
   double acc = 0.0;
   for (Graph::VertexId v = 0; v < n; ++v) {
-    const auto& nb = g.Neighbors(v);
+    const Graph::NeighborSpan nb = g.Neighbors(v);
     const size_t d = nb.size();
     if (d < 2) continue;
     size_t links = 0;

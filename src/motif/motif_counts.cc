@@ -14,9 +14,8 @@ int64_t Choose4(int64_t n) {
   return n < 4 ? 0 : n * (n - 1) * (n - 2) * (n - 3) / 24;
 }
 
-/// Sorted-list intersection of two adjacency lists.
-void CommonNeighbors(const std::vector<Graph::VertexId>& a,
-                     const std::vector<Graph::VertexId>& b,
+/// Sorted-list intersection of two CSR adjacency slices.
+void CommonNeighbors(Graph::NeighborSpan a, Graph::NeighborSpan b,
                      std::vector<Graph::VertexId>* out) {
   out->clear();
   std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),

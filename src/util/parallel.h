@@ -11,7 +11,7 @@
 
 namespace mvg {
 
-/// Runs fn(i) for i in [0, n) across `num_threads` worker threads with
+/// Runs the body for every i in [0, n) across `num_threads` workers with
 /// static block partitioning: thread t owns the contiguous range
 /// [t*ceil(n/W), min((t+1)*ceil(n/W), n)). `num_threads <= 1` (or n small)
 /// degrades to a plain loop. The paper stresses that MVG's "feature
@@ -23,11 +23,15 @@ namespace mvg {
 /// throws, the first exception is captured and rethrown on the calling
 /// thread after all workers join; remaining iterations in other blocks may
 /// still run.
-inline void ParallelFor(size_t n, size_t num_threads,
-                        const std::function<void(size_t)>& fn) {
+/// Worker-indexed variant: fn(worker, i) with worker in [0, MaxWorkers).
+/// Each worker owns one contiguous block and runs on exactly one thread,
+/// so per-worker state (e.g. a pooled VgWorkspace) needs no locking.
+inline void ParallelForWorker(
+    size_t n, size_t num_threads,
+    const std::function<void(size_t worker, size_t i)>& fn) {
   if (n == 0) return;
   if (num_threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) fn(0, i);
     return;
   }
   const size_t block = (n + std::min(num_threads, n) - 1) /
@@ -44,7 +48,7 @@ inline void ParallelFor(size_t n, size_t num_threads,
       const size_t begin = t * block;
       const size_t end = std::min(begin + block, n);
       try {
-        for (size_t i = begin; i < end; ++i) fn(i);
+        for (size_t i = begin; i < end; ++i) fn(t, i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -53,6 +57,20 @@ inline void ParallelFor(size_t n, size_t num_threads,
   }
   for (auto& thread : threads) thread.join();
   if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Index-only variant (the original interface); see ParallelForWorker.
+inline void ParallelFor(size_t n, size_t num_threads,
+                        const std::function<void(size_t)>& fn) {
+  ParallelForWorker(n, num_threads,
+                    [&fn](size_t /*worker*/, size_t i) { fn(i); });
+}
+
+/// Upper bound on the worker index ParallelForWorker passes to fn; use it
+/// to size per-worker state.
+inline size_t MaxWorkers(size_t n, size_t num_threads) {
+  if (n == 0) return 1;
+  return std::max<size_t>(1, std::min(num_threads, n));
 }
 
 /// Default worker count: hardware concurrency, at least 1.

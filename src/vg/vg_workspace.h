@@ -1,0 +1,37 @@
+#ifndef MVG_VG_VG_WORKSPACE_H_
+#define MVG_VG_VG_WORKSPACE_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mvg {
+
+/// Reusable scratch for visibility-graph construction.
+///
+/// The batch workloads (MvgFeatureExtractor::ExtractAll, multiscale sweeps,
+/// the perf suite) build thousands of graphs back to back; routing them
+/// through one VgWorkspace pools the edge buffers, the counting-sort
+/// scratch, the recursion/monotone stacks and the output CSR arrays, so
+/// after the first few builds have grown the buffers to their steady-state
+/// capacity, constructing another graph performs zero heap allocations.
+///
+/// Contract: a workspace is single-threaded state. The Graph reference
+/// returned by a workspace-based builder points at `graph` and is
+/// invalidated by the next build using the same workspace; copy (or
+/// std::move(ws.graph)) to keep a result alive across builds.
+struct VgWorkspace {
+  GraphBuilder builder;
+  /// Pending [l, r] ranges of the divide & conquer natural-VG builder.
+  std::vector<std::pair<size_t, size_t>> range_stack;
+  /// Monotone index stack of the O(n) HVG builder.
+  std::vector<size_t> index_stack;
+  /// Recycled output storage for workspace-based builds.
+  Graph graph;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_VG_VG_WORKSPACE_H_

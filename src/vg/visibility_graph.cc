@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace mvg {
@@ -11,14 +12,14 @@ namespace {
 /// Naive natural VG: for a fixed left endpoint i, node j > i is visible iff
 /// slope(i, j) strictly exceeds the running maximum slope of the
 /// intermediate points — a direct rewrite of Def. 2.3.
-void BuildVgNaive(const Series& s, Graph* g) {
+void BuildVgNaive(const Series& s, GraphBuilder* b) {
   const size_t n = s.size();
   for (size_t i = 0; i < n; ++i) {
     double max_slope = -std::numeric_limits<double>::infinity();
     for (size_t j = i + 1; j < n; ++j) {
       const double slope = (s[j] - s[i]) / static_cast<double>(j - i);
       if (slope > max_slope) {
-        g->AddEdge(static_cast<Graph::VertexId>(i),
+        b->AddEdge(static_cast<Graph::VertexId>(i),
                    static_cast<Graph::VertexId>(j));
       }
       max_slope = std::max(max_slope, slope);
@@ -29,13 +30,14 @@ void BuildVgNaive(const Series& s, Graph* g) {
 /// Connects the range maximum `k` to every node of [l, r] visible from it,
 /// using the same slope-scan as the naive builder (mirrored for the left
 /// side) so both algorithms agree bit-for-bit.
-void ConnectMaximum(const Series& s, size_t l, size_t r, size_t k, Graph* g) {
+void ConnectMaximum(const Series& s, size_t l, size_t r, size_t k,
+                    GraphBuilder* b) {
   // Right side: nodes j in (k, r].
   double max_slope = -std::numeric_limits<double>::infinity();
   for (size_t j = k + 1; j <= r; ++j) {
     const double slope = (s[j] - s[k]) / static_cast<double>(j - k);
     if (slope > max_slope) {
-      g->AddEdge(static_cast<Graph::VertexId>(k),
+      b->AddEdge(static_cast<Graph::VertexId>(k),
                  static_cast<Graph::VertexId>(j));
     }
     max_slope = std::max(max_slope, slope);
@@ -45,7 +47,7 @@ void ConnectMaximum(const Series& s, size_t l, size_t r, size_t k, Graph* g) {
   for (size_t i = k; i-- > l;) {
     const double slope = (s[i] - s[k]) / static_cast<double>(k - i);
     if (slope > max_slope) {
-      g->AddEdge(static_cast<Graph::VertexId>(i),
+      b->AddEdge(static_cast<Graph::VertexId>(i),
                  static_cast<Graph::VertexId>(k));
     }
     max_slope = std::max(max_slope, slope);
@@ -55,82 +57,98 @@ void ConnectMaximum(const Series& s, size_t l, size_t r, size_t k, Graph* g) {
 /// Divide & conquer VG: the range maximum blocks all lines between the two
 /// sides (any chord straddling it lies below it), so the edge set is
 /// exactly {edges incident to the maximum} ∪ VG(left) ∪ VG(right).
-void BuildVgDivideConquer(const Series& s, Graph* g) {
+void BuildVgDivideConquer(const Series& s,
+                          std::vector<std::pair<size_t, size_t>>* stack,
+                          GraphBuilder* b) {
   const size_t n = s.size();
   if (n < 2) return;
-  std::vector<std::pair<size_t, size_t>> stack;
-  stack.emplace_back(0, n - 1);
-  while (!stack.empty()) {
-    const auto [l, r] = stack.back();
-    stack.pop_back();
+  stack->clear();
+  stack->emplace_back(0, n - 1);
+  while (!stack->empty()) {
+    const auto [l, r] = stack->back();
+    stack->pop_back();
     if (l >= r) continue;
     size_t k = l;
     for (size_t i = l + 1; i <= r; ++i) {
       if (s[i] > s[k]) k = i;
     }
-    ConnectMaximum(s, l, r, k, g);
-    if (k > l) stack.emplace_back(l, k - 1);
-    if (k < r) stack.emplace_back(k + 1, r);
+    ConnectMaximum(s, l, r, k, b);
+    if (k > l) stack->emplace_back(l, k - 1);
+    if (k < r) stack->emplace_back(k + 1, r);
   }
 }
 
 }  // namespace
 
-Graph BuildVisibilityGraph(const Series& s, VgAlgorithm algorithm) {
-  Graph g(s.size());
+const Graph& BuildVisibilityGraph(const Series& s, VgWorkspace* ws,
+                                  VgAlgorithm algorithm) {
+  ws->builder.Reset(s.size());
   switch (algorithm) {
     case VgAlgorithm::kNaive:
-      BuildVgNaive(s, &g);
+      BuildVgNaive(s, &ws->builder);
       break;
     case VgAlgorithm::kDivideConquer:
-      BuildVgDivideConquer(s, &g);
+      BuildVgDivideConquer(s, &ws->range_stack, &ws->builder);
       break;
   }
-  g.Finalize();
-  return g;
+  ws->builder.BuildInto(&ws->graph);
+  return ws->graph;
 }
 
-Graph BuildHorizontalVisibilityGraph(const Series& s) {
+Graph BuildVisibilityGraph(const Series& s, VgAlgorithm algorithm) {
+  VgWorkspace ws;
+  BuildVisibilityGraph(s, &ws, algorithm);
+  return std::move(ws.graph);
+}
+
+const Graph& BuildHorizontalVisibilityGraph(const Series& s, VgWorkspace* ws) {
   // O(n) monotone stack: the stack holds indices whose values strictly
   // decrease from bottom to top; each new point connects to every popped
   // smaller value plus the first value >= its own (Def. 2.4 with strict
   // inequality — equal heights see each other but block further views).
   const size_t n = s.size();
-  Graph g(n);
-  std::vector<size_t> stack;
+  GraphBuilder& b = ws->builder;
+  b.Reset(n);
+  std::vector<size_t>& stack = ws->index_stack;
+  stack.clear();
   for (size_t j = 0; j < n; ++j) {
     while (!stack.empty() && s[stack.back()] < s[j]) {
-      g.AddEdge(static_cast<Graph::VertexId>(stack.back()),
+      b.AddEdge(static_cast<Graph::VertexId>(stack.back()),
                 static_cast<Graph::VertexId>(j));
       stack.pop_back();
     }
     if (!stack.empty()) {
-      g.AddEdge(static_cast<Graph::VertexId>(stack.back()),
+      b.AddEdge(static_cast<Graph::VertexId>(stack.back()),
                 static_cast<Graph::VertexId>(j));
       if (s[stack.back()] == s[j]) stack.pop_back();
     }
     stack.push_back(j);
   }
-  g.Finalize();
-  return g;
+  b.BuildInto(&ws->graph);
+  return ws->graph;
+}
+
+Graph BuildHorizontalVisibilityGraph(const Series& s) {
+  VgWorkspace ws;
+  BuildHorizontalVisibilityGraph(s, &ws);
+  return std::move(ws.graph);
 }
 
 Graph BuildHorizontalVisibilityGraphNaive(const Series& s) {
   const size_t n = s.size();
-  Graph g(n);
+  GraphBuilder b(n);
   for (size_t i = 0; i < n; ++i) {
     double max_between = -std::numeric_limits<double>::infinity();
     for (size_t j = i + 1; j < n; ++j) {
       if (max_between < std::min(s[i], s[j])) {
-        g.AddEdge(static_cast<Graph::VertexId>(i),
+        b.AddEdge(static_cast<Graph::VertexId>(i),
                   static_cast<Graph::VertexId>(j));
       }
       max_between = std::max(max_between, s[j]);
       if (max_between >= s[i]) break;  // Nothing further right is visible.
     }
   }
-  g.Finalize();
-  return g;
+  return b.Build();
 }
 
 }  // namespace mvg

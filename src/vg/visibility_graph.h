@@ -3,6 +3,7 @@
 
 #include "graph/graph.h"
 #include "ts/dataset.h"
+#include "vg/vg_workspace.h"
 
 namespace mvg {
 
@@ -20,10 +21,21 @@ enum class VgAlgorithm {
 Graph BuildVisibilityGraph(const Series& s,
                            VgAlgorithm algorithm = VgAlgorithm::kDivideConquer);
 
+/// Pooled variant: builds into `ws->graph` reusing all workspace buffers
+/// (zero steady-state allocation; see VgWorkspace). The returned reference
+/// is invalidated by the next build through the same workspace.
+const Graph& BuildVisibilityGraph(
+    const Series& s, VgWorkspace* ws,
+    VgAlgorithm algorithm = VgAlgorithm::kDivideConquer);
+
 /// Builds the horizontal visibility graph (paper Def. 2.4): i and j are
 /// connected iff every point between them is strictly below both v_i and
 /// v_j. Uses the O(n) stack algorithm.
 Graph BuildHorizontalVisibilityGraph(const Series& s);
+
+/// Pooled variant of the O(n) HVG builder (same contract as the pooled
+/// natural-VG builder).
+const Graph& BuildHorizontalVisibilityGraph(const Series& s, VgWorkspace* ws);
 
 /// O(n^2) reference HVG used by the property tests.
 Graph BuildHorizontalVisibilityGraphNaive(const Series& s);

@@ -8,17 +8,31 @@
 
 namespace mvg {
 
-WeightedVisibilityGraph WeightedVisibilityGraph::Build(const Series& s) {
+WeightedVisibilityGraph WeightedVisibilityGraph::FromGraph(const Graph& vg,
+                                                           const Series& s) {
   WeightedVisibilityGraph wvg;
-  wvg.num_vertices_ = s.size();
-  const Graph g = BuildVisibilityGraph(s);
-  wvg.edges_.reserve(g.num_edges());
-  for (const auto& [u, v] : g.Edges()) {
-    const double slope =
-        (s[v] - s[u]) / static_cast<double>(v - u);
-    wvg.edges_.push_back({u, v, std::abs(std::atan(slope))});
+  wvg.num_vertices_ = vg.num_vertices();
+  wvg.edges_.reserve(vg.num_edges());
+  // Iterate the CSR directly (u ascending, then v ascending) — the same
+  // (u, v) order Edges() yields, without materializing the edge list.
+  for (Graph::VertexId u = 0; u < vg.num_vertices(); ++u) {
+    for (Graph::VertexId v : vg.Neighbors(u)) {
+      if (v <= u) continue;
+      const double slope = (s[v] - s[u]) / static_cast<double>(v - u);
+      wvg.edges_.push_back({u, v, std::abs(std::atan(slope))});
+    }
   }
   return wvg;
+}
+
+WeightedVisibilityGraph WeightedVisibilityGraph::Build(const Series& s,
+                                                       VgWorkspace* ws) {
+  return FromGraph(BuildVisibilityGraph(s, ws), s);
+}
+
+WeightedVisibilityGraph WeightedVisibilityGraph::Build(const Series& s) {
+  VgWorkspace ws;
+  return Build(s, &ws);
 }
 
 std::vector<double> WeightedVisibilityGraph::VertexStrengths() const {
@@ -63,17 +77,24 @@ WeightedVisibilityGraph::ComputeWeightStats() const {
   return st;
 }
 
-DirectedVgDegrees ComputeDirectedVgDegrees(const Series& s) {
-  const Graph g = BuildVisibilityGraph(s);
+DirectedVgDegrees ComputeDirectedVgDegrees(const Graph& vg) {
   DirectedVgDegrees d;
-  d.in.assign(s.size(), 0);
-  d.out.assign(s.size(), 0);
-  for (const auto& [u, v] : g.Edges()) {
-    // Edges() yields u < v; orient forward in time.
-    ++d.out[u];
-    ++d.in[v];
+  d.in.assign(vg.num_vertices(), 0);
+  d.out.assign(vg.num_vertices(), 0);
+  for (Graph::VertexId u = 0; u < vg.num_vertices(); ++u) {
+    for (Graph::VertexId v : vg.Neighbors(u)) {
+      // Orient each undirected edge forward in time.
+      if (u < v) {
+        ++d.out[u];
+        ++d.in[v];
+      }
+    }
   }
   return d;
+}
+
+DirectedVgDegrees ComputeDirectedVgDegrees(const Series& s) {
+  return ComputeDirectedVgDegrees(BuildVisibilityGraph(s));
 }
 
 double DegreeSequenceEntropy(const std::vector<size_t>& degrees) {

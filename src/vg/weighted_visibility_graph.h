@@ -6,6 +6,7 @@
 
 #include "graph/graph.h"
 #include "ts/dataset.h"
+#include "vg/vg_workspace.h"
 
 namespace mvg {
 
@@ -29,6 +30,14 @@ class WeightedVisibilityGraph {
  public:
   /// Builds from a series (same visibility criterion as Def. 2.3).
   static WeightedVisibilityGraph Build(const Series& s);
+
+  /// Pooled variant: routes the underlying VG construction through `ws`.
+  static WeightedVisibilityGraph Build(const Series& s, VgWorkspace* ws);
+
+  /// Annotates an already-built natural VG of `s` with view-angle weights
+  /// (avoids rebuilding the graph when the caller — e.g. the extended
+  /// feature extractor — already has it).
+  static WeightedVisibilityGraph FromGraph(const Graph& vg, const Series& s);
 
   size_t num_vertices() const { return num_vertices_; }
   size_t num_edges() const { return edges_.size(); }
@@ -62,6 +71,9 @@ struct DirectedVgDegrees {
   std::vector<size_t> out;
 };
 DirectedVgDegrees ComputeDirectedVgDegrees(const Series& s);
+
+/// Same orientation applied to an already-built natural VG.
+DirectedVgDegrees ComputeDirectedVgDegrees(const Graph& vg);
 
 /// Shannon entropy (nats) of a degree sequence's empirical distribution —
 /// the "degree distribution entropy" the paper's §6 lists as future work.

@@ -144,13 +144,14 @@ TEST(GraphEdgeCases, FromEdgesDeduplicatesAndIgnoresSelfLoops) {
   EXPECT_FALSE(g.HasEdge(2, 2));
 }
 
-TEST(GraphEdgeCases, FinalizeIsIdempotent) {
-  Graph g(3);
-  g.AddEdge(0, 1);
-  g.Finalize();
-  g.Finalize();
-  EXPECT_EQ(g.num_edges(), 1u);
-  EXPECT_TRUE(g.finalized());
+TEST(GraphEdgeCases, BuildIsRepeatable) {
+  // Build() is non-destructive: the same builder yields identical graphs.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph first = b.Build();
+  const Graph second = b.Build();
+  EXPECT_EQ(first.num_edges(), 1u);
+  EXPECT_EQ(first.Edges(), second.Edges());
 }
 
 TEST(UcrIoEdgeCases, NegativeAndScientificValues) {

@@ -105,10 +105,9 @@ TEST(DegreeSequenceEntropyTest, UniformAndDegenerate) {
 TEST(Betweenness, PathGraphCenterDominates) {
   // Path 0-1-2-3-4: betweenness of center = (pairs through it) = 4
   // [(0,3),(0,4),(1,3)... let's check known normalised values instead].
-  Graph g(5);
-  for (Graph::VertexId i = 0; i + 1 < 5; ++i) g.AddEdge(i, i + 1);
-  g.Finalize();
-  const auto bc = NormalizeBetweenness(BetweennessCentrality(g), 5);
+  GraphBuilder b(5);
+  for (Graph::VertexId i = 0; i + 1 < 5; ++i) b.AddEdge(i, i + 1);
+  const auto bc = NormalizeBetweenness(BetweennessCentrality(b.Build()), 5);
   // Known: normalised betweenness of P5 = {0, 1/2, 2/3, 1/2, 0}.
   EXPECT_NEAR(bc[0], 0.0, 1e-12);
   EXPECT_NEAR(bc[1], 0.5, 1e-12);
@@ -118,28 +117,25 @@ TEST(Betweenness, PathGraphCenterDominates) {
 }
 
 TEST(Betweenness, StarHubTakesAll) {
-  Graph g(5);
-  for (Graph::VertexId i = 1; i < 5; ++i) g.AddEdge(0, i);
-  g.Finalize();
-  const auto bc = NormalizeBetweenness(BetweennessCentrality(g), 5);
+  GraphBuilder b(5);
+  for (Graph::VertexId i = 1; i < 5; ++i) b.AddEdge(0, i);
+  const auto bc = NormalizeBetweenness(BetweennessCentrality(b.Build()), 5);
   EXPECT_NEAR(bc[0], 1.0, 1e-12);
   for (size_t i = 1; i < 5; ++i) EXPECT_NEAR(bc[i], 0.0, 1e-12);
 }
 
 TEST(Betweenness, CompleteGraphAllZero) {
-  Graph g(6);
+  GraphBuilder b(6);
   for (Graph::VertexId i = 0; i < 6; ++i) {
-    for (Graph::VertexId j = i + 1; j < 6; ++j) g.AddEdge(i, j);
+    for (Graph::VertexId j = i + 1; j < 6; ++j) b.AddEdge(i, j);
   }
-  g.Finalize();
-  for (double c : BetweennessCentrality(g)) EXPECT_NEAR(c, 0.0, 1e-12);
+  for (double c : BetweennessCentrality(b.Build())) EXPECT_NEAR(c, 0.0, 1e-12);
 }
 
 TEST(DegreeDistributionEntropyTest, RegularGraphZero) {
-  Graph cycle(6);
+  GraphBuilder cycle(6);
   for (Graph::VertexId i = 0; i < 6; ++i) cycle.AddEdge(i, (i + 1) % 6);
-  cycle.Finalize();
-  EXPECT_DOUBLE_EQ(DegreeDistributionEntropy(cycle), 0.0);
+  EXPECT_DOUBLE_EQ(DegreeDistributionEntropy(cycle.Build()), 0.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,227 @@
+// Tests for the CSR migration: GraphBuilder edge cases, CSR layout
+// invariants, and a property sweep pinning the pooled CSR visibility-graph
+// pipeline against the old representation's edge sets (rebuilt through
+// Graph::FromEdges from an independently computed edge list).
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "tests/test_util.h"
+#include "ts/generators.h"
+#include "util/random.h"
+#include "vg/visibility_graph.h"
+
+namespace mvg {
+namespace {
+
+using testutil::AllSeriesFamilies;
+using testutil::MakeFamilySeries;
+using testutil::SeriesFamily;
+
+using EdgeList = std::vector<std::pair<Graph::VertexId, Graph::VertexId>>;
+
+/// Direct transcription of Def. 2.3 (the naive slope-maximum scan) into a
+/// plain edge list — the "old representation" input for Graph::FromEdges.
+EdgeList NaiveVgEdgeList(const Series& s) {
+  EdgeList edges;
+  const size_t n = s.size();
+  for (size_t i = 0; i < n; ++i) {
+    double max_slope = -std::numeric_limits<double>::infinity();
+    for (size_t j = i + 1; j < n; ++j) {
+      const double slope = (s[j] - s[i]) / static_cast<double>(j - i);
+      if (slope > max_slope) {
+        edges.emplace_back(static_cast<Graph::VertexId>(i),
+                           static_cast<Graph::VertexId>(j));
+      }
+      max_slope = std::max(max_slope, slope);
+    }
+  }
+  return edges;
+}
+
+/// CSR structural invariants: adjacency slices tile the flat neighbors
+/// array contiguously, each slice is sorted strictly ascending (sorted +
+/// deduplicated), degrees sum to 2|E|, and no self loops survive.
+void ExpectValidCsrLayout(const Graph& g) {
+  size_t degree_sum = 0;
+  const Graph::VertexId n = static_cast<Graph::VertexId>(g.num_vertices());
+  for (Graph::VertexId v = 0; v < n; ++v) {
+    const Graph::NeighborSpan nb = g.Neighbors(v);
+    degree_sum += nb.size();
+    if (v + 1 < n) {
+      EXPECT_EQ(nb.data() + nb.size(), g.Neighbors(v + 1).data())
+          << "CSR slices not contiguous at vertex " << v;
+    }
+    for (size_t i = 0; i < nb.size(); ++i) {
+      EXPECT_NE(nb[i], v) << "self loop at vertex " << v;
+      if (i > 0) {
+        EXPECT_LT(nb[i - 1], nb[i])
+            << "adjacency of vertex " << v << " not strictly ascending";
+      }
+    }
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+// ---------------------------------------------------------------------------
+// GraphBuilder edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Edges().empty());
+}
+
+TEST(GraphBuilder, SingleVertex) {
+  GraphBuilder b(1);
+  b.AddEdge(0, 0);  // self loop on the only vertex: dropped
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.Degree(0), 0u);
+  ExpectValidCsrLayout(g);
+}
+
+TEST(GraphBuilder, DuplicateAndReversedEdgesCollapse) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);  // same undirected edge, reversed
+  b.AddEdge(0, 1);  // exact duplicate
+  b.AddEdge(2, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  ExpectValidCsrLayout(g);
+}
+
+TEST(GraphBuilder, SelfLoopsIgnoredEverywhere) {
+  GraphBuilder b(4);
+  for (Graph::VertexId v = 0; v < 4; ++v) b.AddEdge(v, v);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+  EXPECT_EQ(b.Build().num_edges(), 0u);
+}
+
+TEST(GraphBuilder, OutOfRangeThrowsAndLeavesBuilderUsable) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  EXPECT_THROW(b.AddEdge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.AddEdge(7, 0), std::out_of_range);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphBuilder, ResetRetargetsAcrossSizes) {
+  // One builder cycling big -> small -> big must never leak state.
+  GraphBuilder b(100);
+  for (Graph::VertexId i = 0; i + 1 < 100; ++i) b.AddEdge(i, i + 1);
+  EXPECT_EQ(b.Build().num_edges(), 99u);
+
+  b.Reset(2);
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+  b.AddEdge(0, 1);
+  const Graph small = b.Build();
+  EXPECT_EQ(small.num_vertices(), 2u);
+  EXPECT_EQ(small.num_edges(), 1u);
+  ExpectValidCsrLayout(small);
+
+  b.Reset(50);
+  for (Graph::VertexId i = 1; i < 50; ++i) b.AddEdge(0, i);
+  const Graph star = b.Build();
+  EXPECT_EQ(star.num_edges(), 49u);
+  EXPECT_EQ(star.Degree(0), 49u);
+  ExpectValidCsrLayout(star);
+}
+
+TEST(GraphBuilder, BuildIntoRecyclesTargetStorage) {
+  Graph g;
+  GraphBuilder b;
+  // Repeated BuildInto over graphs of varying size and shape.
+  for (size_t n : {size_t{5}, size_t{40}, size_t{3}, size_t{40}}) {
+    b.Reset(n);
+    for (Graph::VertexId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+    b.BuildInto(&g);
+    EXPECT_EQ(g.num_vertices(), n);
+    EXPECT_EQ(g.num_edges(), n - 1);
+    ExpectValidCsrLayout(g);
+  }
+}
+
+TEST(GraphBuilder, MatchesFromEdgesOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const size_t n = 10 + seed * 3;
+    EdgeList edges;
+    GraphBuilder b(n);
+    for (Graph::VertexId i = 0; i < n; ++i) {
+      for (Graph::VertexId j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.2)) {
+          edges.emplace_back(i, j);
+          b.AddEdge(i, j);
+        }
+      }
+    }
+    testutil::ExpectSameEdges(b.Build(), Graph::FromEdges(n, edges),
+                              "seed=" + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSR migration property sweep: the pooled CSR pipeline must reproduce the
+// old representation's edge sets over the same 100-series sweep the PR-1
+// property tests use (4 families x 25 seeds) — with ONE workspace shared
+// across the whole sweep, so workspace reuse is stressed at the same time.
+// ---------------------------------------------------------------------------
+
+class CsrMigrationTest
+    : public ::testing::TestWithParam<std::tuple<SeriesFamily, uint64_t>> {
+ protected:
+  Series MakeSeries() const {
+    const auto [family, seed] = GetParam();
+    const size_t n = 16 + 11 * (seed % 13);
+    return MakeFamilySeries(family, n, seed);
+  }
+  static VgWorkspace& SharedWorkspace() {
+    static VgWorkspace ws;
+    return ws;
+  }
+};
+
+TEST_P(CsrMigrationTest, PooledCsrVgMatchesFromEdgesOfOldRepresentation) {
+  const Series s = MakeSeries();
+  const Graph expected = Graph::FromEdges(s.size(), NaiveVgEdgeList(s));
+  const Graph& pooled = BuildVisibilityGraph(s, &SharedWorkspace());
+  testutil::ExpectSameEdges(pooled, expected, "pooled CSR vs FromEdges");
+  ExpectValidCsrLayout(pooled);
+}
+
+TEST_P(CsrMigrationTest, PooledHvgMatchesNaiveEdgeSet) {
+  const Series s = MakeSeries();
+  const Graph expected = BuildHorizontalVisibilityGraphNaive(s);
+  const Graph& pooled = BuildHorizontalVisibilityGraph(s, &SharedWorkspace());
+  testutil::ExpectSameEdges(pooled, expected, "pooled HVG vs naive");
+  ExpectValidCsrLayout(pooled);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HundredSeries, CsrMigrationTest,
+    ::testing::Combine(::testing::ValuesIn(AllSeriesFamilies()),
+                       ::testing::Range(uint64_t{0}, uint64_t{25})),
+    [](const ::testing::TestParamInfo<std::tuple<SeriesFamily, uint64_t>>&
+           info) {
+      return std::string(testutil::ToString(std::get<0>(info.param))) +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace mvg

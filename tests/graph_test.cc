@@ -9,40 +9,37 @@ namespace mvg {
 namespace {
 
 Graph MakePath(size_t n) {
-  Graph g(n);
-  for (Graph::VertexId i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1);
-  g.Finalize();
-  return g;
+  GraphBuilder b(n);
+  for (Graph::VertexId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
 }
 
 Graph MakeComplete(size_t n) {
-  Graph g(n);
+  GraphBuilder b(n);
   for (Graph::VertexId i = 0; i < n; ++i) {
-    for (Graph::VertexId j = i + 1; j < n; ++j) g.AddEdge(i, j);
+    for (Graph::VertexId j = i + 1; j < n; ++j) b.AddEdge(i, j);
   }
-  g.Finalize();
-  return g;
+  return b.Build();
 }
 
 Graph MakeRandom(size_t n, double p, uint64_t seed) {
   Rng rng(seed);
-  Graph g(n);
+  GraphBuilder b(n);
   for (Graph::VertexId i = 0; i < n; ++i) {
     for (Graph::VertexId j = i + 1; j < n; ++j) {
-      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+      if (rng.Bernoulli(p)) b.AddEdge(i, j);
     }
   }
-  g.Finalize();
-  return g;
+  return b.Build();
 }
 
 TEST(Graph, BasicConstruction) {
-  Graph g(4);
-  g.AddEdge(0, 1);
-  g.AddEdge(1, 2);
-  g.AddEdge(1, 2);  // duplicate
-  g.AddEdge(3, 3);  // self loop ignored
-  g.Finalize();
+  GraphBuilder b(4);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 2);  // duplicate
+  b.AddEdge(3, 3);  // self loop ignored
+  const Graph g = b.Build();
   EXPECT_EQ(g.num_vertices(), 4u);
   EXPECT_EQ(g.num_edges(), 2u);
   EXPECT_TRUE(g.HasEdge(0, 1));
@@ -60,18 +57,14 @@ TEST(Graph, EdgesListSorted) {
 }
 
 TEST(Graph, AddEdgeOutOfRangeThrows) {
-  Graph g(2);
-  EXPECT_THROW(g.AddEdge(0, 5), std::out_of_range);
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 5), std::out_of_range);
 }
 
 TEST(GraphStats, DensityCompleteAndEmpty) {
   EXPECT_DOUBLE_EQ(Density(MakeComplete(5)), 1.0);
-  Graph empty(5);
-  empty.Finalize();
-  EXPECT_DOUBLE_EQ(Density(empty), 0.0);
-  Graph tiny(1);
-  tiny.Finalize();
-  EXPECT_DOUBLE_EQ(Density(tiny), 0.0);
+  EXPECT_DOUBLE_EQ(Density(Graph(5)), 0.0);
+  EXPECT_DOUBLE_EQ(Density(Graph(1)), 0.0);
 }
 
 TEST(GraphStats, DensityPath) {
@@ -143,18 +136,16 @@ TEST(GraphStats, MaxCoreMatchesBruteForceOnRandomGraphs) {
 TEST(GraphStats, AssortativityStarIsNegative) {
   // Star: hub degree n-1 connects to leaves of degree 1 -> maximally
   // disassortative.
-  Graph g(6);
-  for (Graph::VertexId i = 1; i < 6; ++i) g.AddEdge(0, i);
-  g.Finalize();
-  EXPECT_NEAR(DegreeAssortativity(g), -1.0, 1e-9);
+  GraphBuilder b(6);
+  for (Graph::VertexId i = 1; i < 6; ++i) b.AddEdge(0, i);
+  EXPECT_NEAR(DegreeAssortativity(b.Build()), -1.0, 1e-9);
 }
 
 TEST(GraphStats, AssortativityRegularGraphDegenerate) {
   // Cycle: all degrees equal -> zero denominator -> defined as 0.
-  Graph g(5);
-  for (Graph::VertexId i = 0; i < 5; ++i) g.AddEdge(i, (i + 1) % 5);
-  g.Finalize();
-  EXPECT_EQ(DegreeAssortativity(g), 0.0);
+  GraphBuilder b(5);
+  for (Graph::VertexId i = 0; i < 5; ++i) b.AddEdge(i, (i + 1) % 5);
+  EXPECT_EQ(DegreeAssortativity(b.Build()), 0.0);
 }
 
 TEST(GraphStats, AssortativityMatchesPearsonOverEdgeEndpoints) {
@@ -174,14 +165,8 @@ TEST(GraphStats, AssortativityMatchesPearsonOverEdgeEndpoints) {
 
 TEST(GraphStats, Connectivity) {
   EXPECT_TRUE(IsConnected(MakePath(5)));
-  Graph g(4);
-  g.AddEdge(0, 1);
-  g.AddEdge(2, 3);
-  g.Finalize();
-  EXPECT_FALSE(IsConnected(g));
-  Graph empty(0);
-  empty.Finalize();
-  EXPECT_TRUE(IsConnected(empty));
+  EXPECT_FALSE(IsConnected(Graph::FromEdges(4, {{0, 1}, {2, 3}})));
+  EXPECT_TRUE(IsConnected(Graph(0)));
 }
 
 TEST(GraphStats, DiameterOfPathAndClique) {

@@ -12,14 +12,13 @@ namespace {
 
 Graph MakeRandom(size_t n, double p, uint64_t seed) {
   Rng rng(seed);
-  Graph g(n);
+  GraphBuilder b(n);
   for (Graph::VertexId i = 0; i < n; ++i) {
     for (Graph::VertexId j = i + 1; j < n; ++j) {
-      if (rng.Bernoulli(p)) g.AddEdge(i, j);
+      if (rng.Bernoulli(p)) b.AddEdge(i, j);
     }
   }
-  g.Finalize();
-  return g;
+  return b.Build();
 }
 
 void ExpectSameCounts(const MotifCounts& a, const MotifCounts& b,
@@ -41,12 +40,11 @@ TEST(MotifCounts, TriangleGraph) {
 }
 
 TEST(MotifCounts, CliqueK4) {
-  Graph g(4);
+  GraphBuilder b(4);
   for (Graph::VertexId i = 0; i < 4; ++i) {
-    for (Graph::VertexId j = i + 1; j < 4; ++j) g.AddEdge(i, j);
+    for (Graph::VertexId j = i + 1; j < 4; ++j) b.AddEdge(i, j);
   }
-  g.Finalize();
-  const MotifCounts c = CountMotifs(g);
+  const MotifCounts c = CountMotifs(b.Build());
   EXPECT_EQ(c.m41, 1);
   EXPECT_EQ(c.m42, 0);
   EXPECT_EQ(c.m31, 4);  // 4 triangles inside K4
@@ -92,9 +90,7 @@ TEST(MotifCounts, DisconnectedShapes) {
   Graph one_edge = Graph::FromEdges(4, {{0, 1}});
   EXPECT_EQ(CountMotifs(one_edge).m410, 1);
   // Empty graph on 4 vertices.
-  Graph empty(4);
-  empty.Finalize();
-  EXPECT_EQ(CountMotifs(empty).m411, 1);
+  EXPECT_EQ(CountMotifs(Graph(4)).m411, 1);
 }
 
 TEST(MotifCounts, TotalsAreSubsetCounts) {
@@ -171,9 +167,7 @@ TEST(MotifProbability, GroupsSumToOne) {
 TEST(MotifProbability, EmptyGroupsAreZero) {
   // Path graph on 3 vertices has no 4-node connected motifs beyond those
   // possible; use an edgeless graph so connected groups are empty.
-  Graph g(5);
-  g.Finalize();
-  const auto p = MotifProbabilityDistribution(CountMotifs(g));
+  const auto p = MotifProbabilityDistribution(CountMotifs(Graph(5)));
   EXPECT_EQ(p[0], 0.0);  // M21 group has mass only on M22
   EXPECT_EQ(p[1], 1.0);
   EXPECT_EQ(p[6], 0.0);  // no connected 4-motifs at all

@@ -136,12 +136,11 @@ class PathGraphMotifTest : public ::testing::TestWithParam<int64_t> {};
 
 TEST_P(PathGraphMotifTest, ClosedFormCounts) {
   const int64_t n = GetParam();
-  Graph g(static_cast<size_t>(n));
+  GraphBuilder b(static_cast<size_t>(n));
   for (Graph::VertexId i = 0; i + 1 < static_cast<Graph::VertexId>(n); ++i) {
-    g.AddEdge(i, i + 1);
+    b.AddEdge(i, i + 1);
   }
-  g.Finalize();
-  const MotifCounts c = CountMotifs(g);
+  const MotifCounts c = CountMotifs(b.Build());
   EXPECT_EQ(c.m21, n - 1);
   EXPECT_EQ(c.m31, 0);             // no triangles in a path
   EXPECT_EQ(c.m32, n - 2);         // wedges = interior vertices
@@ -165,12 +164,11 @@ class StarGraphMotifTest : public ::testing::TestWithParam<int64_t> {};
 TEST_P(StarGraphMotifTest, ClosedFormCounts) {
   // Star K_{1,n-1}: hub 0.
   const int64_t n = GetParam();
-  Graph g(static_cast<size_t>(n));
+  GraphBuilder b(static_cast<size_t>(n));
   for (Graph::VertexId i = 1; i < static_cast<Graph::VertexId>(n); ++i) {
-    g.AddEdge(0, i);
+    b.AddEdge(0, i);
   }
-  g.Finalize();
-  const MotifCounts c = CountMotifs(g);
+  const MotifCounts c = CountMotifs(b.Build());
   const int64_t leaves = n - 1;
   EXPECT_EQ(c.m21, leaves);
   EXPECT_EQ(c.m31, 0);
@@ -189,12 +187,11 @@ INSTANTIATE_TEST_SUITE_P(Sizes, StarGraphMotifTest,
 
 TEST(CompleteGraphMotifs, AllSubsetsAreCliques) {
   const int64_t n = 9;
-  Graph g(static_cast<size_t>(n));
+  GraphBuilder b(static_cast<size_t>(n));
   for (Graph::VertexId i = 0; i < n; ++i) {
-    for (Graph::VertexId j = i + 1; j < n; ++j) g.AddEdge(i, j);
+    for (Graph::VertexId j = i + 1; j < n; ++j) b.AddEdge(i, j);
   }
-  g.Finalize();
-  const MotifCounts c = CountMotifs(g);
+  const MotifCounts c = CountMotifs(b.Build());
   EXPECT_EQ(c.m31, n * (n - 1) * (n - 2) / 6);
   EXPECT_EQ(c.m41, n * (n - 1) * (n - 2) * (n - 3) / 24);
   EXPECT_EQ(c.m42 + c.m43 + c.m44 + c.m45 + c.m46, 0);

@@ -33,6 +33,30 @@ TEST(ParallelFor, HandlesFewerItemsThanThreads) {
   ParallelFor(0, 4, [](size_t) { FAIL() << "no work expected"; });
 }
 
+TEST(ParallelForWorkerTest, WorkerIndexStaysBelowMaxWorkers) {
+  // ExtractAll sizes per-worker state (pooled VgWorkspaces) with
+  // MaxWorkers(n, num_threads); every worker index handed to the body must
+  // stay below it, and one worker must own each index range exclusively.
+  // Sweep includes n < num_threads (the tightest edge of the bound).
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{5}, size_t{16}}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{7}, size_t{64}}) {
+      const size_t bound = MaxWorkers(n, threads);
+      std::vector<std::atomic<int>> owner(n);
+      for (auto& o : owner) o = -1;
+      std::atomic<bool> in_bounds{true};
+      ParallelForWorker(n, threads, [&](size_t worker, size_t i) {
+        if (worker >= bound) in_bounds = false;
+        owner[i] = static_cast<int>(worker);
+      });
+      EXPECT_TRUE(in_bounds.load())
+          << "worker index >= MaxWorkers(" << n << ", " << threads << ")";
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_GE(owner[i].load(), 0) << "index " << i << " never visited";
+      }
+    }
+  }
+}
+
 TEST(ParallelFor, WorkerExceptionPropagatesToCaller) {
   // A throwing body must not std::terminate; the first exception reaches
   // the calling thread after all workers join.
