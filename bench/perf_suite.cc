@@ -1,6 +1,8 @@
 // Machine-readable performance suite for the hot paths: visibility-graph
 // construction (CSR pooled vs the PR-1 vector-of-vectors baseline), motif
-// counting, and end-to-end feature extraction across series lengths.
+// counting, end-to-end feature extraction across series lengths, and the
+// serving runtime (batch p50/p99 latency, streaming push latency, pooled
+// allocation behaviour, save/load prediction parity).
 //
 // Unlike the micro_* binaries this has no Google Benchmark dependency, so
 // it builds everywhere the library builds and is what CI's perf lane runs:
@@ -17,6 +19,7 @@
 // speedup over the legacy representation), which transfer across hosts.
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
@@ -24,16 +27,42 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <new>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/legacy_vg.h"
 #include "core/feature_extractor.h"
+#include "core/mvg_classifier.h"
 #include "motif/motif_counts.h"
+#include "serve/model_io.h"
+#include "serve/serving.h"
 #include "ts/generators.h"
 #include "util/timer.h"
 #include "vg/visibility_graph.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter: replacing operator new in this binary lets the
+// suite *prove* the pooled serving path performs zero steady-state heap
+// allocations, instead of inferring it from timings. The counter is a
+// relaxed atomic; the overhead is irrelevant at benchmark granularity.
+// ---------------------------------------------------------------------------
+
+static std::atomic<uint64_t> g_alloc_count{0};
+
+static void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -292,6 +321,116 @@ int main(int argc, char** argv) {
     }
     results.push_back(TimeIt("extract_all_batch256", batch, opt,
                              [&] { fx.ExtractAll(ds, 1); }));
+  }
+
+  // --- Serving runtime: persistence parity, latency, allocations ---
+  // Gated metrics (serve_predict_match, serve_pooled_build_alloc_free) are
+  // exact by construction, so they hold in --quick mode too; the latency
+  // rows are informational raw timings like every other row.
+  std::printf("Serving:\n");
+  {
+    const size_t train_n = opt.quick ? 16 : 24;
+    const size_t series_len = 128;
+    Dataset train("serve_train");
+    for (size_t i = 0; i < train_n; ++i) {
+      train.Add(GaussianNoise(series_len, 900 + i), static_cast<int>(i % 2));
+    }
+    MvgClassifier::Config config;
+    config.grid = GridPreset::kNone;
+    MvgClassifier clf(config);
+    clf.Fit(train);
+
+    // Round-trip through the on-disk format, then serve from the loaded
+    // model only — exactly the production shape.
+    const char* model_path = "BENCH_serve_model.mvg";
+    SaveModel(clf, model_path);
+    ServingSession session = ServingSession::FromFile(model_path);
+    std::remove(model_path);
+
+    const size_t batch_n = opt.quick ? 16 : 64;
+    std::vector<Series> batch;
+    batch.reserve(batch_n);
+    for (size_t i = 0; i < batch_n; ++i) {
+      batch.push_back(GaussianNoise(series_len, 2000 + i));
+    }
+
+    // Parity gate: the loaded model must answer exactly like the fitted
+    // in-memory pipeline, series by series.
+    const std::vector<int> served =
+        session.PredictBatch(batch.data(), batch.size(), 1);
+    size_t matches = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (served[i] == clf.Predict(batch[i])) ++matches;
+    }
+    metrics["serve_predict_match"] =
+        static_cast<double>(matches) / static_cast<double>(batch.size());
+
+    // Batch latency distribution (single worker: per-call latency, not
+    // parallel throughput, is what a tail-latency SLO cares about).
+    const size_t calls = opt.quick ? 8 : 40;
+    std::vector<double> call_seconds(calls);
+    for (size_t c = 0; c < calls; ++c) {
+      WallTimer timer;
+      session.PredictBatch(batch.data(), batch.size(), 1);
+      call_seconds[c] = timer.Seconds();
+    }
+    std::sort(call_seconds.begin(), call_seconds.end());
+    const auto percentile_ns = [&](double q) {
+      const size_t idx = std::min(
+          calls - 1, static_cast<size_t>(q * static_cast<double>(calls)));
+      return call_seconds[idx] * 1e9;
+    };
+    BenchResult p50{"serve_predict_batch_p50", batch_n, calls,
+                    percentile_ns(0.50)};
+    BenchResult p99{"serve_predict_batch_p99", batch_n, calls,
+                    percentile_ns(0.99)};
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                p50.name.c_str(), p50.n, p50.ns_per_iter, p50.iters);
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                p99.name.c_str(), p99.n, p99.ns_per_iter, p99.iters);
+    results.push_back(p50);
+    results.push_back(p99);
+
+    // Single-sample streaming latency: window full, hop 1, so every push
+    // re-extracts and classifies — the worst-case monitoring setting.
+    StreamingClassifier::Options stream_opt;
+    stream_opt.window = series_len;
+    StreamingClassifier stream(&session.model(), stream_opt);
+    const Series feed = GaussianNoise(4 * series_len, 3000);
+    size_t cursor = 0;
+    for (size_t i = 0; i < series_len; ++i) stream.Push(feed[cursor++]);
+    results.push_back(TimeIt("serve_streaming_push", series_len, opt, [&] {
+      stream.Push(feed[cursor++ % feed.size()]);
+    }));
+
+    // Zero-steady-state-allocation gate on the pooled build path that
+    // PredictBatch's per-worker workspaces ride on.
+    VgWorkspace pooled;
+    const Series s = GaussianNoise(1024, 4000);
+    for (int warm = 0; warm < 16; ++warm) {
+      BuildVisibilityGraph(s, &pooled);
+      BuildHorizontalVisibilityGraph(s, &pooled);
+    }
+    const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    for (int iter = 0; iter < 64; ++iter) {
+      BuildVisibilityGraph(s, &pooled);
+      BuildHorizontalVisibilityGraph(s, &pooled);
+    }
+    const uint64_t allocs =
+        g_alloc_count.load(std::memory_order_relaxed) - before;
+    metrics["serve_pooled_build_alloc_free"] = allocs == 0 ? 1.0 : 0.0;
+
+    // Informational: end-to-end allocations per pooled single prediction
+    // (feature staging and the model's proba vectors still allocate; the
+    // graph-construction share is zero).
+    for (int warm = 0; warm < 4; ++warm) session.Predict(batch[0]);
+    const uint64_t predict_before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    const size_t predict_iters = 32;
+    for (size_t i = 0; i < predict_iters; ++i) session.Predict(batch[0]);
+    metrics["serve_allocs_per_predict"] = static_cast<double>(
+        (g_alloc_count.load(std::memory_order_relaxed) - predict_before)) /
+        static_cast<double>(predict_iters);
   }
 
   for (const auto& [name, value] : metrics) {

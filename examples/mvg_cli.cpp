@@ -10,18 +10,25 @@
 //   mvg_cli graph <ucr-file> <index> <out.dot>
 //       Graphviz export of one series' visibility graph (cf. Fig. 1)
 //   mvg_cli classify <train> <test> [xgb|rf|svm|stack]
-//       train + evaluate, printing error rate and timing
+//            [--save-model FILE] [--load-model FILE]
+//       train + evaluate, printing error rate and timing.
+//       --save-model persists the fitted pipeline as a `.mvg` model file;
+//       --load-model skips training entirely and reuses a saved model
+//       (the train file is then ignored — pass `-`). See also mvg_serve
+//       for the dedicated serving front end.
 //
 // With no arguments it prints usage and runs a small self-demo.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "core/mvg_classifier.h"
 #include "graph/graph_io.h"
 #include "ml/metrics.h"
+#include "serve/model_io.h"
 #include "ts/generators.h"
 #include "ts/ucr_io.h"
 #include "vg/visibility_graph.h"
@@ -37,7 +44,8 @@ int Usage(const char* argv0) {
       "  %s generate <dataset-name> <output-prefix>\n"
       "  %s extract <ucr-file> [out.csv]\n"
       "  %s graph <ucr-file> <series-index> <out.dot>\n"
-      "  %s classify <train-file> <test-file> [xgb|rf|svm|stack]\n",
+      "  %s classify <train-file> <test-file> [xgb|rf|svm|stack]"
+      " [--save-model FILE] [--load-model FILE]\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -103,22 +111,37 @@ int CmdGraph(const std::string& in, size_t index, const std::string& out) {
 }
 
 int CmdClassify(const std::string& train_path, const std::string& test_path,
-                const std::string& model) {
-  const Dataset train = ReadUcrFile(train_path);
+                const std::string& model, const std::string& save_model,
+                const std::string& load_model) {
   const Dataset test = ReadUcrFile(test_path);
-  MvgClassifier::Config config;
-  if (model == "rf") {
-    config.model = MvgModel::kRandomForest;
-  } else if (model == "svm") {
-    config.model = MvgModel::kSvm;
-  } else if (model == "stack") {
-    config.model = MvgModel::kStacking;
+  MvgClassifier clf;
+  if (!load_model.empty()) {
+    // Skip retraining: reuse a model persisted by an earlier run (or by
+    // mvg_serve train).
+    clf = LoadModel(load_model);
+    std::printf("loaded %s from %s\n", clf.Name().c_str(),
+                load_model.c_str());
+  } else {
+    const Dataset train = ReadUcrFile(train_path);
+    MvgClassifier::Config config;
+    if (model == "rf") {
+      config.model = MvgModel::kRandomForest;
+    } else if (model == "svm") {
+      config.model = MvgModel::kSvm;
+    } else if (model == "stack") {
+      config.model = MvgModel::kStacking;
+    }
+    clf = MvgClassifier(config);
+    clf.Fit(train);
   }
-  MvgClassifier clf(config);
-  clf.Fit(train);
+  if (!save_model.empty()) {
+    SaveModel(clf, save_model);
+    std::printf("saved model -> %s\n", save_model.c_str());
+  }
   const double err = ErrorRate(test.labels(), clf.PredictAll(test));
-  std::printf("model=%s error=%.4f (FE %.2fs, Clf %.2fs)\n", model.c_str(),
-              err, clf.feature_extraction_seconds(), clf.training_seconds());
+  std::printf("model=%s error=%.4f (FE %.2fs, Clf %.2fs)\n",
+              clf.Name().c_str(), err, clf.feature_extraction_seconds(),
+              clf.training_seconds());
   return 0;
 }
 
@@ -130,7 +153,7 @@ int main(int argc, char** argv) {
     std::printf("\nself-demo: generating SynChaos and classifying it\n");
     const std::string prefix = "/tmp/mvg_cli_demo";
     CmdGenerate("SynChaos", prefix);
-    return CmdClassify(prefix + "_TRAIN", prefix + "_TEST", "xgb");
+    return CmdClassify(prefix + "_TRAIN", prefix + "_TEST", "xgb", "", "");
   }
   const std::string cmd = argv[1];
   try {
@@ -144,7 +167,19 @@ int main(int argc, char** argv) {
                       argv[4]);
     }
     if (cmd == "classify" && argc >= 4) {
-      return CmdClassify(argv[2], argv[3], argc > 4 ? argv[4] : "xgb");
+      std::string model = "xgb", save_model, load_model;
+      for (int i = 4; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--save-model") == 0 && i + 1 < argc) {
+          save_model = argv[++i];
+        } else if (std::strcmp(argv[i], "--load-model") == 0 && i + 1 < argc) {
+          load_model = argv[++i];
+        } else if (argv[i][0] != '-') {
+          model = argv[i];
+        } else {
+          return Usage(argv[0]);
+        }
+      }
+      return CmdClassify(argv[2], argv[3], model, save_model, load_model);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -1,0 +1,260 @@
+// mvg_serve — the train-once / classify-many front end of the serving
+// subsystem (src/serve/): train a pipeline and persist it as a versioned
+// `.mvg` model file, then serve predictions from that file without ever
+// paying the training cost again.
+//
+//   mvg_serve train <train-ucr-file> --out model.mvg
+//            [--model xgb|rf|svm|stack] [--grid none|small|paper]
+//            [--eval <ucr-file> [--out-preds FILE]]
+//       fit an MvgClassifier and save it; --eval classifies a file with
+//       the just-trained in-memory model (so CI can diff these
+//       predictions against a fresh process serving the saved file)
+//   mvg_serve info <model.mvg>
+//       print model metadata (family, extractor config, feature width)
+//   mvg_serve serve --model model.mvg --input <ucr-file>
+//            [--threads N] [--out-preds FILE]
+//       batch-classify every series in a UCR file via ServingSession;
+//       prints one label per line (or writes them to --out-preds)
+//   mvg_serve serve --model model.mvg --stream
+//            [--window N] [--hop N]
+//       online monitoring: read one sample per line from stdin into a
+//       StreamingClassifier sliding window; on every completed window
+//       print "<sample-index> <label>"
+//
+// Example end-to-end round trip on a built-in synthetic set:
+//   mvg_cli generate SynChaos /tmp/chaos
+//   mvg_serve train /tmp/chaos_TRAIN --out /tmp/chaos.mvg
+//   mvg_serve serve --model /tmp/chaos.mvg --input /tmp/chaos_TEST
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/mvg_classifier.h"
+#include "ml/metrics.h"
+#include "serve/model_io.h"
+#include "serve/serving.h"
+#include "ts/ucr_io.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mvg;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s train <train-ucr-file> --out MODEL [--model xgb|rf|svm|stack]"
+      " [--grid none|small|paper] [--eval FILE [--out-preds FILE]]\n"
+      "  %s info <MODEL>\n"
+      "  %s serve --model MODEL --input <ucr-file> [--threads N]"
+      " [--out-preds FILE]\n"
+      "  %s serve --model MODEL --stream [--window N] [--hop N]\n",
+      argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+/// Named-flag scanner over argv[from..): returns the value of `--flag` or
+/// `fallback`, erroring out (via exit) on a flag with no value.
+std::string FlagValue(int argc, char** argv, int from, const char* flag,
+                      const std::string& fallback) {
+  for (int i = from; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a value\n", flag);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, int from, const char* flag) {
+  for (int i = from; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+MvgModel ParseModel(const std::string& name) {
+  if (name == "xgb") return MvgModel::kXgboost;
+  if (name == "rf") return MvgModel::kRandomForest;
+  if (name == "svm") return MvgModel::kSvm;
+  if (name == "stack") return MvgModel::kStacking;
+  throw std::invalid_argument("unknown model family: " + name);
+}
+
+GridPreset ParseGrid(const std::string& name) {
+  if (name == "none") return GridPreset::kNone;
+  if (name == "small") return GridPreset::kSmall;
+  if (name == "paper") return GridPreset::kPaper;
+  throw std::invalid_argument("unknown grid preset: " + name);
+}
+
+const char* ModelName(MvgModel m) {
+  switch (m) {
+    case MvgModel::kXgboost: return "xgb";
+    case MvgModel::kRandomForest: return "rf";
+    case MvgModel::kSvm: return "svm";
+    case MvgModel::kStacking: return "stack";
+  }
+  return "?";
+}
+
+int CmdTrain(int argc, char** argv) {
+  const std::string train_path = argv[2];
+  const std::string out = FlagValue(argc, argv, 3, "--out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "train: --out MODEL is required\n");
+    return 2;
+  }
+  MvgClassifier::Config config;
+  config.model = ParseModel(FlagValue(argc, argv, 3, "--model", "xgb"));
+  config.grid = ParseGrid(FlagValue(argc, argv, 3, "--grid", "small"));
+
+  const Dataset train = ReadUcrFile(train_path);
+  MvgClassifier clf(config);
+  clf.Fit(train);
+  SaveModel(clf, out);
+  std::printf("trained %s on %zu series (FE %.2fs, Clf %.2fs) -> %s\n",
+              clf.Name().c_str(), train.size(),
+              clf.feature_extraction_seconds(), clf.training_seconds(),
+              out.c_str());
+
+  const std::string eval = FlagValue(argc, argv, 3, "--eval", "");
+  if (!eval.empty()) {
+    const Dataset ds = ReadUcrFile(eval);
+    const std::vector<int> pred = clf.PredictAll(ds);
+    const std::string out_preds = FlagValue(argc, argv, 3, "--out-preds", "");
+    if (!out_preds.empty()) {
+      std::ofstream os(out_preds);
+      if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_preds.c_str());
+        return 1;
+      }
+      for (int label : pred) os << label << '\n';
+    } else {
+      for (int label : pred) std::printf("%d\n", label);
+    }
+    std::fprintf(stderr, "eval: error vs file labels %.4f on %zu series\n",
+                 ErrorRate(ds.labels(), pred), ds.size());
+  }
+  return 0;
+}
+
+int CmdInfo(const std::string& path) {
+  const MvgClassifier clf = LoadModel(path);
+  std::printf("model file:     %s (format v%u)\n", path.c_str(),
+              kModelFormatVersion);
+  std::printf("pipeline:       %s\n", clf.Name().c_str());
+  std::printf("family:         %s\n", ModelName(clf.config().model));
+  std::printf("underlying:     %s\n", clf.model().Name().c_str());
+  std::printf("classes:        %zu\n", clf.model().num_classes());
+  std::printf("feature width:  %zu\n", clf.feature_width());
+  std::printf("train length:   %zu\n", clf.train_length());
+  std::printf("scale mode:     %s\n",
+              ToString(clf.config().extractor.scale_mode));
+  std::printf("graph mode:     %s\n",
+              ToString(clf.config().extractor.graph_mode));
+  std::printf("feature mode:   %s\n",
+              ToString(clf.config().extractor.feature_mode));
+  std::printf("recorded fit:   FE %.2fs, Clf %.2fs\n",
+              clf.feature_extraction_seconds(), clf.training_seconds());
+  return 0;
+}
+
+int CmdServeBatch(ServingSession& session, const std::string& input,
+                  size_t threads, const std::string& out_preds) {
+  const Dataset ds = ReadUcrFile(input);
+  WallTimer timer;
+  const std::vector<int> pred =
+      session.PredictBatch(ds.all_series().data(), ds.size(), threads);
+  const double seconds = timer.Seconds();
+
+  if (!out_preds.empty()) {
+    std::ofstream os(out_preds);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_preds.c_str());
+      return 1;
+    }
+    for (int label : pred) os << label << '\n';
+  } else {
+    for (int label : pred) std::printf("%d\n", label);
+  }
+  std::fprintf(stderr,
+               "served %zu series in %.3fs (%.0f series/s, %zu threads), "
+               "error vs file labels %.4f\n",
+               ds.size(), seconds,
+               seconds > 0 ? static_cast<double>(ds.size()) / seconds : 0.0,
+               threads, ErrorRate(ds.labels(), pred));
+  return 0;
+}
+
+int CmdServeStream(ServingSession& session, size_t window, size_t hop) {
+  StreamingClassifier::Options opt;
+  opt.window = window;  // 0 = model train length
+  opt.hop = hop;
+  StreamingClassifier stream(&session.model(), opt);
+  std::fprintf(stderr,
+               "streaming: window=%zu hop=%zu; one sample per line on "
+               "stdin, \"<index> <label>\" per completed window\n",
+               stream.window(), stream.hop());
+  std::string line;
+  size_t index = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    const double sample = std::stod(line);
+    if (const std::optional<int> label = stream.Push(sample)) {
+      std::printf("%zu %d\n", index, *label);
+    }
+    ++index;
+  }
+  return 0;
+}
+
+int CmdServe(int argc, char** argv) {
+  const std::string model_path = FlagValue(argc, argv, 2, "--model", "");
+  if (model_path.empty()) {
+    std::fprintf(stderr, "serve: --model MODEL is required\n");
+    return 2;
+  }
+  ServingSession session = ServingSession::FromFile(model_path);
+  if (HasFlag(argc, argv, 2, "--stream")) {
+    const size_t window = static_cast<size_t>(
+        std::stoul(FlagValue(argc, argv, 2, "--window", "0")));
+    const size_t hop = static_cast<size_t>(
+        std::stoul(FlagValue(argc, argv, 2, "--hop", "1")));
+    return CmdServeStream(session, window, hop);
+  }
+  const std::string input = FlagValue(argc, argv, 2, "--input", "");
+  if (input.empty()) {
+    std::fprintf(stderr, "serve: need --input <ucr-file> or --stream\n");
+    return 2;
+  }
+  const size_t threads = static_cast<size_t>(std::stoul(FlagValue(
+      argc, argv, 2, "--threads", std::to_string(DefaultThreads()))));
+  return CmdServeBatch(session, input, threads,
+                       FlagValue(argc, argv, 2, "--out-preds", ""));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "train" && argc >= 3) return CmdTrain(argc, argv);
+    if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
+    if (cmd == "serve") return CmdServe(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage(argv[0]);
+}

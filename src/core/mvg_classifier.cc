@@ -175,8 +175,13 @@ void MvgClassifier::Fit(const Dataset& train) {
 }
 
 int MvgClassifier::Predict(const Series& s) const {
+  VgWorkspace ws;
+  return Predict(s, &ws);
+}
+
+int MvgClassifier::Predict(const Series& s, VgWorkspace* ws) const {
   if (!model_) throw std::runtime_error("MvgClassifier: not fitted");
-  std::vector<double> features = extractor_.Extract(s);
+  std::vector<double> features = extractor_.Extract(s, ws);
   features.resize(feature_width_, 0.0);
   const bool scale = config_.model == MvgModel::kSvm ||
                      config_.model == MvgModel::kStacking;

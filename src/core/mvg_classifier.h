@@ -2,6 +2,7 @@
 #define MVG_CORE_MVG_CLASSIFIER_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -55,11 +56,36 @@ class MvgClassifier : public SeriesClassifier {
 
   void Fit(const Dataset& train) override;
   int Predict(const Series& s) const override;
+  /// Pooled variant: feature extraction routes every graph build through
+  /// `ws`, so a workspace reused across predictions reaches zero
+  /// steady-state allocation on the graph-construction path. Same result
+  /// as Predict(s). This is the serving hot path (ServingSession pools one
+  /// workspace per worker).
+  int Predict(const Series& s, VgWorkspace* ws) const;
   std::string Name() const override;
+
+  /// Writes the fitted pipeline (extractor config, scaler, model) in the
+  /// versioned binary model format of serve/model_io.h. Requires Fit();
+  /// implemented in serve/model_io.cc.
+  void SaveBinary(std::ostream& os) const;
+  /// Rebuilds a classifier from SaveBinary output. Predictions of the
+  /// loaded pipeline are bit-identical to the saved one. Throws
+  /// SerializationError on corrupt, truncated or version-mismatched data.
+  static MvgClassifier LoadBinary(std::istream& is);
 
   /// Wall-clock split of the last Fit() (Table 3's FE vs Clf columns).
   double feature_extraction_seconds() const { return fe_seconds_; }
   double training_seconds() const { return train_seconds_; }
+
+  /// Length of the longest training series (0 before Fit); the natural
+  /// window size for StreamingClassifier.
+  size_t train_length() const { return train_length_; }
+
+  /// Width the feature vectors are padded/truncated to at predict time.
+  size_t feature_width() const { return feature_width_; }
+
+  /// True once Fit() (or LoadBinary) produced a usable model.
+  bool fitted() const { return model_ != nullptr; }
 
   /// The fitted underlying model (for importance inspection etc.);
   /// requires Fit().

@@ -4,6 +4,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace mvg {
 
 void LabelEncoder::Fit(const std::vector<int>& y) {
@@ -49,6 +51,26 @@ Matrix Classifier::PredictProbaAll(const Matrix& x) const {
   out.reserve(x.size());
   for (const auto& row : x) out.push_back(PredictProba(row));
   return out;
+}
+
+void Classifier::SaveBinary(BinaryWriter* /*w*/) const {
+  throw std::runtime_error(Name() + ": binary serialization not supported");
+}
+
+void Classifier::LoadBinary(BinaryReader* /*r*/) {
+  throw std::runtime_error(Name() + ": binary serialization not supported");
+}
+
+void Classifier::SaveEncoder(BinaryWriter* w) const {
+  w->WriteIntVec(encoder_.classes());
+}
+
+void Classifier::LoadEncoder(BinaryReader* r) {
+  // LabelEncoder::Fit sorts and dedups; the stored classes are already
+  // sorted unique, so refitting on them restores the encoder exactly.
+  const std::vector<int> classes = r->ReadIntVec();
+  encoder_ = LabelEncoder();
+  if (!classes.empty()) encoder_.Fit(classes);
 }
 
 std::vector<size_t> Classifier::PrepareFit(const Matrix& x,

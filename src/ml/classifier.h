@@ -8,6 +8,9 @@
 
 namespace mvg {
 
+class BinaryWriter;
+class BinaryReader;
+
 /// Dense row-major feature matrix: X[i] is sample i's feature vector.
 using Matrix = std::vector<std::vector<double>>;
 
@@ -63,6 +66,18 @@ class Classifier {
   /// Human-readable name, e.g. "XGBoost(eta=0.1,trees=50)".
   virtual std::string Name() const = 0;
 
+  /// Serializes the fitted model (params + learned state) into `w` in the
+  /// endian-stable binary layout of util/binary_io.h, and restores it from
+  /// `r`. Overridden by every model family the serving layer can persist
+  /// (trees, forests, boosting, SVM, logistic regression, stacking); the
+  /// default implementations throw std::runtime_error so families without
+  /// persistence support fail loudly instead of writing garbage. Load on a
+  /// corrupt buffer throws SerializationError. Framing (magic, version,
+  /// checksums, type tags) is the job of serve/model_io.h — these methods
+  /// only read/write the body.
+  virtual void SaveBinary(BinaryWriter* w) const;
+  virtual void LoadBinary(BinaryReader* r);
+
   /// Original labels in encoded order; requires Fit().
   const std::vector<int>& classes() const { return encoder_.classes(); }
   size_t num_classes() const { return encoder_.num_classes(); }
@@ -71,11 +86,25 @@ class Classifier {
   /// Validates shapes and fits the encoder; returns encoded labels.
   std::vector<size_t> PrepareFit(const Matrix& x, const std::vector<int>& y);
 
+  /// Shared SaveBinary/LoadBinary fragment for the label encoder (the only
+  /// state every family has in common).
+  void SaveEncoder(BinaryWriter* w) const;
+  void LoadEncoder(BinaryReader* r);
+
   LabelEncoder encoder_;
 };
 
 /// A factory producing unfitted classifiers; the unit of model selection.
 using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Polymorphic classifier IO (ml/classifier_registry.cc): writes a stable
+/// type tag followed by the SaveBinary body, so a reader can reconstruct
+/// the concrete class without knowing it up front. Covers every family
+/// with SaveBinary support; throws std::runtime_error for others.
+void SaveClassifierBinary(const Classifier& c, BinaryWriter* w);
+/// Inverse of SaveClassifierBinary; throws SerializationError on unknown
+/// tags or corrupt bodies.
+std::unique_ptr<Classifier> LoadClassifierBinary(BinaryReader* r);
 
 }  // namespace mvg
 

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -179,6 +180,75 @@ size_t DecisionTreeClassifier::Depth() const {
   size_t d = 0;
   for (const auto& node : nodes_) d = std::max(d, node.depth);
   return d;
+}
+
+void DecisionTreeClassifier::SaveBinary(BinaryWriter* w) const {
+  w->WriteSize(params_.max_depth);
+  w->WriteSize(params_.min_samples_leaf);
+  w->WriteSize(params_.min_samples_split);
+  w->WriteSize(params_.max_features);
+  w->WriteBool(params_.use_entropy);
+  w->WriteU64(params_.seed);
+  SaveEncoder(w);
+  w->WriteSize(num_classes_internal_);
+  w->WriteSize(nodes_.size());
+  for (const Node& node : nodes_) {
+    w->WriteI32(node.feature);
+    w->WriteDouble(node.threshold);
+    w->WriteI32(node.left);
+    w->WriteI32(node.right);
+    w->WriteDoubleVec(node.proba);
+    w->WriteSize(node.depth);
+  }
+}
+
+void DecisionTreeClassifier::LoadBinary(BinaryReader* r) {
+  params_.max_depth = r->ReadSize();
+  params_.min_samples_leaf = r->ReadSize();
+  params_.min_samples_split = r->ReadSize();
+  params_.max_features = r->ReadSize();
+  params_.use_entropy = r->ReadBool();
+  params_.seed = r->ReadU64();
+  LoadEncoder(r);
+  num_classes_internal_ = r->ReadSize();
+  const size_t count = r->ReadSize();
+  nodes_.clear();
+  nodes_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    Node node;
+    node.feature = r->ReadI32();
+    node.threshold = r->ReadDouble();
+    node.left = r->ReadI32();
+    node.right = r->ReadI32();
+    node.proba = r->ReadDoubleVec();
+    node.depth = r->ReadSize();
+    // Structural well-formedness, so a crafted/corrupt file that slipped
+    // past the CRC still cannot make PredictProba follow -1 children or
+    // loop: internal nodes must point strictly forward (BuildNode appends
+    // children after their parent, so genuine trees always satisfy this
+    // and it rules out cycles), leaves must carry a full distribution.
+    if (node.feature >= 0) {
+      const auto forward = [count, i](int32_t child) {
+        return child > static_cast<int32_t>(i) &&
+               static_cast<size_t>(child) < count;
+      };
+      if (!forward(node.left) || !forward(node.right)) {
+        throw SerializationError(
+            "DecisionTree: internal node with invalid child index");
+      }
+    } else {
+      if (node.feature != -1 || node.left != -1 || node.right != -1) {
+        throw SerializationError("DecisionTree: malformed leaf node");
+      }
+      if (node.proba.size() != num_classes_internal_) {
+        throw SerializationError("DecisionTree: leaf distribution size " +
+                                 std::to_string(node.proba.size()) +
+                                 " != num_classes " +
+                                 std::to_string(num_classes_internal_));
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
 }
 
 }  // namespace mvg

@@ -33,6 +33,8 @@ class DecisionTreeClassifier : public Classifier {
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   /// Fits on a subset of rows (bootstrap support for the forest).
   void FitOnIndices(const Matrix& x, const std::vector<size_t>& y_encoded,

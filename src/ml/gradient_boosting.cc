@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -241,6 +242,113 @@ std::vector<size_t> GradientBoostingClassifier::TopFeatures(size_t k) const {
   });
   idx.resize(std::min(k, idx.size()));
   return idx;
+}
+
+void GradientBoostingClassifier::SaveBinary(BinaryWriter* w) const {
+  w->WriteDouble(params_.learning_rate);
+  w->WriteSize(params_.num_rounds);
+  w->WriteSize(params_.max_depth);
+  w->WriteDouble(params_.lambda);
+  w->WriteDouble(params_.gamma);
+  w->WriteDouble(params_.min_child_weight);
+  w->WriteDouble(params_.subsample);
+  w->WriteDouble(params_.colsample);
+  w->WriteU64(params_.seed);
+  SaveEncoder(w);
+  w->WriteSize(num_features_);
+  w->WriteDoubleVec(base_score_);
+  w->WriteDoubleVec(feature_gain_);
+  w->WriteSize(trees_.size());
+  for (const std::vector<Tree>& round : trees_) {
+    w->WriteSize(round.size());
+    for (const Tree& tree : round) {
+      w->WriteSize(tree.size());
+      for (const TreeNode& node : tree) {
+        w->WriteI32(node.feature);
+        w->WriteDouble(node.threshold);
+        w->WriteDouble(node.weight);
+        w->WriteI32(node.left);
+        w->WriteI32(node.right);
+      }
+    }
+  }
+}
+
+void GradientBoostingClassifier::LoadBinary(BinaryReader* r) {
+  params_.learning_rate = r->ReadDouble();
+  params_.num_rounds = r->ReadSize();
+  params_.max_depth = r->ReadSize();
+  params_.lambda = r->ReadDouble();
+  params_.gamma = r->ReadDouble();
+  params_.min_child_weight = r->ReadDouble();
+  params_.subsample = r->ReadDouble();
+  params_.colsample = r->ReadDouble();
+  params_.seed = r->ReadU64();
+  LoadEncoder(r);
+  num_features_ = r->ReadSize();
+  base_score_ = r->ReadDoubleVec();
+  feature_gain_ = r->ReadDoubleVec();
+  // PredictProba sizes its logits from base_score_ and indexes them with
+  // the per-round tree index, so the cross-array invariants must hold
+  // before any prediction runs (a crafted file passing the CRC must still
+  // fail loudly, per the model_io contract).
+  const size_t k = encoder_.num_classes();
+  if (k > 0 && base_score_.size() != (k == 2 ? 1 : k)) {
+    throw SerializationError(
+        "GradientBoosting: base_score size " +
+        std::to_string(base_score_.size()) + " inconsistent with " +
+        std::to_string(k) + " classes");
+  }
+  const size_t rounds = r->ReadSize();
+  trees_.clear();
+  trees_.reserve(rounds);
+  for (size_t rd = 0; rd < rounds; ++rd) {
+    const size_t per_round = r->ReadSize();
+    if (per_round != base_score_.size()) {
+      throw SerializationError(
+          "GradientBoosting: round with " + std::to_string(per_round) +
+          " trees, expected " + std::to_string(base_score_.size()));
+    }
+    std::vector<Tree> round;
+    round.reserve(per_round);
+    for (size_t t = 0; t < per_round; ++t) {
+      const size_t nodes = r->ReadSize();
+      Tree tree;
+      tree.reserve(nodes);
+      for (size_t n = 0; n < nodes; ++n) {
+        TreeNode node;
+        node.feature = r->ReadI32();
+        node.threshold = r->ReadDouble();
+        node.weight = r->ReadDouble();
+        node.left = r->ReadI32();
+        node.right = r->ReadI32();
+        // Same well-formedness rules as DecisionTree::LoadBinary:
+        // internal nodes split on a stored feature and point strictly
+        // forward (rules out -1 children, cycles and OOB feature reads);
+        // leaves have no children.
+        if (node.feature >= 0) {
+          if (static_cast<size_t>(node.feature) >= num_features_) {
+            throw SerializationError(
+                "GradientBoosting: split feature out of range");
+          }
+          const auto forward = [nodes, n](int32_t child) {
+            return child > static_cast<int32_t>(n) &&
+                   static_cast<size_t>(child) < nodes;
+          };
+          if (!forward(node.left) || !forward(node.right)) {
+            throw SerializationError(
+                "GradientBoosting: internal node with invalid child index");
+          }
+        } else if (node.feature != -1 || node.left != -1 ||
+                   node.right != -1) {
+          throw SerializationError("GradientBoosting: malformed leaf node");
+        }
+        tree.push_back(node);
+      }
+      round.push_back(std::move(tree));
+    }
+    trees_.push_back(std::move(round));
+  }
 }
 
 }  // namespace mvg

@@ -41,6 +41,8 @@ class GradientBoostingClassifier : public Classifier {
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   /// Total split gain accumulated per feature across all trees; the
   /// importance ranking used in the paper's case study (Fig. 10).

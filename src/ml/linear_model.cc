@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/binary_io.h"
+
 namespace mvg {
 
 namespace {
@@ -89,6 +91,24 @@ std::unique_ptr<Classifier> LogisticRegressionClassifier::Clone() const {
 std::string LogisticRegressionClassifier::Name() const {
   return "LogisticRegression(l2=" + std::to_string(params_.l2).substr(0, 6) +
          ")";
+}
+
+void LogisticRegressionClassifier::SaveBinary(BinaryWriter* w) const {
+  w->WriteDouble(params_.learning_rate);
+  w->WriteSize(params_.max_iters);
+  w->WriteDouble(params_.l2);
+  w->WriteDouble(params_.tolerance);
+  SaveEncoder(w);
+  w->WriteDoubleMat(weights_);
+}
+
+void LogisticRegressionClassifier::LoadBinary(BinaryReader* r) {
+  params_.learning_rate = r->ReadDouble();
+  params_.max_iters = r->ReadSize();
+  params_.l2 = r->ReadDouble();
+  params_.tolerance = r->ReadDouble();
+  LoadEncoder(r);
+  weights_ = r->ReadDoubleMat();
 }
 
 }  // namespace mvg

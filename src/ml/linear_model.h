@@ -30,6 +30,8 @@ class LogisticRegressionClassifier : public Classifier {
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   /// weights()[c][f] — per-class coefficient for feature f (bias last).
   const Matrix& weights() const { return weights_; }

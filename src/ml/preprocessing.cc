@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -48,6 +49,19 @@ Matrix MinMaxScaler::FitTransform(const Matrix& x) {
   return TransformAll(x);
 }
 
+void MinMaxScaler::SaveBinary(BinaryWriter* w) const {
+  w->WriteDoubleVec(mins_);
+  w->WriteDoubleVec(ranges_);
+}
+
+void MinMaxScaler::LoadBinary(BinaryReader* r) {
+  mins_ = r->ReadDoubleVec();
+  ranges_ = r->ReadDoubleVec();
+  if (mins_.size() != ranges_.size()) {
+    throw SerializationError("MinMaxScaler: mins/ranges size mismatch");
+  }
+}
+
 void StandardScaler::Fit(const Matrix& x) {
   if (x.empty()) throw std::invalid_argument("StandardScaler: empty matrix");
   const size_t d = x[0].size();
@@ -86,6 +100,19 @@ Matrix StandardScaler::TransformAll(const Matrix& x) const {
 Matrix StandardScaler::FitTransform(const Matrix& x) {
   Fit(x);
   return TransformAll(x);
+}
+
+void StandardScaler::SaveBinary(BinaryWriter* w) const {
+  w->WriteDoubleVec(means_);
+  w->WriteDoubleVec(stds_);
+}
+
+void StandardScaler::LoadBinary(BinaryReader* r) {
+  means_ = r->ReadDoubleVec();
+  stds_ = r->ReadDoubleVec();
+  if (means_.size() != stds_.size()) {
+    throw SerializationError("StandardScaler: means/stds size mismatch");
+  }
 }
 
 void RandomOversample(const Matrix& x, const std::vector<int>& y,

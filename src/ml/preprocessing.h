@@ -18,6 +18,9 @@ class MinMaxScaler {
   Matrix TransformAll(const Matrix& x) const;
   Matrix FitTransform(const Matrix& x);
 
+  void SaveBinary(BinaryWriter* w) const;
+  void LoadBinary(BinaryReader* r);
+
   bool fitted() const { return !mins_.empty(); }
 
  private:
@@ -32,6 +35,9 @@ class StandardScaler {
   std::vector<double> Transform(const std::vector<double>& x) const;
   Matrix TransformAll(const Matrix& x) const;
   Matrix FitTransform(const Matrix& x);
+
+  void SaveBinary(BinaryWriter* w) const;
+  void LoadBinary(BinaryReader* r);
 
  private:
   std::vector<double> means_;

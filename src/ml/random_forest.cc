@@ -3,6 +3,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -56,6 +57,31 @@ std::unique_ptr<Classifier> RandomForestClassifier::Clone() const {
 std::string RandomForestClassifier::Name() const {
   return "RandomForest(trees=" + std::to_string(params_.num_trees) +
          ",depth=" + std::to_string(params_.max_depth) + ")";
+}
+
+void RandomForestClassifier::SaveBinary(BinaryWriter* w) const {
+  w->WriteSize(params_.num_trees);
+  w->WriteSize(params_.max_depth);
+  w->WriteSize(params_.min_samples_leaf);
+  w->WriteSize(params_.max_features);
+  w->WriteBool(params_.bootstrap);
+  w->WriteU64(params_.seed);
+  SaveEncoder(w);
+  w->WriteSize(trees_.size());
+  for (const DecisionTreeClassifier& tree : trees_) tree.SaveBinary(w);
+}
+
+void RandomForestClassifier::LoadBinary(BinaryReader* r) {
+  params_.num_trees = r->ReadSize();
+  params_.max_depth = r->ReadSize();
+  params_.min_samples_leaf = r->ReadSize();
+  params_.max_features = r->ReadSize();
+  params_.bootstrap = r->ReadBool();
+  params_.seed = r->ReadU64();
+  LoadEncoder(r);
+  const size_t count = r->ReadSize();
+  trees_.assign(count, DecisionTreeClassifier());
+  for (DecisionTreeClassifier& tree : trees_) tree.LoadBinary(r);
 }
 
 }  // namespace mvg

@@ -33,6 +33,8 @@ class RandomForestClassifier : public Classifier {
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   const Params& params() const { return params_; }
   size_t num_trees_fitted() const { return trees_.size(); }

@@ -8,6 +8,7 @@
 
 #include "ml/metrics.h"
 #include "ml/model_selection.h"
+#include "util/binary_io.h"
 
 namespace mvg {
 
@@ -24,6 +25,13 @@ StackingEnsemble::StackingEnsemble(
 }
 
 void StackingEnsemble::Fit(const Matrix& x, const std::vector<int>& y) {
+  size_t num_candidates = 0;
+  for (const auto& family : families_) num_candidates += family.size();
+  if (num_candidates == 0) {
+    throw std::runtime_error(
+        "StackingEnsemble: no candidate factories (deserialized ensembles "
+        "are predict-only)");
+  }
   const std::vector<size_t> encoded = PrepareFit(x, y);
   const size_t k = encoder_.num_classes();
   const auto folds = StratifiedKFold(y, params_.num_folds, params_.seed);
@@ -171,6 +179,56 @@ std::vector<double> StackingEnsemble::PredictProba(
 
 std::unique_ptr<Classifier> StackingEnsemble::Clone() const {
   return std::make_unique<StackingEnsemble>(families_, params_);
+}
+
+void StackingEnsemble::SaveBinary(BinaryWriter* w) const {
+  w->WriteSize(params_.top_k_per_family);
+  w->WriteSize(params_.num_folds);
+  w->WriteU64(params_.seed);
+  w->WriteSize(families_.size());
+  SaveEncoder(w);
+  w->WriteDoubleVec(weights_);
+  w->WriteDoubleVec(bias_);
+  w->WriteSize(base_.size());
+  for (const auto& clf : base_) SaveClassifierBinary(*clf, w);
+}
+
+void StackingEnsemble::LoadBinary(BinaryReader* r) {
+  params_.top_k_per_family = r->ReadSize();
+  params_.num_folds = r->ReadSize();
+  params_.seed = r->ReadU64();
+  // The factories themselves cannot be serialized; candidate-less
+  // placeholder families keep Name() faithful while Fit() rejects the
+  // predict-only shell.
+  families_ =
+      std::vector<std::vector<ClassifierFactory>>(r->ReadSize());
+  LoadEncoder(r);
+  weights_ = r->ReadDoubleVec();
+  bias_ = r->ReadDoubleVec();
+  const size_t count = r->ReadSize();
+  base_.clear();
+  base_.reserve(count);
+  for (size_t e = 0; e < count; ++e) {
+    base_.push_back(LoadClassifierBinary(r));
+  }
+  // PredictProba indexes bias_ by class and consumes k probabilities from
+  // every base estimator, so enforce the cross-array invariants here
+  // rather than crashing at predict time on a crafted/corrupt section.
+  const size_t k = encoder_.num_classes();
+  if (weights_.size() != base_.size()) {
+    throw SerializationError("Stacking: weight/estimator count mismatch");
+  }
+  if (!bias_.empty() && bias_.size() != k) {
+    throw SerializationError("Stacking: bias size " +
+                             std::to_string(bias_.size()) + " != " +
+                             std::to_string(k) + " classes");
+  }
+  for (const auto& clf : base_) {
+    if (clf->num_classes() != k) {
+      throw SerializationError(
+          "Stacking: base estimator class count mismatch");
+    }
+  }
 }
 
 std::string StackingEnsemble::Name() const {

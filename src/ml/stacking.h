@@ -41,10 +41,20 @@ class StackingEnsemble : public Classifier {
   StackingEnsemble(std::vector<std::vector<ClassifierFactory>> families,
                    Params params);
 
+  /// Empty shell for deserialization (LoadBinary). A default-constructed
+  /// (or loaded) ensemble has no candidate families, so it can predict but
+  /// Fit()/Clone() throw — loaded models are serve-only artifacts.
+  StackingEnsemble() = default;
+
   void Fit(const Matrix& x, const std::vector<int>& y) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  /// Persists params, combiner weights/bias and the refitted base
+  /// estimators (via their own type-tagged SaveBinary). The candidate
+  /// factories cannot be serialized, so a loaded ensemble is predict-only.
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   /// Names of the selected base estimators (after Fit).
   std::vector<std::string> SelectedNames() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/binary_io.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -168,6 +169,80 @@ std::string SvmClassifier::Name() const {
   return std::string("SVM(") +
          (params_.kernel == Kernel::kRbf ? "rbf" : "linear") +
          ",C=" + std::to_string(params_.c).substr(0, 5) + ")";
+}
+
+void SvmClassifier::SaveBinary(BinaryWriter* w) const {
+  w->WriteU8(params_.kernel == Kernel::kRbf ? 1 : 0);
+  w->WriteDouble(params_.c);
+  w->WriteDouble(params_.gamma);
+  w->WriteDouble(params_.tolerance);
+  w->WriteSize(params_.max_passes);
+  w->WriteSize(params_.max_iters);
+  w->WriteU64(params_.seed);
+  SaveEncoder(w);
+  w->WriteDouble(gamma_eff_);
+
+  // Compact the stored rows to the union of support vectors. Fit keeps the
+  // whole (oversampled) training matrix alive because SMO needs it, but
+  // prediction only ever touches rows named in some machine's sv_indices.
+  std::vector<size_t> remap(support_data_.size(), SIZE_MAX);
+  std::vector<size_t> kept;
+  for (const BinaryMachine& m : machines_) {
+    for (size_t idx : m.sv_indices) {
+      if (remap[idx] == SIZE_MAX) {
+        remap[idx] = kept.size();
+        kept.push_back(idx);
+      }
+    }
+  }
+  w->WriteSize(kept.size());
+  for (size_t idx : kept) w->WriteDoubleVec(support_data_[idx]);
+  w->WriteSize(machines_.size());
+  for (const BinaryMachine& m : machines_) {
+    w->WriteDoubleVec(m.alpha_y);
+    std::vector<size_t> remapped(m.sv_indices.size());
+    for (size_t t = 0; t < m.sv_indices.size(); ++t) {
+      remapped[t] = remap[m.sv_indices[t]];
+    }
+    w->WriteSizeVec(remapped);
+    w->WriteDouble(m.bias);
+  }
+}
+
+void SvmClassifier::LoadBinary(BinaryReader* r) {
+  params_.kernel = r->ReadU8() != 0 ? Kernel::kRbf : Kernel::kLinear;
+  params_.c = r->ReadDouble();
+  params_.gamma = r->ReadDouble();
+  params_.tolerance = r->ReadDouble();
+  params_.max_passes = r->ReadSize();
+  params_.max_iters = r->ReadSize();
+  params_.seed = r->ReadU64();
+  LoadEncoder(r);
+  gamma_eff_ = r->ReadDouble();
+  const size_t rows = r->ReadSize();
+  support_data_.clear();
+  support_data_.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    support_data_.push_back(r->ReadDoubleVec());
+  }
+  const size_t num_machines = r->ReadSize();
+  machines_.clear();
+  machines_.reserve(num_machines);
+  for (size_t c = 0; c < num_machines; ++c) {
+    BinaryMachine m;
+    m.alpha_y = r->ReadDoubleVec();
+    m.sv_indices = r->ReadSizeVec();
+    m.bias = r->ReadDouble();
+    if (m.sv_indices.size() != m.alpha_y.size()) {
+      throw SerializationError("SVM: alpha/sv count mismatch");
+    }
+    for (size_t idx : m.sv_indices) {
+      if (idx >= rows) {
+        throw SerializationError("SVM: support-vector index out of range");
+      }
+    }
+    machines_.push_back(std::move(m));
+  }
 }
 
 }  // namespace mvg

@@ -38,6 +38,12 @@ class SvmClassifier : public Classifier {
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
+  /// Persistence stores only the union of rows referenced as support
+  /// vectors (with remapped indices), not the full training matrix, so a
+  /// saved SVM is typically much smaller than the fitted one. Decision
+  /// values are bit-identical either way.
+  void SaveBinary(BinaryWriter* w) const override;
+  void LoadBinary(BinaryReader* r) override;
 
   /// Raw one-vs-rest decision values (margin per class).
   std::vector<double> DecisionFunction(const std::vector<double>& x) const;

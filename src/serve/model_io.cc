@@ -1,0 +1,218 @@
+#include "serve/model_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace mvg {
+
+namespace {
+
+/// Hard cap on a single section payload (64 MiB). Real models are a few
+/// KiB to a few MiB; anything larger is a corrupt length field.
+constexpr uint64_t kMaxSectionBytes = 64ull << 20;
+
+uint8_t CheckedEnum(BinaryReader* r, uint8_t max_value, const char* what) {
+  const uint8_t v = r->ReadU8();
+  if (v > max_value) {
+    throw SerializationError(std::string("model file: out-of-range ") + what +
+                             " value " + std::to_string(v));
+  }
+  return v;
+}
+
+void SaveMvgConfig(const MvgConfig& c, BinaryWriter* w) {
+  w->WriteU8(static_cast<uint8_t>(c.scale_mode));
+  w->WriteU8(static_cast<uint8_t>(c.graph_mode));
+  w->WriteU8(static_cast<uint8_t>(c.feature_mode));
+  w->WriteSize(c.tau);
+  w->WriteBool(c.detrend);
+  w->WriteU8(static_cast<uint8_t>(c.vg_algorithm));
+}
+
+MvgConfig LoadMvgConfig(BinaryReader* r) {
+  MvgConfig c;
+  c.scale_mode = static_cast<ScaleMode>(CheckedEnum(r, 2, "ScaleMode"));
+  c.graph_mode = static_cast<GraphMode>(CheckedEnum(r, 2, "GraphMode"));
+  c.feature_mode = static_cast<FeatureMode>(CheckedEnum(r, 2, "FeatureMode"));
+  c.tau = r->ReadSize();
+  c.detrend = r->ReadBool();
+  c.vg_algorithm = static_cast<VgAlgorithm>(CheckedEnum(r, 1, "VgAlgorithm"));
+  return c;
+}
+
+void WriteSection(std::ostream& os, uint32_t tag, const std::string& payload) {
+  BinaryWriter header;
+  header.WriteU32(tag);
+  header.WriteU64(payload.size());
+  header.WriteU32(Crc32(payload));
+  os.write(header.data().data(),
+           static_cast<std::streamsize>(header.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Reads the whole stream, validates magic/version/section framing and
+/// returns the verified payloads keyed by tag. Unknown tags are skipped
+/// (forward compatibility within a version); duplicate tags are an error.
+std::map<uint32_t, std::string> ReadSections(std::istream& is) {
+  std::ostringstream raw;
+  raw << is.rdbuf();
+  const std::string buf = raw.str();
+  BinaryReader r(buf);
+
+  char magic[sizeof(kModelMagic)];
+  if (r.remaining() < sizeof(magic)) {
+    throw SerializationError("model file: truncated header");
+  }
+  r.ReadBytes(magic, sizeof(magic));
+  if (std::memcmp(magic, kModelMagic, sizeof(magic)) != 0) {
+    throw SerializationError("model file: bad magic (not an .mvg model)");
+  }
+  const uint32_t version = r.ReadU32();
+  if (version == 0 || version > kModelFormatVersion) {
+    throw SerializationError(
+        "model file: unsupported format version " + std::to_string(version) +
+        " (this build reads <= " + std::to_string(kModelFormatVersion) + ")");
+  }
+  const uint32_t section_count = r.ReadU32();
+
+  std::map<uint32_t, std::string> sections;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint32_t tag = r.ReadU32();
+    const uint64_t size = r.ReadU64();
+    const uint32_t crc = r.ReadU32();
+    if (size > kMaxSectionBytes) {
+      throw SerializationError("model file: section " + std::to_string(tag) +
+                               " implausibly large");
+    }
+    if (size > r.remaining()) {
+      throw SerializationError("model file: truncated section " +
+                               std::to_string(tag));
+    }
+    std::string payload(static_cast<size_t>(size), '\0');
+    if (size > 0) r.ReadBytes(&payload[0], static_cast<size_t>(size));
+    if (Crc32(payload) != crc) {
+      throw SerializationError("model file: checksum mismatch in section " +
+                               std::to_string(tag));
+    }
+    if (!sections.emplace(tag, std::move(payload)).second) {
+      throw SerializationError("model file: duplicate section " +
+                               std::to_string(tag));
+    }
+  }
+  return sections;
+}
+
+const std::string& RequireSection(
+    const std::map<uint32_t, std::string>& sections, uint32_t tag,
+    const char* what) {
+  const auto it = sections.find(tag);
+  if (it == sections.end()) {
+    throw SerializationError(std::string("model file: missing ") + what +
+                             " section");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+// Defined here rather than in core/mvg_classifier.cc so the whole on-disk
+// format — framing plus every section body — lives in the serve layer;
+// being member functions they still have access to the private fitted
+// state they persist.
+void MvgClassifier::SaveBinary(std::ostream& os) const {
+  if (!model_) {
+    throw std::runtime_error("MvgClassifier::SaveBinary: model not fitted");
+  }
+
+  BinaryWriter pipeline;
+  SaveMvgConfig(config_.extractor, &pipeline);
+  pipeline.WriteU8(static_cast<uint8_t>(config_.model));
+  pipeline.WriteU8(static_cast<uint8_t>(config_.grid));
+  pipeline.WriteBool(config_.oversample);
+  pipeline.WriteSize(config_.cv_folds);
+  pipeline.WriteSize(config_.stacking_top_k);
+  pipeline.WriteU64(config_.seed);
+  pipeline.WriteSize(feature_width_);
+  pipeline.WriteSize(train_length_);
+  pipeline.WriteDouble(fe_seconds_);
+  pipeline.WriteDouble(train_seconds_);
+
+  BinaryWriter scaler;
+  scaler_.SaveBinary(&scaler);
+
+  BinaryWriter model;
+  SaveClassifierBinary(*model_, &model);
+
+  BinaryWriter header;
+  header.WriteBytes(kModelMagic, sizeof(kModelMagic));
+  header.WriteU32(kModelFormatVersion);
+  header.WriteU32(3);  // section count
+  os.write(header.data().data(), static_cast<std::streamsize>(header.size()));
+  WriteSection(os, kSectionPipeline, pipeline.data());
+  WriteSection(os, kSectionScaler, scaler.data());
+  WriteSection(os, kSectionModel, model.data());
+  if (!os) {
+    throw std::runtime_error("MvgClassifier::SaveBinary: stream write failed");
+  }
+}
+
+MvgClassifier MvgClassifier::LoadBinary(std::istream& is) {
+  const std::map<uint32_t, std::string> sections = ReadSections(is);
+
+  BinaryReader pipeline(RequireSection(sections, kSectionPipeline, "pipeline"));
+  Config config;
+  config.extractor = LoadMvgConfig(&pipeline);
+  config.model = static_cast<MvgModel>(CheckedEnum(&pipeline, 3, "MvgModel"));
+  config.grid = static_cast<GridPreset>(CheckedEnum(&pipeline, 2, "GridPreset"));
+  config.oversample = pipeline.ReadBool();
+  config.cv_folds = pipeline.ReadSize();
+  config.stacking_top_k = pipeline.ReadSize();
+  config.seed = pipeline.ReadU64();
+
+  MvgClassifier clf(config);
+  clf.feature_width_ = pipeline.ReadSize();
+  clf.train_length_ = pipeline.ReadSize();
+  clf.fe_seconds_ = pipeline.ReadDouble();
+  clf.train_seconds_ = pipeline.ReadDouble();
+
+  BinaryReader scaler(RequireSection(sections, kSectionScaler, "scaler"));
+  clf.scaler_.LoadBinary(&scaler);
+
+  BinaryReader model(RequireSection(sections, kSectionModel, "model"));
+  clf.model_ = LoadClassifierBinary(&model);
+  return clf;
+}
+
+void SaveModel(const MvgClassifier& model, std::ostream& os) {
+  model.SaveBinary(os);
+}
+
+void SaveModel(const MvgClassifier& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("SaveModel: cannot open " + path +
+                             " for writing");
+  }
+  model.SaveBinary(os);
+}
+
+MvgClassifier LoadModel(std::istream& is) {
+  return MvgClassifier::LoadBinary(is);
+}
+
+MvgClassifier LoadModel(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("LoadModel: cannot open " + path);
+  }
+  return MvgClassifier::LoadBinary(is);
+}
+
+}  // namespace mvg

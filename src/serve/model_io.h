@@ -1,0 +1,61 @@
+#ifndef MVG_SERVE_MODEL_IO_H_
+#define MVG_SERVE_MODEL_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/mvg_classifier.h"
+
+namespace mvg {
+
+/// The `.mvg` model file format (persistence half of the serving
+/// subsystem). Layout, all integers little-endian:
+///
+///   offset  size  field
+///   0       8     magic "MVGMODEL"
+///   8       4     format version (u32; currently 1)
+///   12      4     section count (u32)
+///   16      ...   sections
+///
+/// Each section is `u32 tag | u64 payload_size | u32 crc32(payload) |
+/// payload`. A fitted MvgClassifier serializes as three sections:
+///
+///   tag 1  pipeline   MvgClassifier::Config + extractor MvgConfig +
+///                     fitted metadata (feature width, train length,
+///                     recorded FE/Clf wall times)
+///   tag 2  scaler     the fitted MinMaxScaler
+///   tag 3  model      type-tagged classifier body (SaveClassifierBinary)
+///
+/// Versioning policy: readers accept files whose version is <= their own
+/// kModelFormatVersion and reject newer ones loudly; any layout change
+/// bumps the version. Unknown *section* tags are ignored on read, so a
+/// newer writer may append sections without breaking old readers within
+/// one version. Corruption (bad magic, truncation, CRC mismatch,
+/// out-of-range enums/indices) always throws SerializationError — a model
+/// never half-loads.
+inline constexpr char kModelMagic[8] = {'M', 'V', 'G', 'M', 'O', 'D', 'E', 'L'};
+inline constexpr uint32_t kModelFormatVersion = 1;
+
+/// Section tags (part of the on-disk format; append, never renumber).
+enum ModelSection : uint32_t {
+  kSectionPipeline = 1,
+  kSectionScaler = 2,
+  kSectionModel = 3,
+};
+
+/// Saves a fitted MvgClassifier. Throws std::runtime_error when the model
+/// is unfitted and std::ios_base-style failures surface as runtime_error
+/// with the path in the message.
+void SaveModel(const MvgClassifier& model, std::ostream& os);
+void SaveModel(const MvgClassifier& model, const std::string& path);
+
+/// Loads a model saved by SaveModel. Predictions are bit-identical to the
+/// in-memory model that was saved. Throws SerializationError on corrupt
+/// input, std::runtime_error when `path` cannot be opened.
+MvgClassifier LoadModel(std::istream& is);
+MvgClassifier LoadModel(const std::string& path);
+
+}  // namespace mvg
+
+#endif  // MVG_SERVE_MODEL_IO_H_

@@ -22,6 +22,7 @@
 #include "vg/visibility_graph.h"
 #include "ml/metrics.h"
 #include "ml/stat_tests.h"
+#include "serve/serving.h"
 #include "tests/test_util.h"
 #include "ts/generators.h"
 #include "ts/ucr_io.h"
@@ -247,6 +248,30 @@ TEST(MvgClassifierEdgeCases, SingleClassTrainingPredictsThatClass) {
   MvgClassifier clf(config);
   clf.Fit(train);
   EXPECT_EQ(clf.Predict(GaussianNoise(96, 42)), 7);
+}
+
+TEST(StreamingEdgeCases, DegenerateWindowsReuseExtractorSanitization) {
+  // A streaming window full of NaN/±inf or constant samples must go
+  // through MvgFeatureExtractor::Extract's sanitization (the PR-1 path),
+  // not any stream-local copy of it: streamed label == offline label on
+  // the identical raw window, and nothing throws.
+  const Dataset train = testutil::MakeNoiseDataset("stream", {0, 1}, 5, 48, 2);
+  MvgClassifier::Config config;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(train);
+
+  StreamingClassifier::Options opt;
+  opt.window = 32;
+  StreamingClassifier stream(&clf, opt);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Series window(32, 2.0);  // all-equal head...
+  window[10] = nan;        // ...with non-finite spikes
+  window[20] = std::numeric_limits<double>::infinity();
+  std::optional<int> streamed;
+  for (double v : window) streamed = stream.Push(v);
+  ASSERT_TRUE(streamed.has_value());
+  EXPECT_EQ(*streamed, clf.Predict(window));
 }
 
 TEST(GraphIoTest, DotAndEdgeListExport) {

@@ -1,0 +1,417 @@
+// Persistence round trips (serve/model_io.h): every model family and
+// every MvgModel preset must survive save -> load with bit-identical
+// predictions, and corrupt/truncated/mismatched files must be rejected
+// loudly with SerializationError.
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mvg_classifier.h"
+#include "ml/decision_tree.h"
+#include "ml/gradient_boosting.h"
+#include "ml/linear_model.h"
+#include "ml/preprocessing.h"
+#include "ml/random_forest.h"
+#include "ml/stacking.h"
+#include "ml/svm.h"
+#include "serve/model_io.h"
+#include "tests/test_util.h"
+#include "util/binary_io.h"
+
+namespace mvg {
+namespace {
+
+using testutil::MakeNoiseDataset;
+
+// ---------------------------------------------------------------------------
+// Binary primitives
+// ---------------------------------------------------------------------------
+
+TEST(BinaryIoTest, PrimitivesRoundTrip) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFull);
+  w.WriteI32(-42);
+  w.WriteBool(true);
+  w.WriteDouble(-1.5e-300);
+  w.WriteString("mvg");
+  w.WriteDoubleVec({1.0, -2.5, 3.25});
+  w.WriteIntVec({-1, 0, 7});
+  w.WriteSizeVec({0, 99});
+  w.WriteDoubleMat({{1.0}, {2.0, 3.0}});
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI32(), -42);
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_EQ(r.ReadDouble(), -1.5e-300);
+  EXPECT_EQ(r.ReadString(), "mvg");
+  EXPECT_EQ(r.ReadDoubleVec(), (std::vector<double>{1.0, -2.5, 3.25}));
+  EXPECT_EQ(r.ReadIntVec(), (std::vector<int>{-1, 0, 7}));
+  EXPECT_EQ(r.ReadSizeVec(), (std::vector<size_t>{0, 99}));
+  EXPECT_EQ(r.ReadDoubleMat(),
+            (std::vector<std::vector<double>>{{1.0}, {2.0, 3.0}}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BinaryIoTest, LittleEndianLayout) {
+  BinaryWriter w;
+  w.WriteU32(0x01020304);
+  ASSERT_EQ(w.data().size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(w.data()[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(w.data()[3]), 0x01);
+}
+
+TEST(BinaryIoTest, UnderflowThrows) {
+  BinaryWriter w;
+  w.WriteU32(7);
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.ReadU32(), 7u);
+  EXPECT_THROW(r.ReadU32(), SerializationError);
+}
+
+TEST(BinaryIoTest, CorruptLengthPrefixThrowsInsteadOfAllocating) {
+  BinaryWriter w;
+  w.WriteU64(~0ull);  // announces ~2^64 doubles with no bytes behind it
+  BinaryReader r(w.data());
+  EXPECT_THROW(r.ReadDoubleVec(), SerializationError);
+}
+
+TEST(BinaryIoTest, Crc32KnownVector) {
+  // The standard CRC-32 check value for ASCII "123456789".
+  EXPECT_EQ(Crc32(std::string("123456789")), 0xCBF43926u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-family classifier round trips (SaveClassifierBinary registry)
+// ---------------------------------------------------------------------------
+
+/// Training data for the raw-classifier round trips.
+struct FamilyData {
+  Matrix x;
+  std::vector<int> y;
+  Matrix probes;
+};
+
+FamilyData MakeFamilyData() {
+  FamilyData d;
+  Rng rng(7);
+  for (size_t i = 0; i < 60; ++i) {
+    const int label = static_cast<int>(i % 3);
+    std::vector<double> row(6);
+    for (double& v : row) v = rng.Uniform() + 0.8 * label;
+    d.x.push_back(row);
+    d.y.push_back(label + 5);  // non-dense labels exercise the encoder
+  }
+  for (size_t i = 0; i < 40; ++i) {
+    std::vector<double> row(6);
+    for (double& v : row) v = 3.0 * rng.Uniform();
+    d.probes.push_back(row);
+  }
+  return d;
+}
+
+/// Fit -> registry save -> registry load -> bit-identical PredictProba.
+void ExpectRegistryRoundTrip(Classifier* clf) {
+  const FamilyData d = MakeFamilyData();
+  clf->Fit(d.x, d.y);
+  BinaryWriter w;
+  SaveClassifierBinary(*clf, &w);
+  BinaryReader r(w.data());
+  const std::unique_ptr<Classifier> loaded = LoadClassifierBinary(&r);
+  EXPECT_TRUE(r.AtEnd()) << "trailing bytes after " << clf->Name();
+  ASSERT_EQ(loaded->classes(), clf->classes());
+  EXPECT_EQ(loaded->Name(), clf->Name());
+  for (const auto& probe : d.probes) {
+    const std::vector<double> expected = clf->PredictProba(probe);
+    const std::vector<double> actual = loaded->PredictProba(probe);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t c = 0; c < actual.size(); ++c) {
+      // Bit-identical, not just close: same doubles in, same code, so any
+      // difference means the serialized state is not the fitted state.
+      EXPECT_EQ(actual[c], expected[c])
+          << clf->Name() << " probe class " << c;
+    }
+  }
+}
+
+TEST(ClassifierRegistryTest, DecisionTreeRoundTrip) {
+  DecisionTreeClassifier::Params p;
+  p.max_depth = 6;
+  DecisionTreeClassifier clf(p);
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, RandomForestRoundTrip) {
+  RandomForestClassifier::Params p;
+  p.num_trees = 12;
+  p.max_depth = 6;
+  RandomForestClassifier clf(p);
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, GradientBoostingRoundTrip) {
+  GradientBoostingClassifier::Params p;
+  p.num_rounds = 15;
+  p.max_depth = 3;
+  GradientBoostingClassifier clf(p);
+  ExpectRegistryRoundTrip(&clf);
+  // Feature importances must survive too (Fig. 10 workflow on a loaded
+  // model).
+  BinaryWriter w;
+  SaveClassifierBinary(clf, &w);
+  BinaryReader r(w.data());
+  const auto loaded = LoadClassifierBinary(&r);
+  const auto* gbt = dynamic_cast<const GradientBoostingClassifier*>(
+      loaded.get());
+  ASSERT_NE(gbt, nullptr);
+  EXPECT_EQ(gbt->FeatureGains(), clf.FeatureGains());
+}
+
+TEST(ClassifierRegistryTest, SvmRoundTrip) {
+  SvmClassifier::Params p;
+  p.kernel = SvmClassifier::Kernel::kRbf;
+  SvmClassifier clf(p);
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, LinearSvmRoundTrip) {
+  SvmClassifier::Params p;
+  p.kernel = SvmClassifier::Kernel::kLinear;
+  SvmClassifier clf(p);
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, LogisticRegressionRoundTrip) {
+  LogisticRegressionClassifier clf;
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, StackingRoundTrip) {
+  std::vector<std::vector<ClassifierFactory>> families;
+  families.push_back({[] {
+    DecisionTreeClassifier::Params p;
+    p.max_depth = 5;
+    return std::make_unique<DecisionTreeClassifier>(p);
+  }});
+  families.push_back({[] {
+    LogisticRegressionClassifier::Params p;
+    return std::make_unique<LogisticRegressionClassifier>(p);
+  }});
+  StackingEnsemble clf(families);
+  ExpectRegistryRoundTrip(&clf);
+}
+
+TEST(ClassifierRegistryTest, LoadedStackingIsPredictOnly) {
+  std::vector<std::vector<ClassifierFactory>> families;
+  families.push_back(
+      {[] { return std::make_unique<DecisionTreeClassifier>(); }});
+  StackingEnsemble clf(families);
+  const FamilyData d = MakeFamilyData();
+  clf.Fit(d.x, d.y);
+  BinaryWriter w;
+  SaveClassifierBinary(clf, &w);
+  BinaryReader r(w.data());
+  const auto loaded = LoadClassifierBinary(&r);
+  EXPECT_THROW(loaded->Fit(d.x, d.y), std::runtime_error);
+}
+
+TEST(ClassifierRegistryTest, UnknownTagRejected) {
+  BinaryWriter w;
+  w.WriteU32(999);
+  BinaryReader r(w.data());
+  EXPECT_THROW(LoadClassifierBinary(&r), SerializationError);
+}
+
+// ---------------------------------------------------------------------------
+// Scalers
+// ---------------------------------------------------------------------------
+
+TEST(ScalerIoTest, MinMaxRoundTrip) {
+  const FamilyData d = MakeFamilyData();
+  MinMaxScaler scaler;
+  scaler.Fit(d.x);
+  BinaryWriter w;
+  scaler.SaveBinary(&w);
+  BinaryReader r(w.data());
+  MinMaxScaler loaded;
+  loaded.LoadBinary(&r);
+  for (const auto& probe : d.probes) {
+    EXPECT_EQ(loaded.Transform(probe), scaler.Transform(probe));
+  }
+}
+
+TEST(ScalerIoTest, StandardRoundTrip) {
+  const FamilyData d = MakeFamilyData();
+  StandardScaler scaler;
+  scaler.Fit(d.x);
+  BinaryWriter w;
+  scaler.SaveBinary(&w);
+  BinaryReader r(w.data());
+  StandardScaler loaded;
+  loaded.LoadBinary(&r);
+  for (const auto& probe : d.probes) {
+    EXPECT_EQ(loaded.Transform(probe), scaler.Transform(probe));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Full MvgClassifier model files, all four MvgModel families
+// ---------------------------------------------------------------------------
+
+class ModelFileTest : public ::testing::TestWithParam<MvgModel> {
+ protected:
+  /// Small but non-trivial: 3 classes, enough rows for 3-fold CV.
+  static Dataset TrainSet() {
+    return MakeNoiseDataset("serve_train", {0, 1, 2}, 8, 64, /*seed=*/11);
+  }
+
+  static MvgClassifier Train(MvgModel model) {
+    MvgClassifier::Config config;
+    config.model = model;
+    config.grid = GridPreset::kNone;  // single candidate: fast and exact
+    MvgClassifier clf(config);
+    clf.Fit(TrainSet());
+    return clf;
+  }
+
+  static std::string Serialize(const MvgClassifier& clf) {
+    std::ostringstream os(std::ios::binary);
+    SaveModel(clf, os);
+    return os.str();
+  }
+};
+
+TEST_P(ModelFileTest, SaveLoadPredictIsBitIdentical) {
+  const MvgClassifier clf = Train(GetParam());
+  const std::string blob = Serialize(clf);
+  std::istringstream is(blob, std::ios::binary);
+  const MvgClassifier loaded = LoadModel(is);
+
+  EXPECT_EQ(loaded.Name(), clf.Name());
+  EXPECT_EQ(loaded.feature_width(), clf.feature_width());
+  EXPECT_EQ(loaded.train_length(), clf.train_length());
+
+  // The acceptance bar: identical labels on 100 generated series drawn
+  // from families the model never saw.
+  size_t checked = 0;
+  for (const auto family : testutil::AllSeriesFamilies()) {
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+      const Series s = testutil::MakeFamilySeries(family, 64, 1000 + seed);
+      ASSERT_EQ(loaded.Predict(s), clf.Predict(s))
+          << testutil::ToString(family) << " seed " << seed;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 100u);
+}
+
+TEST_P(ModelFileTest, SecondSaveIsByteIdentical) {
+  const MvgClassifier clf = Train(GetParam());
+  EXPECT_EQ(Serialize(clf), Serialize(clf));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ModelFileTest,
+                         ::testing::Values(MvgModel::kXgboost,
+                                           MvgModel::kRandomForest,
+                                           MvgModel::kSvm,
+                                           MvgModel::kStacking),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case MvgModel::kXgboost: return "Xgboost";
+                             case MvgModel::kRandomForest: return "RandomForest";
+                             case MvgModel::kSvm: return "Svm";
+                             case MvgModel::kStacking: return "Stacking";
+                           }
+                           return "Unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// Corruption / rejection cases (on one cheap family)
+// ---------------------------------------------------------------------------
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  static const std::string& Blob() {
+    static const std::string blob = [] {
+      MvgClassifier::Config config;
+      config.model = MvgModel::kSvm;
+      config.grid = GridPreset::kNone;
+      MvgClassifier clf(config);
+      clf.Fit(MakeNoiseDataset("corrupt_train", {0, 1}, 6, 48, 3));
+      std::ostringstream os(std::ios::binary);
+      SaveModel(clf, os);
+      return os.str();
+    }();
+    return blob;
+  }
+
+  static void ExpectRejected(std::string blob) {
+    std::istringstream is(blob, std::ios::binary);
+    EXPECT_THROW(LoadModel(is), SerializationError);
+  }
+};
+
+TEST_F(CorruptionTest, BadMagicRejected) {
+  std::string blob = Blob();
+  blob[0] = 'X';
+  ExpectRejected(blob);
+}
+
+TEST_F(CorruptionTest, EmptyFileRejected) { ExpectRejected(""); }
+
+TEST_F(CorruptionTest, FutureVersionRejected) {
+  std::string blob = Blob();
+  blob[8] = static_cast<char>(kModelFormatVersion + 1);  // version u32 LSB
+  ExpectRejected(blob);
+}
+
+TEST_F(CorruptionTest, TruncatedFileRejected) {
+  const std::string& blob = Blob();
+  // Every strict prefix must be rejected, never half-loaded. Sampling a
+  // spread of cut points keeps the test fast.
+  for (size_t cut : {size_t{4}, size_t{15}, size_t{40}, blob.size() / 2,
+                     blob.size() - 1}) {
+    ExpectRejected(blob.substr(0, cut));
+  }
+}
+
+TEST_F(CorruptionTest, PayloadBitFlipFailsChecksum) {
+  std::string blob = Blob();
+  // Flip one byte well inside the first section's payload (header is
+  // 16 bytes, section header 16 more).
+  blob[40] = static_cast<char>(blob[40] ^ 0x5A);
+  ExpectRejected(blob);
+}
+
+TEST_F(CorruptionTest, UnfittedModelRefusesToSave) {
+  MvgClassifier clf;
+  std::ostringstream os(std::ios::binary);
+  EXPECT_THROW(SaveModel(clf, os), std::runtime_error);
+}
+
+TEST_F(CorruptionTest, FileRoundTripViaPath) {
+  const std::string path = ::testing::TempDir() + "serve_io_test_model.mvg";
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  const Dataset train = MakeNoiseDataset("path_train", {0, 1}, 6, 48, 5);
+  clf.Fit(train);
+  SaveModel(clf, path);
+  const MvgClassifier loaded = LoadModel(path);
+  for (size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(loaded.Predict(train.series(i)), clf.Predict(train.series(i)));
+  }
+  EXPECT_THROW(LoadModel(path + ".does_not_exist"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mvg
