@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +36,7 @@
 #include "bench/legacy_vg.h"
 #include "core/feature_extractor.h"
 #include "core/mvg_classifier.h"
+#include "ml/metrics.h"
 #include "motif/motif_counts.h"
 #include "serve/model_io.h"
 #include "serve/serving.h"
@@ -270,7 +272,10 @@ int main(int argc, char** argv) {
 
   // --- Visibility-graph construction: pooled CSR vs legacy baseline ---
   // Quick mode shrinks the time budget, never the size sweep, so every
-  // gated metric exists in every mode and --quick --check composes.
+  // gated metric exists in every mode. The serving/VG gates also hold in
+  // --quick; the training-speedup gates are calibrated for full-size
+  // Release runs (the CI perf lane) — quick-size fits are too small to
+  // reach them, so the tier-1 smoke runs --quick --json without --check.
   std::printf("Visibility-graph construction:\n");
   const std::vector<size_t> vg_sizes = {256, 1024, 4096};
   VgWorkspace ws;
@@ -431,6 +436,111 @@ int main(int argc, char** argv) {
     metrics["serve_allocs_per_predict"] = static_cast<double>(
         (g_alloc_count.load(std::memory_order_relaxed) - predict_before)) /
         static_cast<double>(predict_iters);
+  }
+
+  // --- Training engine: histogram + parallel Fit vs the serial exact seed ---
+  // fit_speedup_small_grid is the acceptance metric: GridPreset::kSmall
+  // XGBoost Fit, histogram engine with 4 worker threads, against the
+  // seed-equivalent configuration (exact pre-sorted splits, 1 thread —
+  // SplitMode::kExact *is* the seed's split enumeration, so the baseline
+  // needs no frozen legacy copy). Compared on training_seconds() so the
+  // ratio isolates the "Clf" column of Table 3; feature extraction has
+  // its own parallel path and is reported separately. train_parity is the
+  // fraction of test predictions where the histogram- and exact-trained
+  // default models agree — exactness-adjacent by construction, gated.
+  std::printf("Training:\n");
+  {
+    SyntheticInfo info;
+    info.name = "train_bench";
+    info.family = "shapes";
+    info.num_classes = 3;  // multiclass: one boosting tree per class.
+    // Sized so a CV fold's training part exceeds 256 rows — the regime the
+    // engine is built for, where bins saturate at the uint8 cap while the
+    // exact sweep's per-node sort keeps growing.
+    info.train_size = opt.quick ? 45 : 390;
+    info.test_size = opt.quick ? 30 : 120;
+    info.length = 96;
+    const DatasetSplit split = MakeSynthetic(info, 77);
+
+    auto fit_seconds = [&](const MvgClassifier::Config& config,
+                           MvgClassifier* out) {
+      const int reps = opt.quick ? 1 : 2;
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        MvgClassifier clf(config);
+        clf.Fit(split.train);
+        if (rep == 0 || clf.training_seconds() < best) {
+          best = clf.training_seconds();
+        }
+        if (out != nullptr && rep == 0) *out = std::move(clf);
+      }
+      return best;
+    };
+
+    MvgClassifier::Config serial_cfg;
+    serial_cfg.grid = GridPreset::kSmall;
+    serial_cfg.exact_splits = true;
+    serial_cfg.num_threads = 1;
+    MvgClassifier::Config engine_cfg = serial_cfg;
+    engine_cfg.exact_splits = false;
+    engine_cfg.num_threads = 4;
+
+    MvgClassifier serial_clf(serial_cfg), engine_clf(engine_cfg);
+    const double t_serial = fit_seconds(serial_cfg, &serial_clf);
+    const double t_engine = fit_seconds(engine_cfg, &engine_clf);
+    BenchResult fit_serial{"fit_small_grid_exact_1t", info.train_size, 1,
+                           t_serial * 1e9};
+    BenchResult fit_engine{"fit_small_grid_hist_4t", info.train_size, 1,
+                           t_engine * 1e9};
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                fit_serial.name.c_str(), fit_serial.n, fit_serial.ns_per_iter,
+                fit_serial.iters);
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                fit_engine.name.c_str(), fit_engine.n, fit_engine.ns_per_iter,
+                fit_engine.iters);
+    results.push_back(fit_serial);
+    results.push_back(fit_engine);
+    if (t_engine > 0.0) {
+      metrics["fit_speedup_small_grid"] = t_serial / t_engine;
+    }
+
+    // Parity on the default (no-grid) model: same candidate either way,
+    // so the engines — not grid-search tie-breaks — are what is compared.
+    MvgClassifier::Config exact_one = serial_cfg, hist_one = engine_cfg;
+    exact_one.grid = GridPreset::kNone;
+    hist_one.grid = GridPreset::kNone;
+    MvgClassifier exact_clf(exact_one), hist_clf(hist_one);
+    exact_clf.Fit(split.train);
+    hist_clf.Fit(split.train);
+    const std::vector<int> pred_exact = exact_clf.PredictAll(split.test);
+    const std::vector<int> pred_hist = hist_clf.PredictAll(split.test);
+    size_t agree = 0;
+    for (size_t i = 0; i < pred_exact.size(); ++i) {
+      if (pred_exact[i] == pred_hist[i]) ++agree;
+    }
+    metrics["train_parity"] =
+        static_cast<double>(agree) / static_cast<double>(pred_exact.size());
+    metrics["train_parity_acc_delta"] =
+        std::abs(ErrorRate(split.test.labels(), pred_hist) -
+                 ErrorRate(split.test.labels(), pred_exact));
+
+    // Informational: the forest path (200 histogram trees across 4
+    // workers vs exact serial) and the parallel FE share.
+    MvgClassifier::Config rf_serial = serial_cfg, rf_engine = engine_cfg;
+    rf_serial.model = MvgModel::kRandomForest;
+    rf_serial.grid = GridPreset::kNone;
+    rf_engine.model = MvgModel::kRandomForest;
+    rf_engine.grid = GridPreset::kNone;
+    const double t_rf_serial = fit_seconds(rf_serial, nullptr);
+    const double t_rf_engine = fit_seconds(rf_engine, nullptr);
+    if (t_rf_engine > 0.0) {
+      metrics["fit_speedup_rf"] = t_rf_serial / t_rf_engine;
+    }
+    metrics["fit_fe_speedup_4t"] =
+        engine_clf.feature_extraction_seconds() > 0.0
+            ? serial_clf.feature_extraction_seconds() /
+                  engine_clf.feature_extraction_seconds()
+            : 1.0;
   }
 
   for (const auto& [name, value] : metrics) {

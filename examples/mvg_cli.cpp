@@ -10,8 +10,12 @@
 //   mvg_cli graph <ucr-file> <index> <out.dot>
 //       Graphviz export of one series' visibility graph (cf. Fig. 1)
 //   mvg_cli classify <train> <test> [xgb|rf|svm|stack]
-//            [--save-model FILE] [--load-model FILE]
+//            [--threads N] [--save-model FILE] [--load-model FILE]
 //       train + evaluate, printing error rate and timing.
+//       --threads sizes the training engine's worker pool (grid-search
+//       cells, forest trees, per-class boosting trees and batch feature
+//       extraction; 0 = hardware concurrency, the default). Fitted models
+//       are bit-identical for every thread count.
 //       --save-model persists the fitted pipeline as a `.mvg` model file;
 //       --load-model skips training entirely and reuses a saved model
 //       (the train file is then ignored — pass `-`). See also mvg_serve
@@ -45,7 +49,7 @@ int Usage(const char* argv0) {
       "  %s extract <ucr-file> [out.csv]\n"
       "  %s graph <ucr-file> <series-index> <out.dot>\n"
       "  %s classify <train-file> <test-file> [xgb|rf|svm|stack]"
-      " [--save-model FILE] [--load-model FILE]\n",
+      " [--threads N] [--save-model FILE] [--load-model FILE]\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -112,7 +116,7 @@ int CmdGraph(const std::string& in, size_t index, const std::string& out) {
 
 int CmdClassify(const std::string& train_path, const std::string& test_path,
                 const std::string& model, const std::string& save_model,
-                const std::string& load_model) {
+                const std::string& load_model, size_t num_threads) {
   const Dataset test = ReadUcrFile(test_path);
   MvgClassifier clf;
   if (!load_model.empty()) {
@@ -131,6 +135,7 @@ int CmdClassify(const std::string& train_path, const std::string& test_path,
     } else if (model == "stack") {
       config.model = MvgModel::kStacking;
     }
+    config.num_threads = num_threads;  // 0 = hardware concurrency
     clf = MvgClassifier(config);
     clf.Fit(train);
   }
@@ -153,7 +158,7 @@ int main(int argc, char** argv) {
     std::printf("\nself-demo: generating SynChaos and classifying it\n");
     const std::string prefix = "/tmp/mvg_cli_demo";
     CmdGenerate("SynChaos", prefix);
-    return CmdClassify(prefix + "_TRAIN", prefix + "_TEST", "xgb", "", "");
+    return CmdClassify(prefix + "_TRAIN", prefix + "_TEST", "xgb", "", "", 0);
   }
   const std::string cmd = argv[1];
   try {
@@ -168,18 +173,29 @@ int main(int argc, char** argv) {
     }
     if (cmd == "classify" && argc >= 4) {
       std::string model = "xgb", save_model, load_model;
+      size_t num_threads = 0;  // auto
       for (int i = 4; i < argc; ++i) {
         if (std::strcmp(argv[i], "--save-model") == 0 && i + 1 < argc) {
           save_model = argv[++i];
         } else if (std::strcmp(argv[i], "--load-model") == 0 && i + 1 < argc) {
           load_model = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+          char* end = nullptr;
+          const long parsed = std::strtol(argv[++i], &end, 10);
+          if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 1024) {
+            std::fprintf(stderr, "--threads expects an integer in [0, 1024]"
+                                 " (0 = hardware concurrency)\n");
+            return Usage(argv[0]);
+          }
+          num_threads = static_cast<size_t>(parsed);
         } else if (argv[i][0] != '-') {
           model = argv[i];
         } else {
           return Usage(argv[0]);
         }
       }
-      return CmdClassify(argv[2], argv[3], model, save_model, load_model);
+      return CmdClassify(argv[2], argv[3], model, save_model, load_model,
+                         num_threads);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,6 +6,7 @@
 #include "ml/gradient_boosting.h"
 #include "ml/model_selection.h"
 #include "ml/random_forest.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace mvg {
@@ -65,6 +66,10 @@ void MvgMultivariateClassifier::Fit(const MultivariateDataset& train) {
   // Delegate model selection to the same grids as the univariate pipeline
   // by borrowing an MvgClassifier's configuration: the simplest faithful
   // choice is a single-family model here (stacking works identically).
+  const size_t threads =
+      config_.num_threads == 0 ? DefaultThreads() : config_.num_threads;
+  const SplitMode split =
+      config_.exact_splits ? SplitMode::kExact : SplitMode::kHistogram;
   GradientBoostingClassifier::Params gp;
   gp.learning_rate = 0.08;
   gp.num_rounds = 120;
@@ -73,20 +78,33 @@ void MvgMultivariateClassifier::Fit(const MultivariateDataset& train) {
   gp.colsample = 0.5;
   gp.min_child_weight = 0.5;
   gp.seed = config_.seed;
+  gp.split = split;
   RandomForestClassifier::Params rp;
   rp.num_trees = 180;
   rp.max_depth = 20;
   rp.seed = config_.seed;
+  rp.split = split;
   std::vector<ClassifierFactory> candidates = {
       [gp]() { return std::make_unique<GradientBoostingClassifier>(gp); },
       [rp]() { return std::make_unique<RandomForestClassifier>(rp); },
   };
   size_t best = 0;
   if (config_.grid != GridPreset::kNone) {
-    best = GridSearch(candidates, x, y, config_.cv_folds, config_.seed)
+    // Cells run candidates as built (single-threaded); the grid fans the
+    // candidate x fold cells out across the thread budget instead.
+    best = GridSearch(candidates, x, y, config_.cv_folds, config_.seed,
+                      threads)
                .best_index;
   }
-  model_ = candidates[best]();
+  GradientBoostingClassifier::Params gp_final = gp;
+  gp_final.num_threads = threads;
+  RandomForestClassifier::Params rp_final = rp;
+  rp_final.num_threads = threads;
+  if (best == 0) {
+    model_ = std::make_unique<GradientBoostingClassifier>(gp_final);
+  } else {
+    model_ = std::make_unique<RandomForestClassifier>(rp_final);
+  }
   model_->Fit(x, y);
   train_seconds_ = train_timer.Seconds();
 }

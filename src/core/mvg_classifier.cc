@@ -7,16 +7,24 @@
 #include "ml/random_forest.h"
 #include "ml/stacking.h"
 #include "ml/svm.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace mvg {
 
 namespace {
 
+/// Training-engine knobs shared by every tree-family grid entry.
+struct EngineOptions {
+  SplitMode split = SplitMode::kHistogram;
+  size_t num_threads = 1;
+};
+
 /// XGBoost grids. The paper's grid (§4.2): learning rate in {0.01, 0.1,
 /// 0.3}, estimators in {10..100}, depth in {10, 20}, subsample =
 /// colsample = 0.5.
-std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed) {
+std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed,
+                                       const EngineOptions& engine) {
   std::vector<GradientBoostingClassifier::Params> grid;
   auto base = [&](double lr, size_t rounds, size_t depth) {
     GradientBoostingClassifier::Params p;
@@ -27,6 +35,8 @@ std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed) {
     p.colsample = 0.5;
     p.min_child_weight = 0.5;
     p.seed = seed;
+    p.split = engine.split;
+    p.num_threads = engine.num_threads;
     return p;
   };
   switch (preset) {
@@ -55,13 +65,16 @@ std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed) {
   return out;
 }
 
-std::vector<ClassifierFactory> RfGrid(GridPreset preset, uint64_t seed) {
+std::vector<ClassifierFactory> RfGrid(GridPreset preset, uint64_t seed,
+                                      const EngineOptions& engine) {
   std::vector<RandomForestClassifier::Params> grid;
   auto base = [&](size_t trees, size_t depth) {
     RandomForestClassifier::Params p;
     p.num_trees = trees;
     p.max_depth = depth;
     p.seed = seed;
+    p.split = engine.split;
+    p.num_threads = engine.num_threads;
     return p;
   };
   if (preset == GridPreset::kNone) {
@@ -107,12 +120,20 @@ MvgClassifier::MvgClassifier() : MvgClassifier(Config()) {}
 MvgClassifier::MvgClassifier(Config config)
     : config_(config), extractor_(config.extractor) {}
 
-std::vector<ClassifierFactory> MvgClassifier::BuildCandidates() const {
+size_t MvgClassifier::ResolvedThreads() const {
+  return config_.num_threads == 0 ? DefaultThreads() : config_.num_threads;
+}
+
+std::vector<ClassifierFactory> MvgClassifier::BuildCandidates(
+    size_t num_threads) const {
+  const EngineOptions engine{
+      config_.exact_splits ? SplitMode::kExact : SplitMode::kHistogram,
+      num_threads};
   switch (config_.model) {
     case MvgModel::kXgboost:
-      return XgbGrid(config_.grid, config_.seed);
+      return XgbGrid(config_.grid, config_.seed, engine);
     case MvgModel::kRandomForest:
-      return RfGrid(config_.grid, config_.seed);
+      return RfGrid(config_.grid, config_.seed, engine);
     case MvgModel::kSvm:
       return SvmGrid(config_.grid, config_.seed);
     case MvgModel::kStacking:
@@ -121,19 +142,23 @@ std::vector<ClassifierFactory> MvgClassifier::BuildCandidates() const {
   throw std::logic_error("BuildCandidates: unreachable");
 }
 
-std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies()
-    const {
-  return {XgbGrid(config_.grid, config_.seed),
-          RfGrid(config_.grid, config_.seed),
+std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies(
+    size_t num_threads) const {
+  const EngineOptions engine{
+      config_.exact_splits ? SplitMode::kExact : SplitMode::kHistogram,
+      num_threads};
+  return {XgbGrid(config_.grid, config_.seed, engine),
+          RfGrid(config_.grid, config_.seed, engine),
           SvmGrid(config_.grid, config_.seed)};
 }
 
 void MvgClassifier::Fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("MvgClassifier: empty train");
   train_length_ = train.MaxLength();
+  const size_t threads = ResolvedThreads();
 
   WallTimer fe_timer;
-  Matrix x = extractor_.ExtractAll(train);
+  Matrix x = extractor_.ExtractAll(train, threads);
   std::vector<int> y = train.labels();
   feature_width_ = x.empty() ? 0 : x[0].size();
   fe_seconds_ = fe_timer.Seconds();
@@ -155,20 +180,27 @@ void MvgClassifier::Fit(const Dataset& train) {
   const Matrix& x_used = scale ? scaler_.TransformAll(x) : x;
 
   if (config_.model == MvgModel::kStacking) {
+    // The ensemble parallelises its candidate x fold cells itself, so the
+    // base candidates stay single-threaded (no nested fan-out).
     StackingEnsemble::Params sp;
     sp.num_folds = config_.cv_folds;
     sp.seed = config_.seed;
     sp.top_k_per_family = config_.stacking_top_k;
-    model_ = std::make_unique<StackingEnsemble>(BuildFamilies(), sp);
+    sp.num_threads = threads;
+    model_ = std::make_unique<StackingEnsemble>(BuildFamilies(1), sp);
     model_->Fit(x_used, y);
   } else {
-    const std::vector<ClassifierFactory> candidates = BuildCandidates();
+    // Candidate x fold cells fan out across the thread budget (candidates
+    // built with 1 thread each); the winning refit then gets the full
+    // budget for its internal tree-level parallelism.
+    const std::vector<ClassifierFactory> candidates = BuildCandidates(1);
     size_t best = 0;
     if (candidates.size() > 1 && config_.grid != GridPreset::kNone) {
-      best = GridSearch(candidates, x_used, y, config_.cv_folds, config_.seed)
+      best = GridSearch(candidates, x_used, y, config_.cv_folds, config_.seed,
+                        threads)
                  .best_index;
     }
-    model_ = candidates[best]();
+    model_ = BuildCandidates(threads)[best]();
     model_->Fit(x_used, y);
   }
   train_seconds_ = train_timer.Seconds();

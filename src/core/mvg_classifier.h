@@ -49,6 +49,16 @@ class MvgClassifier : public SeriesClassifier {
     /// Algorithm 2 keeps the top five; small grids need fewer).
     size_t stacking_top_k = 1;
     uint64_t seed = 42;
+    /// Worker threads for Fit(): batch feature extraction, grid-search
+    /// candidate x fold cells, forest trees and per-class boosting trees.
+    /// 0 = hardware concurrency. Fitted models and predictions are
+    /// bit-identical for every value (per-tree/per-cell seeds are
+    /// pre-assigned), so this is a pure wall-clock knob.
+    size_t num_threads = 1;
+    /// Escape hatch: train the tree families with exact pre-sorted split
+    /// enumeration instead of the default binned histograms (slower;
+    /// kept for parity testing and as a reference).
+    bool exact_splits = false;
   };
 
   MvgClassifier();
@@ -101,8 +111,13 @@ class MvgClassifier : public SeriesClassifier {
   const MvgFeatureExtractor& extractor() const { return extractor_; }
 
  private:
-  std::vector<ClassifierFactory> BuildCandidates() const;
-  std::vector<std::vector<ClassifierFactory>> BuildFamilies() const;
+  /// Candidate factories with `num_threads` baked into the tree-family
+  /// params. Grid-search cells run candidates built with 1 thread (the
+  /// cells themselves are parallel); the final refit gets the full count.
+  std::vector<ClassifierFactory> BuildCandidates(size_t num_threads) const;
+  std::vector<std::vector<ClassifierFactory>> BuildFamilies(
+      size_t num_threads) const;
+  size_t ResolvedThreads() const;
 
   Config config_;
   MvgFeatureExtractor extractor_;

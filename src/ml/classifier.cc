@@ -53,6 +53,25 @@ Matrix Classifier::PredictProbaAll(const Matrix& x) const {
   return out;
 }
 
+void Classifier::FitOnRows(const Matrix& x, const std::vector<int>& y,
+                           const std::vector<size_t>& rows) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Fit: X and y size mismatch");
+  }
+  Matrix xs;
+  std::vector<int> ys;
+  xs.reserve(rows.size());
+  ys.reserve(rows.size());
+  for (size_t r : rows) {
+    if (r >= x.size()) {
+      throw std::invalid_argument("FitOnRows: row index out of range");
+    }
+    xs.push_back(x[r]);
+    ys.push_back(y[r]);
+  }
+  Fit(xs, ys);
+}
+
 void Classifier::SaveBinary(BinaryWriter* /*w*/) const {
   throw std::runtime_error(Name() + ": binary serialization not supported");
 }
@@ -87,6 +106,32 @@ std::vector<size_t> Classifier::PrepareFit(const Matrix& x,
   }
   encoder_.Fit(y);
   return encoder_.EncodeAll(y);
+}
+
+std::vector<size_t> Classifier::PrepareFitOnRows(
+    const Matrix& x, const std::vector<int>& y,
+    const std::vector<size_t>& rows) {
+  if (rows.empty()) throw std::invalid_argument("FitOnRows: empty row set");
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("Fit: X and y size mismatch");
+  }
+  if (rows[0] >= x.size()) {
+    throw std::invalid_argument("FitOnRows: row index out of range");
+  }
+  const size_t d = x[rows[0]].size();
+  std::vector<int> ys;
+  ys.reserve(rows.size());
+  for (size_t r : rows) {
+    if (r >= x.size()) {
+      throw std::invalid_argument("FitOnRows: row index out of range");
+    }
+    if (x[r].size() != d) {
+      throw std::invalid_argument("Fit: ragged feature matrix");
+    }
+    ys.push_back(y[r]);
+  }
+  encoder_.Fit(ys);
+  return encoder_.EncodeAll(ys);
 }
 
 }  // namespace mvg

@@ -48,6 +48,15 @@ class Classifier {
   /// std::invalid_argument on shape mismatch or empty input.
   virtual void Fit(const Matrix& x, const std::vector<int>& y) = 0;
 
+  /// Trains on the row subset `rows` of X — semantically identical to
+  /// Fit() on the gathered submatrix. The tree families override this to
+  /// train directly on the row view, which is what lets cross-validation
+  /// (CrossVal*/GridSearch/stacking) share one feature matrix across folds
+  /// without materialising per-fold copies. The default implementation
+  /// gathers the rows and delegates to Fit(). `rows` must be non-empty.
+  virtual void FitOnRows(const Matrix& x, const std::vector<int>& y,
+                         const std::vector<size_t>& rows);
+
   /// Class probabilities for one sample, in encoded-class order
   /// (ascending original label). Requires Fit().
   virtual std::vector<double> PredictProba(
@@ -85,6 +94,12 @@ class Classifier {
  protected:
   /// Validates shapes and fits the encoder; returns encoded labels.
   std::vector<size_t> PrepareFit(const Matrix& x, const std::vector<int>& y);
+
+  /// PrepareFit for a row subset: fits the encoder on y[rows] and returns
+  /// the encoded labels in compact (rows-order) indexing.
+  std::vector<size_t> PrepareFitOnRows(const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<size_t>& rows);
 
   /// Shared SaveBinary/LoadBinary fragment for the label encoder (the only
   /// state every family has in common).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 
 #include "util/binary_io.h"
 #include "util/random.h"
@@ -29,27 +30,363 @@ double Impurity(const std::vector<double>& hist, double total,
   return imp;
 }
 
+/// Candidate features for one node: all of them, or a seeded sample.
+std::vector<size_t> SampleFeatures(size_t d, size_t max_features, Rng* rng) {
+  if (max_features > 0 && max_features < d) {
+    return rng->Sample(d, max_features);
+  }
+  std::vector<size_t> features(d);
+  std::iota(features.begin(), features.end(), size_t{0});
+  return features;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram split engine.
+//
+// One shared row-index buffer holds every node's rows as a contiguous
+// [begin, end) range and is partitioned in place at each split (stably,
+// through a scratch buffer, so results are order-deterministic). Two
+// regimes:
+//
+//  * All features per split (max_features disabled): node histograms —
+//    per feature, per bin, per class counts — live in a small free-list
+//    pool; a node scans only its *smaller* child and derives the other
+//    sibling by subtracting in place from its own histogram, so each tree
+//    level costs one pass over the smaller halves instead of re-sorting
+//    every feature at every node. At most depth+1 buffers are ever live.
+//
+//  * Per-node feature sampling (the Random Forest setting, mtry << d):
+//    sibling subtraction would force histogramming *all* d features at
+//    every node just to evaluate mtry of them, which costs more than it
+//    saves. Instead each node scans exactly its sampled features into one
+//    small reusable per-feature buffer — still sort-free and
+//    allocation-free, O(n_node * mtry) per node.
+// ---------------------------------------------------------------------------
+
+struct DecisionTreeClassifier::HistBuilder {
+  const FeatureTable& ft;
+  const std::vector<size_t>& y;  ///< class per compact row.
+  const size_t k;                ///< number of classes.
+  const Params& params;
+  std::vector<Node>* nodes;
+  Rng* rng;
+
+  size_t d = 0;
+  bool sampled = false;             ///< per-node feature sampling regime.
+  std::vector<size_t> rows;         ///< the shared row-index buffer.
+  std::vector<size_t> scratch;      ///< stable-partition staging.
+  /// Shared pool machinery (free list, all-zero invariant, dirty-span
+  /// bookkeeping, sibling subtraction); slot j = feature j. Unused in the
+  /// sampled regime.
+  std::optional<NodeHistogramPool> hpool;
+  std::vector<double> fbuf;         ///< single-feature histogram (sampled).
+  std::vector<double> totals;       ///< per-node class counts (k).
+  std::vector<double> left, right;  ///< split-sweep scratch (k each).
+
+  HistBuilder(const FeatureTable& ft_in, const std::vector<size_t>& y_in,
+              size_t k_in, const Params& params_in, std::vector<Node>* nodes_in,
+              Rng* rng_in)
+      : ft(ft_in), y(y_in), k(k_in), params(params_in), nodes(nodes_in),
+        rng(rng_in) {
+    d = ft.num_features();
+    sampled = params.max_features > 0 && params.max_features < d;
+    if (sampled) {
+      size_t max_bins = 1;
+      for (size_t f = 0; f < d; ++f) max_bins = std::max(max_bins, ft.num_bins(f));
+      fbuf.resize(max_bins * k);
+    } else {
+      std::vector<size_t> all(d);
+      std::iota(all.begin(), all.end(), size_t{0});
+      hpool.emplace(ft, all, k);
+    }
+    totals.resize(k);
+    left.resize(k);
+    right.resize(k);
+  }
+
+  /// Accumulates the class histogram of rows[begin, end) into buffer
+  /// `buf` (all-zero by the pool invariant), recording the dirty spans.
+  void Scan(size_t begin, size_t end, size_t buf) {
+    double* h = hpool->hist(buf);
+    uint16_t* plo = hpool->lo(buf);
+    uint16_t* phi = hpool->hi(buf);
+    for (size_t f = 0; f < d; ++f) {
+      const uint8_t* col = ft.column(f);
+      double* base = h + hpool->slot_offset(f);
+      uint16_t lo = 0xffff, hi = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        const uint16_t b = col[r];
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+        base[static_cast<size_t>(b) * k + y[r]] += 1.0;
+      }
+      plo[f] = lo;
+      phi[f] = hi;
+    }
+  }
+
+  /// Sentinel for "no histogram yet": Build computes one lazily, and only
+  /// after the cheap leaf checks — children that terminate never pay for a
+  /// histogram at all.
+  static constexpr size_t kNoBuf = NodeHistogramPool::kNone;
+
+  void Run(const std::vector<size_t>& node_rows) {
+    rows = node_rows;
+    scratch.resize(rows.size());
+    if (sampled) {
+      BuildSampled(0, rows.size(), 0);
+      return;
+    }
+    Build(0, rows.size(), 0, kNoBuf);
+  }
+
+  /// Sweeps one feature's per-bin class histogram `fh` (num_bins(f) bins,
+  /// k doubles each) over the occupied range [lo, hi] and updates the best
+  /// split. Bins below lo must be empty (cumulative sums start at zero);
+  /// boundaries at/after hi leave nothing on the right.
+  void SweepFeature(size_t f, const double* fh, size_t n, double parent_imp,
+                    size_t lo, size_t hi, double* best_gain, int* best_feature,
+                    size_t* best_bin, double* best_threshold) {
+    const size_t nb = ft.num_bins(f);
+    if (nb < 2) return;  // constant feature in this table.
+    const double min_leaf = static_cast<double>(params.min_samples_leaf);
+    std::fill(left.begin(), left.end(), 0.0);
+    double nl = 0.0;
+    for (size_t b = lo; b + 1 < nb && b < hi; ++b) {
+      double bin_total = 0.0;
+      for (size_t c = 0; c < k; ++c) {
+        left[c] += fh[b * k + c];
+        bin_total += fh[b * k + c];
+      }
+      nl += bin_total;
+      const double nr = static_cast<double>(n) - nl;
+      // Counts are integral, so nr == 0 exactly once the node's rows are
+      // exhausted; every later boundary is empty too.
+      if (nr <= 0.0) break;
+      if (bin_total == 0.0) continue;
+      if (nl < min_leaf || nr < min_leaf) continue;
+      for (size_t c = 0; c < k; ++c) right[c] = totals[c] - left[c];
+      const double gain =
+          parent_imp -
+          (nl / static_cast<double>(n)) *
+              Impurity(left, nl, params.use_entropy) -
+          (nr / static_cast<double>(n)) *
+              Impurity(right, nr, params.use_entropy);
+      if (gain > *best_gain) {
+        *best_gain = gain;
+        *best_feature = static_cast<int>(f);
+        *best_bin = b;
+        *best_threshold = ft.threshold(f, b);
+      }
+    }
+  }
+
+  /// Class totals of rows[begin, end) into the `totals` scratch.
+  void ComputeTotals(size_t begin, size_t end) {
+    std::fill(totals.begin(), totals.end(), 0.0);
+    for (size_t i = begin; i < end; ++i) totals[y[rows[i]]] += 1.0;
+  }
+
+  /// Appends a leaf carrying the current `totals` distribution; shared by
+  /// both build regimes so the leaf policy cannot drift between them.
+  int32_t MakeLeaf(size_t n, size_t depth) {
+    Node leaf;
+    leaf.depth = depth;
+    leaf.proba.resize(k);
+    for (size_t c = 0; c < k; ++c) {
+      leaf.proba[c] = totals[c] / static_cast<double>(n);
+    }
+    nodes->push_back(std::move(leaf));
+    return static_cast<int32_t>(nodes->size() - 1);
+  }
+
+  /// Stopping rule on the current `totals`.
+  bool ShouldStop(size_t n, size_t depth) const {
+    const bool pure = std::count_if(totals.begin(), totals.end(),
+                                    [](double c) { return c > 0.0; }) <= 1;
+    return depth >= params.max_depth || n < params.min_samples_split || pure;
+  }
+
+  /// Per-node feature sampling regime: histogram only the sampled
+  /// features, directly from this node's rows.
+  int32_t BuildSampled(size_t begin, size_t end, size_t depth) {
+    const size_t n = end - begin;
+    ComputeTotals(begin, end);
+    if (ShouldStop(n, depth)) return MakeLeaf(n, depth);
+    const double parent_imp =
+        Impurity(totals, static_cast<double>(n), params.use_entropy);
+
+    const std::vector<size_t> features =
+        SampleFeatures(d, params.max_features, rng);
+
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    size_t best_bin = 0;
+    double best_threshold = 0.0;
+    // fbuf is kept all-zero between features: accumulate, sweep, then
+    // clear just the dirty span.
+    for (size_t f : features) {
+      const size_t nb = ft.num_bins(f);
+      if (nb < 2) continue;
+      const uint8_t* col = ft.column(f);
+      uint16_t lo = 0xffff, hi = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        const uint16_t b = col[r];
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+        fbuf[static_cast<size_t>(b) * k + y[r]] += 1.0;
+      }
+      SweepFeature(f, fbuf.data(), n, parent_imp, lo, hi, &best_gain,
+                   &best_feature, &best_bin, &best_threshold);
+      std::fill(fbuf.begin() + static_cast<std::ptrdiff_t>(lo * k),
+                fbuf.begin() + static_cast<std::ptrdiff_t>((hi + 1) * k), 0.0);
+    }
+
+    if (best_feature < 0) return MakeLeaf(n, depth);
+    const size_t mid = StablePartitionRows(
+        rows, scratch, begin, end,
+        ft.column(static_cast<size_t>(best_feature)), best_bin);
+    if (mid == begin || mid == end) return MakeLeaf(n, depth);
+
+    Node internal;
+    internal.feature = best_feature;
+    internal.threshold = best_threshold;
+    internal.depth = depth;
+    nodes->push_back(std::move(internal));
+    const int32_t id = static_cast<int32_t>(nodes->size() - 1);
+    const int32_t left_id = BuildSampled(begin, mid, depth + 1);
+    const int32_t right_id = BuildSampled(mid, end, depth + 1);
+    (*nodes)[id].left = left_id;
+    (*nodes)[id].right = right_id;
+    return id;
+  }
+
+  /// Builds the subtree over rows[begin, end); takes ownership of
+  /// histogram buffer `buf` (kNoBuf = compute lazily if a split search is
+  /// actually needed).
+  int32_t Build(size_t begin, size_t end, size_t depth, size_t buf) {
+    const size_t n = end - begin;
+    ComputeTotals(begin, end);
+
+    // Same leaf/stop policy as BuildSampled, plus buffer bookkeeping.
+    auto make_leaf = [&]() {
+      if (buf != kNoBuf) hpool->Release(buf);
+      return MakeLeaf(n, depth);
+    };
+
+    if (ShouldStop(n, depth)) return make_leaf();
+    const double parent_imp =
+        Impurity(totals, static_cast<double>(n), params.use_entropy);
+
+    if (buf == kNoBuf) {
+      buf = hpool->Acquire();
+      Scan(begin, end, buf);
+    }
+    const double* hist = hpool->hist(buf);
+
+    // Best split: sweep every feature's bins left to right, accumulating
+    // the left class histogram; the right sibling is totals - left. A bin
+    // with no rows adds no new boundary (same partition as the previous
+    // one), mirroring the exact sweep's equal-value skip.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    size_t best_bin = 0;
+    double best_threshold = 0.0;
+    for (size_t f = 0; f < d; ++f) {
+      SweepFeature(f, hist + hpool->slot_offset(f), n, parent_imp,
+                   hpool->lo(buf)[f], hpool->hi(buf)[f], &best_gain,
+                   &best_feature, &best_bin, &best_threshold);
+    }
+
+    if (best_feature < 0) return make_leaf();
+    const size_t mid = StablePartitionRows(
+        rows, scratch, begin, end,
+        ft.column(static_cast<size_t>(best_feature)), best_bin);
+    if (mid == begin || mid == end) return make_leaf();
+
+    Node internal;
+    internal.feature = best_feature;
+    internal.threshold = best_threshold;
+    internal.depth = depth;
+    nodes->push_back(std::move(internal));
+    const int32_t id = static_cast<int32_t>(nodes->size() - 1);
+
+    // Scan only the smaller child and derive its sibling by subtraction
+    // (class counts are integers, so this is exact) when that beats
+    // rescanning; small nodes fall back to lazy per-child scans.
+    const auto child = hpool->PlanChildren(
+        buf, begin, mid, end, d,
+        [&](size_t b, size_t e, size_t t) { Scan(b, e, t); });
+    const int32_t left_id = Build(begin, mid, depth + 1, child.left);
+    const int32_t right_id = Build(mid, end, depth + 1, child.right);
+    (*nodes)[id].left = left_id;
+    (*nodes)[id].right = right_id;
+    return id;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Public fitting entry points.
+// ---------------------------------------------------------------------------
 
 void DecisionTreeClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
   const std::vector<size_t> encoded = PrepareFit(x, y);
-  std::vector<size_t> rows(x.size());
-  std::iota(rows.begin(), rows.end(), size_t{0});
-  FitOnIndices(x, encoded, encoder_.num_classes(), rows);
+  std::vector<size_t> src(x.size());
+  std::iota(src.begin(), src.end(), size_t{0});
+  FitView(x, src, encoded, encoder_.num_classes());
 }
 
-void DecisionTreeClassifier::FitOnIndices(const Matrix& x,
-                                          const std::vector<size_t>& y_encoded,
-                                          size_t num_classes,
-                                          const std::vector<size_t>& rows) {
+void DecisionTreeClassifier::FitOnRows(const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<size_t>& rows) {
+  const std::vector<size_t> encoded = PrepareFitOnRows(x, y, rows);
+  FitView(x, rows, encoded, encoder_.num_classes());
+}
+
+void DecisionTreeClassifier::FitView(const Matrix& x,
+                                     const std::vector<size_t>& src,
+                                     const std::vector<size_t>& y_compact,
+                                     size_t num_classes) {
+  std::vector<size_t> rows(src.size());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  if (params_.split == SplitMode::kHistogram) {
+    FeatureTable ft;
+    ft.Build(x, src, params_.max_bins);
+    FitBinned(ft, y_compact, num_classes, rows);
+  } else {
+    FitExactOnView(x, src, y_compact, num_classes, rows);
+  }
+}
+
+void DecisionTreeClassifier::FitBinned(const FeatureTable& ft,
+                                       const std::vector<size_t>& y_compact,
+                                       size_t num_classes,
+                                       const std::vector<size_t>& rows) {
+  num_classes_internal_ = num_classes;
+  nodes_.clear();
+  Rng rng(params_.seed);
+  HistBuilder builder(ft, y_compact, num_classes, params_, &nodes_, &rng);
+  builder.Run(rows);
+}
+
+void DecisionTreeClassifier::FitExactOnView(const Matrix& x,
+                                            const std::vector<size_t>& src,
+                                            const std::vector<size_t>& y_compact,
+                                            size_t num_classes,
+                                            const std::vector<size_t>& rows) {
   num_classes_internal_ = num_classes;
   nodes_.clear();
   Rng rng(params_.seed);
   std::vector<size_t> mutable_rows = rows;
-  BuildNode(x, y_encoded, &mutable_rows, 0, &rng);
+  BuildNode(x, src, y_compact, &mutable_rows, 0, &rng);
 }
 
 int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
+                                          const std::vector<size_t>& src,
                                           const std::vector<size_t>& y,
                                           std::vector<size_t>* rows,
                                           size_t depth, Rng* rng) {
@@ -76,14 +413,9 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
     return make_leaf();
   }
 
-  const size_t d = x[0].size();
-  std::vector<size_t> features;
-  if (params_.max_features > 0 && params_.max_features < d) {
-    features = rng->Sample(d, params_.max_features);
-  } else {
-    features.resize(d);
-    std::iota(features.begin(), features.end(), size_t{0});
-  }
+  const size_t d = x[src[(*rows)[0]]].size();
+  const std::vector<size_t> features =
+      SampleFeatures(d, params_.max_features, rng);
 
   // Best split over candidate features: sort rows by value, sweep the
   // class histogram across each boundary between distinct values.
@@ -91,10 +423,11 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
   int best_feature = -1;
   double best_threshold = 0.0;
   std::vector<std::pair<double, size_t>> vals(n);  // (value, class)
+  std::vector<double> right_hist(num_classes_internal_);
   for (size_t f : features) {
     for (size_t i = 0; i < n; ++i) {
       const size_t r = (*rows)[i];
-      vals[i] = {x[r][f], y[r]};
+      vals[i] = {x[src[r]][f], y[r]};
     }
     std::sort(vals.begin(), vals.end());
     std::vector<double> left_hist(num_classes_internal_, 0.0);
@@ -108,7 +441,6 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
           nr < static_cast<double>(params_.min_samples_leaf)) {
         continue;
       }
-      std::vector<double> right_hist(num_classes_internal_);
       for (size_t c = 0; c < right_hist.size(); ++c) {
         right_hist[c] = hist[c] - left_hist[c];
       }
@@ -130,7 +462,7 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
 
   std::vector<size_t> left_rows, right_rows;
   for (size_t r : *rows) {
-    if (x[r][static_cast<size_t>(best_feature)] <= best_threshold) {
+    if (x[src[r]][static_cast<size_t>(best_feature)] <= best_threshold) {
       left_rows.push_back(r);
     } else {
       right_rows.push_back(r);
@@ -147,8 +479,8 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
   const int32_t id = static_cast<int32_t>(nodes_.size() - 1);
   rows->clear();
   rows->shrink_to_fit();
-  const int32_t left = BuildNode(x, y, &left_rows, depth + 1, rng);
-  const int32_t right = BuildNode(x, y, &right_rows, depth + 1, rng);
+  const int32_t left = BuildNode(x, src, y, &left_rows, depth + 1, rng);
+  const int32_t right = BuildNode(x, src, y, &right_rows, depth + 1, rng);
   nodes_[id].left = left;
   nodes_[id].right = right;
   return id;
@@ -189,6 +521,8 @@ void DecisionTreeClassifier::SaveBinary(BinaryWriter* w) const {
   w->WriteSize(params_.max_features);
   w->WriteBool(params_.use_entropy);
   w->WriteU64(params_.seed);
+  w->WriteU8(static_cast<uint8_t>(params_.split));
+  w->WriteSize(params_.max_bins);
   SaveEncoder(w);
   w->WriteSize(num_classes_internal_);
   w->WriteSize(nodes_.size());
@@ -209,6 +543,12 @@ void DecisionTreeClassifier::LoadBinary(BinaryReader* r) {
   params_.max_features = r->ReadSize();
   params_.use_entropy = r->ReadBool();
   params_.seed = r->ReadU64();
+  const uint8_t split = r->ReadU8();
+  if (split > static_cast<uint8_t>(SplitMode::kExact)) {
+    throw SerializationError("DecisionTree: out-of-range split mode");
+  }
+  params_.split = static_cast<SplitMode>(split);
+  params_.max_bins = r->ReadSize();
   LoadEncoder(r);
   num_classes_internal_ = r->ReadSize();
   const size_t count = r->ReadSize();

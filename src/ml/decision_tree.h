@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/feature_table.h"
 
 namespace mvg {
 
@@ -14,6 +15,15 @@ namespace mvg {
 /// thresholds minimising Gini impurity (or entropy). Supports per-node
 /// random feature subsampling (`max_features`) so it doubles as the
 /// Random Forest base learner.
+///
+/// Split finding runs, by default, on quantile-binned histograms
+/// (SplitMode::kHistogram): features are quantized once into <= 256 bins
+/// by a FeatureTable, each node scans per-bin class histograms instead of
+/// re-sorting raw values, rows are partitioned in place inside one shared
+/// index buffer, and a child's histogram is derived from its parent's by
+/// subtraction (only the smaller sibling is ever scanned). The exact
+/// pre-sorted sweep is kept behind SplitMode::kExact as the reference
+/// implementation for the histogram-vs-exact parity tests.
 class DecisionTreeClassifier : public Classifier {
  public:
   struct Params {
@@ -24,21 +34,37 @@ class DecisionTreeClassifier : public Classifier {
     size_t max_features = 0;
     bool use_entropy = false;  ///< Gini by default.
     uint64_t seed = 42;        ///< For feature subsampling.
+    /// Split engine; kHistogram is the default, kExact the fallback.
+    SplitMode split = SplitMode::kHistogram;
+    /// Histogram resolution (clamped to [2, 256]); ignored in exact mode.
+    size_t max_bins = FeatureTable::kMaxBins;
   };
 
   DecisionTreeClassifier() = default;
   explicit DecisionTreeClassifier(Params params) : params_(params) {}
 
   void Fit(const Matrix& x, const std::vector<int>& y) override;
+  void FitOnRows(const Matrix& x, const std::vector<int>& y,
+                 const std::vector<size_t>& rows) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
   void SaveBinary(BinaryWriter* w) const override;
   void LoadBinary(BinaryReader* r) override;
 
-  /// Fits on a subset of rows (bootstrap support for the forest).
-  void FitOnIndices(const Matrix& x, const std::vector<size_t>& y_encoded,
-                    size_t num_classes, const std::vector<size_t>& rows);
+  /// Histogram-engine entry point on a prebuilt (shared, read-only)
+  /// FeatureTable: `rows` are compact FeatureTable indices (duplicates
+  /// allowed — bootstrap), `y_compact` is indexed by compact row. This is
+  /// what RandomForest uses so the binning cost is paid once per forest,
+  /// not once per tree. Ignores params().split.
+  void FitBinned(const FeatureTable& ft, const std::vector<size_t>& y_compact,
+                 size_t num_classes, const std::vector<size_t>& rows);
+
+  /// Exact-mode twin of FitBinned: feature values are read through the
+  /// `src` row view (value of compact row i is x[src[i]][f]).
+  void FitExactOnView(const Matrix& x, const std::vector<size_t>& src,
+                      const std::vector<size_t>& y_compact, size_t num_classes,
+                      const std::vector<size_t>& rows);
 
   /// Tree size diagnostics.
   size_t NumNodes() const { return nodes_.size(); }
@@ -55,9 +81,15 @@ class DecisionTreeClassifier : public Classifier {
     size_t depth = 0;
   };
 
-  int32_t BuildNode(const Matrix& x, const std::vector<size_t>& y,
-                    std::vector<size_t>* rows, size_t depth,
-                    class Rng* rng);
+  struct HistBuilder;  // histogram split engine; defined in the .cc.
+
+  /// Dispatches on params_.split; `src` maps compact rows to Matrix rows.
+  void FitView(const Matrix& x, const std::vector<size_t>& src,
+               const std::vector<size_t>& y_compact, size_t num_classes);
+
+  int32_t BuildNode(const Matrix& x, const std::vector<size_t>& src,
+                    const std::vector<size_t>& y, std::vector<size_t>* rows,
+                    size_t depth, class Rng* rng);
 
   Params params_;
   size_t num_classes_internal_ = 0;

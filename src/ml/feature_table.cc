@@ -1,0 +1,72 @@
+#include "ml/feature_table.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mvg {
+
+void FeatureTable::Build(const Matrix& x, size_t max_bins) {
+  std::vector<size_t> rows(x.size());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  Build(x, rows, max_bins);
+}
+
+void FeatureTable::Build(const Matrix& x, const std::vector<size_t>& rows,
+                         size_t max_bins) {
+  if (rows.empty()) {
+    throw std::invalid_argument("FeatureTable: no rows");
+  }
+  max_bins = std::min(std::max<size_t>(max_bins, 2), kMaxBins);
+  num_rows_ = rows.size();
+  num_features_ = x[rows[0]].size();
+  src_rows_ = rows;
+  bins_.assign(num_features_ * num_rows_, 0);
+  cuts_.clear();
+  cut_offset_.assign(num_features_ + 1, 0);
+
+  std::vector<double> sorted(num_rows_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    for (size_t i = 0; i < num_rows_; ++i) sorted[i] = x[rows[i]][f];
+    std::sort(sorted.begin(), sorted.end());
+
+    // Cut points: strictly increasing midpoints between consecutive
+    // distinct values — all of them when the feature has few distinct
+    // values (the histogram sweep is then exact), else at evenly spaced
+    // ranks (a quantile sketch in the XGBoost style).
+    const size_t cuts_begin = cuts_.size();
+    size_t distinct = 1;
+    for (size_t i = 1; i < num_rows_; ++i) {
+      if (sorted[i] != sorted[i - 1]) ++distinct;
+    }
+    if (distinct <= max_bins) {
+      for (size_t i = 1; i < num_rows_; ++i) {
+        if (sorted[i] != sorted[i - 1]) {
+          cuts_.push_back(0.5 * (sorted[i - 1] + sorted[i]));
+        }
+      }
+    } else {
+      for (size_t b = 1; b < max_bins; ++b) {
+        const size_t pos = b * num_rows_ / max_bins;
+        if (pos == 0 || sorted[pos] == sorted[pos - 1]) continue;
+        const double cut = 0.5 * (sorted[pos - 1] + sorted[pos]);
+        if (cuts_.size() > cuts_begin && cut <= cuts_.back()) continue;
+        cuts_.push_back(cut);
+      }
+    }
+    cut_offset_[f + 1] = cuts_.size();
+
+    // Bin id: index of the first cut >= value, so `bin <= b` is exactly
+    // `value <= threshold(f, b)` — the routing Predict applies later.
+    const double* cuts_f = cuts_.data() + cuts_begin;
+    const size_t num_cuts = cuts_.size() - cuts_begin;
+    uint8_t* col = bins_.data() + f * num_rows_;
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const double v = x[rows[i]][f];
+      col[i] = static_cast<uint8_t>(
+          std::lower_bound(cuts_f, cuts_f + num_cuts, v) - cuts_f);
+    }
+  }
+}
+
+}  // namespace mvg

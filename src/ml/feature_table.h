@@ -1,0 +1,235 @@
+#ifndef MVG_ML_FEATURE_TABLE_H_
+#define MVG_ML_FEATURE_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace mvg {
+
+/// How tree learners search for splits.
+enum class SplitMode : uint8_t {
+  /// Quantile-binned histograms (XGBoost-style): features are quantized
+  /// once into <= 256 bins, split finding scans bin histograms, and a
+  /// child's histogram is derived from its parent's by subtraction. The
+  /// default engine.
+  kHistogram = 0,
+  /// Exact pre-sorted split enumeration over raw feature values (the
+  /// original implementation, kept as a fallback and as the reference for
+  /// the histogram-vs-exact parity tests).
+  kExact = 1,
+};
+
+/// Column-major, quantile-binned view of a (subset of a) row-major Matrix.
+///
+/// Build() transposes the selected rows once and quantizes every feature
+/// into at most `max_bins` bins: when a feature has <= max_bins distinct
+/// values the bins are exact (one per value, cut points at midpoints of
+/// consecutive distinct values, so histogram split finding enumerates the
+/// same thresholds as the exact pre-sorted sweep); otherwise cut points are
+/// taken at evenly spaced ranks of the sorted values (a quantile sketch).
+///
+/// Rows are addressed by *compact* index 0..num_rows()-1 in the order they
+/// were passed to Build(); source_row() maps back to the original Matrix
+/// row. Bin ids are uint8, so one table costs num_features x num_rows
+/// bytes — cheap enough to build once per fit (or once per forest) and
+/// share read-only across trees and threads.
+class FeatureTable {
+ public:
+  static constexpr size_t kMaxBins = 256;
+
+  FeatureTable() = default;
+
+  /// Builds the binned view of x restricted to `rows` (original row
+  /// indices; must be non-empty, duplicates allowed). `max_bins` is
+  /// clamped to [2, 256].
+  void Build(const Matrix& x, const std::vector<size_t>& rows,
+             size_t max_bins = kMaxBins);
+
+  /// Convenience: all rows of x.
+  void Build(const Matrix& x, size_t max_bins = kMaxBins);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_features() const { return num_features_; }
+
+  /// Number of bins of feature f (>= 1; 1 means the feature is constant).
+  size_t num_bins(size_t f) const {
+    return cut_offset_[f + 1] - cut_offset_[f] + 1;
+  }
+
+  /// Bin id of compact row i under feature f.
+  uint8_t bin(size_t f, size_t i) const { return bins_[f * num_rows_ + i]; }
+
+  /// Contiguous bin-id column of feature f (num_rows() entries).
+  const uint8_t* column(size_t f) const { return bins_.data() + f * num_rows_; }
+
+  /// Real-valued threshold realising the split "bin <= b goes left": every
+  /// training value in bins 0..b is <= threshold(f, b) and every value in
+  /// bins b+1.. is > it. Valid for b in [0, num_bins(f) - 2].
+  double threshold(size_t f, size_t b) const {
+    return cuts_[cut_offset_[f] + b];
+  }
+
+  /// Original Matrix row behind compact row i.
+  size_t source_row(size_t i) const { return src_rows_[i]; }
+  const std::vector<size_t>& source_rows() const { return src_rows_; }
+
+ private:
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<uint8_t> bins_;       ///< column-major, f * num_rows_ + i.
+  std::vector<double> cuts_;        ///< strictly increasing cut points, flat.
+  std::vector<size_t> cut_offset_;  ///< per-feature offset into cuts_ (d+1).
+  std::vector<size_t> src_rows_;    ///< compact index -> original row.
+};
+
+/// Free-list pool of flat per-node histograms for the tree builders. One
+/// histogram holds, for every tracked column slot, num_bins(col) bins of
+/// `width` doubles each (k class counts for classification trees, 2
+/// grad/hess sums for boosting). The pool owns the engine-critical
+/// invariants the two tree engines share:
+///
+///  * every free-listed (and freshly allocated) buffer is all-zero;
+///    callers accumulate straight into an Acquire()d buffer and record
+///    the dirty per-slot bin span through lo()/hi(); Release() zeroes
+///    exactly that span, so small deep nodes never touch the full global
+///    histogram width;
+///  * SubtractInto(buf, sub) derives a sibling histogram in place over
+///    buf's dirty span (sub's rows are a subset of buf's, so sub's span
+///    lies inside it; sub's cells outside its own span are zero by the
+///    invariant above).
+///
+/// At most tree-depth + 1 buffers are ever live.
+class NodeHistogramPool {
+ public:
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  /// `cols[j]` is the FeatureTable column behind slot j.
+  NodeHistogramPool(const FeatureTable& ft, const std::vector<size_t>& cols,
+                    size_t width)
+      : width_(width) {
+    offsets_.resize(cols.size());
+    size_t total_bins = 0;
+    for (size_t j = 0; j < cols.size(); ++j) {
+      offsets_[j] = total_bins;
+      total_bins += ft.num_bins(cols[j]);
+    }
+    hist_size_ = total_bins * width;
+  }
+
+  /// Doubles per histogram (all slots).
+  size_t hist_size() const { return hist_size_; }
+
+  /// Start of slot j inside a histogram, in doubles.
+  size_t slot_offset(size_t j) const { return offsets_[j] * width_; }
+
+  double* hist(size_t b) { return pool_[b].data(); }
+  uint16_t* lo(size_t b) { return lo_[b].data(); }
+  uint16_t* hi(size_t b) { return hi_[b].data(); }
+
+  size_t Acquire() {
+    if (free_list_.empty()) {
+      pool_.emplace_back(hist_size_);
+      lo_.emplace_back(offsets_.size());
+      hi_.emplace_back(offsets_.size());
+      free_list_.push_back(pool_.size() - 1);
+    }
+    const size_t b = free_list_.back();
+    free_list_.pop_back();
+    return b;
+  }
+
+  void Release(size_t b) {
+    double* h = pool_[b].data();
+    for (size_t j = 0; j < offsets_.size(); ++j) {
+      double* base = h + offsets_[j] * width_;
+      const size_t lo = lo_[b][j], hi = hi_[b][j];
+      if (lo <= hi) {
+        std::fill(base + lo * width_, base + (hi + 1) * width_, 0.0);
+      }
+    }
+    free_list_.push_back(b);
+  }
+
+  void SubtractInto(size_t buf, size_t sub) {
+    double* a = pool_[buf].data();
+    const double* b = pool_[sub].data();
+    for (size_t j = 0; j < offsets_.size(); ++j) {
+      const size_t base = offsets_[j] * width_;
+      const size_t lo = lo_[buf][j], hi = hi_[buf][j];
+      for (size_t i = base + lo * width_; i < base + (hi + 1) * width_; ++i) {
+        a[i] -= b[i];
+      }
+    }
+  }
+
+  /// Histogram buffers for the two children of a split node; kNone means
+  /// "none assigned — scan lazily if the child actually needs one".
+  struct ChildBuffers {
+    size_t left = kNone;
+    size_t right = kNone;
+  };
+
+  /// Plans the children's histograms after a split of rows[begin, end) at
+  /// `mid`, consuming the parent's buffer `buf`. Sibling subtraction pays
+  /// when deriving the larger child from the parent is cheaper than
+  /// rescanning it (`work_per_row` = per-row scan cost in tracked
+  /// columns): the smaller child is scanned via `scan(begin, end, buf)`
+  /// and its sibling derived in place into the parent's buffer. In the
+  /// small-node regime the parent's buffer is released instead and both
+  /// children come back as kNone.
+  template <typename ScanFn>
+  ChildBuffers PlanChildren(size_t buf, size_t begin, size_t mid, size_t end,
+                            size_t work_per_row, ScanFn&& scan) {
+    const size_t larger_n = std::max(mid - begin, end - mid);
+    if (hist_size_ > 2 * larger_n * work_per_row) {
+      Release(buf);
+      return {};
+    }
+    const size_t cbuf = Acquire();
+    if (mid - begin <= end - mid) {
+      scan(begin, mid, cbuf);
+      SubtractInto(buf, cbuf);
+      return {cbuf, buf};
+    }
+    scan(mid, end, cbuf);
+    SubtractInto(buf, cbuf);
+    return {buf, cbuf};
+  }
+
+ private:
+  size_t width_ = 0;
+  size_t hist_size_ = 0;
+  std::vector<size_t> offsets_;  ///< per-slot bin offset.
+  std::vector<std::vector<double>> pool_;
+  std::vector<std::vector<uint16_t>> lo_, hi_;
+  std::vector<size_t> free_list_;
+};
+
+/// Stable in-place partition of rows[begin, end) on `col[r] <= bin` (left
+/// rows compact forward, right rows stage through `scratch` and append);
+/// returns the boundary index. Shared by the tree engines so both keep the
+/// same order-determinism guarantee.
+inline size_t StablePartitionRows(std::vector<size_t>& rows,
+                                  std::vector<size_t>& scratch, size_t begin,
+                                  size_t end, const uint8_t* col, size_t bin) {
+  size_t w = begin, staged = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const size_t r = rows[i];
+    if (col[r] <= bin) {
+      rows[w++] = r;
+    } else {
+      scratch[staged++] = r;
+    }
+  }
+  std::copy(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(staged),
+            rows.begin() + static_cast<std::ptrdiff_t>(w));
+  return w;
+}
+
+}  // namespace mvg
+
+#endif  // MVG_ML_FEATURE_TABLE_H_

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "util/binary_io.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -28,11 +29,196 @@ double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Histogram split engine for the regression trees: per (column, bin) sums
+// of gradients and hessians. Same machinery as the classification tree's —
+// one shared row-index buffer partitioned in place, a free-list pool of
+// node histograms, only the smaller child scanned and its sibling derived
+// by subtraction — restricted to the tree's `cols` subset (column sampling
+// is per tree, so the subset is consistent across parent and children and
+// the subtraction trick stays valid).
+// ---------------------------------------------------------------------------
+
+struct GradientBoostingClassifier::HistBuilder {
+  const FeatureTable& ft;
+  const std::vector<double>& grad;
+  const std::vector<double>& hess;
+  const Params& params;
+  const std::vector<size_t>& cols;
+  Tree* tree;
+  std::vector<double>* gains;
+
+  std::vector<size_t> rows;
+  std::vector<size_t> scratch;
+  /// Shared pool machinery (free list, all-zero invariant, dirty-span
+  /// bookkeeping, sibling subtraction); slot j = cols[j], 2 doubles per
+  /// bin (grad, hess).
+  NodeHistogramPool hpool;
+
+  HistBuilder(const FeatureTable& ft_in, const std::vector<double>& grad_in,
+              const std::vector<double>& hess_in, const Params& params_in,
+              const std::vector<size_t>& cols_in, Tree* tree_in,
+              std::vector<double>* gains_in)
+      : ft(ft_in), grad(grad_in), hess(hess_in), params(params_in),
+        cols(cols_in), tree(tree_in), gains(gains_in),
+        hpool(ft_in, cols_in, 2) {}
+
+  /// Accumulates (grad, hess) sums of rows[begin, end) into buffer `buf`
+  /// (all-zero by the pool invariant), recording the dirty spans.
+  void Scan(size_t begin, size_t end, size_t buf) {
+    double* h = hpool.hist(buf);
+    uint16_t* plo = hpool.lo(buf);
+    uint16_t* phi = hpool.hi(buf);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const uint8_t* col = ft.column(cols[j]);
+      double* base = h + hpool.slot_offset(j);
+      uint16_t lo = 0xffff, hi = 0;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        const uint16_t b = col[r];
+        lo = std::min(lo, b);
+        hi = std::max(hi, b);
+        double* cell = base + static_cast<size_t>(b) * 2;
+        cell[0] += grad[r];
+        cell[1] += hess[r];
+      }
+      plo[j] = lo;
+      phi[j] = hi;
+    }
+  }
+
+  /// Sentinel for "no histogram yet": Build computes one lazily, and only
+  /// after the cheap leaf checks — children that terminate never pay for a
+  /// histogram at all.
+  static constexpr size_t kNoBuf = NodeHistogramPool::kNone;
+
+  void Run(const std::vector<size_t>& node_rows) {
+    rows = node_rows;
+    scratch.resize(rows.size());
+    Build(0, rows.size(), 0, kNoBuf);
+  }
+
+  int32_t Build(size_t begin, size_t end, size_t depth, size_t buf) {
+    const size_t n = end - begin;
+
+    double g_sum = 0.0, h_sum = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      g_sum += grad[rows[i]];
+      h_sum += hess[rows[i]];
+    }
+
+    auto make_leaf = [&]() {
+      TreeNode leaf;
+      leaf.weight = -g_sum / (h_sum + params.lambda);
+      if (buf != kNoBuf) hpool.Release(buf);
+      tree->push_back(leaf);
+      return static_cast<int32_t>(tree->size() - 1);
+    };
+
+    if (depth >= params.max_depth || n < 2) return make_leaf();
+
+    if (buf == kNoBuf) {
+      buf = hpool.Acquire();
+      Scan(begin, end, buf);
+    }
+    const double* hist = hpool.hist(buf);
+
+    const double parent_score = g_sum * g_sum / (h_sum + params.lambda);
+    double best_gain = params.gamma + 1e-12;
+    int best_feature = -1;
+    size_t best_bin = 0;
+    double best_threshold = 0.0;
+
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const size_t f = cols[j];
+      const size_t nb = ft.num_bins(f);
+      if (nb < 2) continue;
+      const double* fh = hist + hpool.slot_offset(j);
+      // Bins below lo are empty for this node (cumulative sums start at
+      // zero there) and boundaries at/after hi leave nothing on the right.
+      const size_t lo = hpool.lo(buf)[j];
+      const size_t hi = hpool.hi(buf)[j];
+      double gl = 0.0, hl = 0.0;
+      for (size_t b = lo; b + 1 < nb && b < hi; ++b) {
+        const double bin_h = fh[b * 2 + 1];
+        gl += fh[b * 2];
+        hl += bin_h;
+        const double gr = g_sum - gl, hr = h_sum - hl;
+        // Every row carries hess >= 1e-12, far above the subtraction's
+        // rounding noise, so hr <= 0 means the node's rows are exhausted
+        // and every later boundary is empty too.
+        if (hr <= 0.0) break;
+        // A bin with no rows adds no new boundary — the analogue of the
+        // exact sweep's equal-value skip.
+        if (bin_h == 0.0) continue;
+        if (hl < params.min_child_weight || hr < params.min_child_weight) {
+          continue;
+        }
+        const double gain = 0.5 * (gl * gl / (hl + params.lambda) +
+                                   gr * gr / (hr + params.lambda) -
+                                   parent_score);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = b;
+          best_threshold = ft.threshold(f, b);
+        }
+      }
+    }
+
+    if (best_feature < 0) return make_leaf();
+
+    const size_t mid = StablePartitionRows(
+        rows, scratch, begin, end,
+        ft.column(static_cast<size_t>(best_feature)), best_bin);
+    if (mid == begin || mid == end) return make_leaf();
+
+    (*gains)[static_cast<size_t>(best_feature)] += best_gain;
+
+    TreeNode internal;
+    internal.feature = best_feature;
+    internal.threshold = best_threshold;
+    tree->push_back(internal);
+    const int32_t id = static_cast<int32_t>(tree->size() - 1);
+
+    // Scan only the smaller child and derive its sibling by subtraction
+    // when that beats rescanning; small nodes fall back to lazy per-child
+    // scans.
+    const auto child = hpool.PlanChildren(
+        buf, begin, mid, end, cols.size(),
+        [&](size_t b, size_t e, size_t t) { Scan(b, e, t); });
+    const int32_t left_id = Build(begin, mid, depth + 1, child.left);
+    const int32_t right_id = Build(mid, end, depth + 1, child.right);
+    (*tree)[id].left = left_id;
+    (*tree)[id].right = right_id;
+    return id;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Fitting.
+// ---------------------------------------------------------------------------
+
 void GradientBoostingClassifier::Fit(const Matrix& x,
                                      const std::vector<int>& y) {
   const std::vector<size_t> encoded = PrepareFit(x, y);
-  const size_t n = x.size();
-  const size_t d = x[0].size();
+  std::vector<size_t> src(x.size());
+  std::iota(src.begin(), src.end(), size_t{0});
+  FitView(x, src, encoded);
+}
+
+void GradientBoostingClassifier::FitOnRows(const Matrix& x,
+                                           const std::vector<int>& y,
+                                           const std::vector<size_t>& rows) {
+  const std::vector<size_t> encoded = PrepareFitOnRows(x, y, rows);
+  FitView(x, rows, encoded);
+}
+
+void GradientBoostingClassifier::FitView(const Matrix& x,
+                                         const std::vector<size_t>& src,
+                                         const std::vector<size_t>& encoded) {
+  const size_t n = src.size();
+  const size_t d = x[src[0]].size();
   const size_t k = encoder_.num_classes();
   num_features_ = d;
   feature_gain_.assign(d, 0.0);
@@ -40,6 +226,7 @@ void GradientBoostingClassifier::Fit(const Matrix& x,
 
   const bool binary = k == 2;
   const size_t num_outputs = binary ? 1 : k;
+  const bool hist = params_.split == SplitMode::kHistogram;
 
   // Base score: log-odds (binary) / log-prior (softmax).
   base_score_.assign(num_outputs, 0.0);
@@ -50,11 +237,25 @@ void GradientBoostingClassifier::Fit(const Matrix& x,
     base_score_[0] = std::log(p / (1.0 - p));
   }
 
-  // Current logit per sample per output.
-  Matrix logits(n, std::vector<double>(num_outputs));
-  for (size_t i = 0; i < n; ++i) logits[i] = base_score_;
+  // Quantize once per fit; shared read-only by every tree of every round.
+  FeatureTable ft;
+  if (hist) ft.Build(x, src, params_.max_bins);
 
-  std::vector<double> grad(n), hess(n);
+  // Current logit / probability per sample per output, and per-output
+  // gradient buffers — all hoisted out of the round loop.
+  Matrix logits(n, base_score_);
+  Matrix probs(n, std::vector<double>(num_outputs));
+  std::vector<std::vector<double>> grads(num_outputs,
+                                         std::vector<double>(n));
+  std::vector<std::vector<double>> hesses(num_outputs,
+                                          std::vector<double>(n));
+  std::vector<std::vector<double>> out_gains(num_outputs,
+                                             std::vector<double>(d));
+
+  // Per-sample loops only fan out when there is enough work to amortise
+  // the thread spawn; invariance does not depend on this.
+  const size_t row_threads = n >= 512 ? params_.num_threads : 1;
+
   Rng rng(params_.seed);
   for (size_t round = 0; round < params_.num_rounds; ++round) {
     // Row subsample (shared across the round's trees).
@@ -67,62 +268,88 @@ void GradientBoostingClassifier::Fit(const Matrix& x,
       rows.resize(n);
       std::iota(rows.begin(), rows.end(), size_t{0});
     }
-
-    std::vector<Tree> round_trees;
-    round_trees.reserve(num_outputs);
+    // Column subsample per tree — pre-drawn in output order so the
+    // parallel tree workers never touch the shared RNG.
+    std::vector<std::vector<size_t>> cols(num_outputs);
     for (size_t out = 0; out < num_outputs; ++out) {
-      // Gradients/hessians of the loss wrt the logit of output `out`.
-      for (size_t i = 0; i < n; ++i) {
-        if (binary) {
-          const double p = Sigmoid(logits[i][0]);
-          const double target = encoded[i] == 1 ? 1.0 : 0.0;
-          grad[i] = p - target;
-          hess[i] = std::max(1e-12, p * (1.0 - p));
-        } else {
-          const std::vector<double> p = Softmax(logits[i]);
-          const double target = encoded[i] == out ? 1.0 : 0.0;
-          grad[i] = p[out] - target;
-          hess[i] = std::max(1e-12, p[out] * (1.0 - p[out]));
-        }
-      }
-      // Column subsample per tree.
-      std::vector<size_t> cols;
       if (params_.colsample < 1.0) {
         const size_t take = std::max<size_t>(
             1,
             static_cast<size_t>(params_.colsample * static_cast<double>(d)));
-        cols = rng.Sample(d, take);
+        cols[out] = rng.Sample(d, take);
       } else {
-        cols.resize(d);
-        std::iota(cols.begin(), cols.end(), size_t{0});
+        cols[out].resize(d);
+        std::iota(cols[out].begin(), cols[out].end(), size_t{0});
       }
-      round_trees.push_back(BuildTree(x, grad, hess, rows, cols));
     }
+
+    // Probabilities once per round (the serial path used to recompute the
+    // softmax for every output).
+    ParallelFor(n, row_threads, [&](size_t i) {
+      if (binary) {
+        probs[i][0] = Sigmoid(logits[i][0]);
+      } else {
+        probs[i] = Softmax(logits[i]);
+      }
+    });
+
+    // One tree per output, fitted concurrently; gains are accumulated
+    // per output and merged in output order below.
+    std::vector<Tree> round_trees(num_outputs);
+    ParallelFor(num_outputs, params_.num_threads, [&](size_t out) {
+      std::vector<double>& grad = grads[out];
+      std::vector<double>& hess = hesses[out];
+      for (size_t i = 0; i < n; ++i) {
+        const double p = probs[i][binary ? 0 : out];
+        const double target =
+            (binary ? encoded[i] == 1 : encoded[i] == out) ? 1.0 : 0.0;
+        grad[i] = p - target;
+        hess[i] = std::max(1e-12, p * (1.0 - p));
+      }
+      std::fill(out_gains[out].begin(), out_gains[out].end(), 0.0);
+      if (hist) {
+        Tree tree;
+        HistBuilder builder(ft, grad, hess, params_, cols[out], &tree,
+                            &out_gains[out]);
+        builder.Run(rows);
+        round_trees[out] = std::move(tree);
+      } else {
+        round_trees[out] =
+            BuildTreeExact(x, src, grad, hess, rows, cols[out],
+                           &out_gains[out]);
+      }
+    });
+    for (size_t out = 0; out < num_outputs; ++out) {
+      for (size_t f = 0; f < d; ++f) feature_gain_[f] += out_gains[out][f];
+    }
+
     // Update logits with shrinkage.
-    for (size_t i = 0; i < n; ++i) {
+    ParallelFor(n, row_threads, [&](size_t i) {
       for (size_t out = 0; out < num_outputs; ++out) {
         logits[i][out] +=
-            params_.learning_rate * PredictTree(round_trees[out], x[i]);
+            params_.learning_rate * PredictTree(round_trees[out], x[src[i]]);
       }
-    }
+    });
     trees_.push_back(std::move(round_trees));
   }
 }
 
-GradientBoostingClassifier::Tree GradientBoostingClassifier::BuildTree(
-    const Matrix& x, const std::vector<double>& grad,
-    const std::vector<double>& hess, const std::vector<size_t>& rows,
-    const std::vector<size_t>& cols) {
+GradientBoostingClassifier::Tree GradientBoostingClassifier::BuildTreeExact(
+    const Matrix& x, const std::vector<size_t>& src,
+    const std::vector<double>& grad, const std::vector<double>& hess,
+    const std::vector<size_t>& rows, const std::vector<size_t>& cols,
+    std::vector<double>* gains) {
   Tree tree;
   std::vector<size_t> mutable_rows = rows;
-  BuildTreeNode(x, grad, hess, &mutable_rows, cols, 0, &tree);
+  BuildTreeNode(x, src, grad, hess, &mutable_rows, cols, 0, &tree, gains);
   return tree;
 }
 
 int32_t GradientBoostingClassifier::BuildTreeNode(
-    const Matrix& x, const std::vector<double>& grad,
-    const std::vector<double>& hess, std::vector<size_t>* rows,
-    const std::vector<size_t>& cols, size_t depth, Tree* tree) {
+    const Matrix& x, const std::vector<size_t>& src,
+    const std::vector<double>& grad, const std::vector<double>& hess,
+    std::vector<size_t>* rows, const std::vector<size_t>& cols, size_t depth,
+    Tree* tree, std::vector<double>* gains) {
   double g_sum = 0.0, h_sum = 0.0;
   for (size_t r : *rows) {
     g_sum += grad[r];
@@ -146,7 +373,7 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
   std::vector<std::pair<double, size_t>> vals(rows->size());
   for (size_t f : cols) {
     for (size_t i = 0; i < rows->size(); ++i) {
-      vals[i] = {x[(*rows)[i]][f], (*rows)[i]};
+      vals[i] = {x[src[(*rows)[i]]][f], (*rows)[i]};
     }
     std::sort(vals.begin(), vals.end());
     double gl = 0.0, hl = 0.0;
@@ -170,12 +397,13 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
   }
 
   if (best_feature < 0) return make_leaf();
-  feature_gain_[static_cast<size_t>(best_feature)] += best_gain;
+  (*gains)[static_cast<size_t>(best_feature)] += best_gain;
 
   std::vector<size_t> left_rows, right_rows;
   for (size_t r : *rows) {
-    (x[r][static_cast<size_t>(best_feature)] <= best_threshold ? left_rows
-                                                               : right_rows)
+    (x[src[r]][static_cast<size_t>(best_feature)] <= best_threshold
+         ? left_rows
+         : right_rows)
         .push_back(r);
   }
   if (left_rows.empty() || right_rows.empty()) return make_leaf();
@@ -187,10 +415,10 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
   const int32_t id = static_cast<int32_t>(tree->size() - 1);
   rows->clear();
   rows->shrink_to_fit();
-  const int32_t left = BuildTreeNode(x, grad, hess, &left_rows, cols,
-                                     depth + 1, tree);
-  const int32_t right = BuildTreeNode(x, grad, hess, &right_rows, cols,
-                                      depth + 1, tree);
+  const int32_t left = BuildTreeNode(x, src, grad, hess, &left_rows, cols,
+                                     depth + 1, tree, gains);
+  const int32_t right = BuildTreeNode(x, src, grad, hess, &right_rows, cols,
+                                      depth + 1, tree, gains);
   (*tree)[id].left = left;
   (*tree)[id].right = right;
   return id;
@@ -254,6 +482,8 @@ void GradientBoostingClassifier::SaveBinary(BinaryWriter* w) const {
   w->WriteDouble(params_.subsample);
   w->WriteDouble(params_.colsample);
   w->WriteU64(params_.seed);
+  w->WriteU8(static_cast<uint8_t>(params_.split));
+  w->WriteSize(params_.max_bins);
   SaveEncoder(w);
   w->WriteSize(num_features_);
   w->WriteDoubleVec(base_score_);
@@ -284,6 +514,12 @@ void GradientBoostingClassifier::LoadBinary(BinaryReader* r) {
   params_.subsample = r->ReadDouble();
   params_.colsample = r->ReadDouble();
   params_.seed = r->ReadU64();
+  const uint8_t split = r->ReadU8();
+  if (split > static_cast<uint8_t>(SplitMode::kExact)) {
+    throw SerializationError("GradientBoosting: out-of-range split mode");
+  }
+  params_.split = static_cast<SplitMode>(split);
+  params_.max_bins = r->ReadSize();
   LoadEncoder(r);
   num_features_ = r->ReadSize();
   base_score_ = r->ReadDoubleVec();

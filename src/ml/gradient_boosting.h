@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "ml/feature_table.h"
 
 namespace mvg {
 
@@ -15,11 +16,20 @@ namespace mvg {
 /// ref. [8]) — the paper's primary classifier.
 ///
 /// Implements: logistic loss (binary) and softmax (multiclass, one tree per
-/// class per round); exact greedy splits maximising the regularised gain
+/// class per round); greedy splits maximising the regularised gain
 ///   0.5 * (GL^2/(HL+lambda) + GR^2/(HR+lambda) - G^2/(H+lambda)) - gamma;
 /// leaf weights -G/(H+lambda); shrinkage (`learning_rate`); row subsampling
 /// and per-tree column subsampling (the paper fixes both at 0.5 to prevent
 /// overfitting); and gain-based feature importances (used for Fig. 10).
+///
+/// Split finding runs on quantile-binned gradient/hessian histograms by
+/// default (SplitMode::kHistogram): the FeatureTable is built once per
+/// Fit, each node scans only its smaller child and derives the sibling by
+/// subtraction, and rows are partitioned in place. The exact pre-sorted
+/// enumeration is kept behind SplitMode::kExact. Within a boosting round
+/// the per-class trees are fitted in parallel (`num_threads`); per-tree
+/// column draws are pre-assigned so results are identical for every
+/// thread count.
 class GradientBoostingClassifier : public Classifier {
  public:
   struct Params {
@@ -32,12 +42,21 @@ class GradientBoostingClassifier : public Classifier {
     double subsample = 1.0;       ///< Row sampling per round.
     double colsample = 1.0;       ///< Column sampling per tree.
     uint64_t seed = 42;
+    /// Split engine (histogram default, exact fallback).
+    SplitMode split = SplitMode::kHistogram;
+    size_t max_bins = FeatureTable::kMaxBins;
+    /// Worker threads (per-class trees within a round, per-sample loss
+    /// loops); results are identical for every value. Runtime knob only —
+    /// not serialized.
+    size_t num_threads = 1;
   };
 
   GradientBoostingClassifier() = default;
   explicit GradientBoostingClassifier(Params params) : params_(params) {}
 
   void Fit(const Matrix& x, const std::vector<int>& y) override;
+  void FitOnRows(const Matrix& x, const std::vector<int>& y,
+                 const std::vector<size_t>& rows) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
@@ -62,17 +81,28 @@ class GradientBoostingClassifier : public Classifier {
   };
   using Tree = std::vector<TreeNode>;
 
-  /// Builds one regression tree on (grad, hess) restricted to `rows`.
-  Tree BuildTree(const Matrix& x, const std::vector<double>& grad,
-                 const std::vector<double>& hess,
-                 const std::vector<size_t>& rows,
-                 const std::vector<size_t>& cols);
+  struct HistBuilder;  // histogram split engine; defined in the .cc.
 
-  int32_t BuildTreeNode(const Matrix& x, const std::vector<double>& grad,
+  /// Shared Fit implementation on a compact row view: compact row i reads
+  /// x[src[i]], `encoded` is indexed by compact row.
+  void FitView(const Matrix& x, const std::vector<size_t>& src,
+               const std::vector<size_t>& encoded);
+
+  /// Builds one exact-mode regression tree on (grad, hess) restricted to
+  /// `rows` (compact); split gains are accumulated into `gains`.
+  Tree BuildTreeExact(const Matrix& x, const std::vector<size_t>& src,
+                      const std::vector<double>& grad,
+                      const std::vector<double>& hess,
+                      const std::vector<size_t>& rows,
+                      const std::vector<size_t>& cols,
+                      std::vector<double>* gains);
+
+  int32_t BuildTreeNode(const Matrix& x, const std::vector<size_t>& src,
+                        const std::vector<double>& grad,
                         const std::vector<double>& hess,
                         std::vector<size_t>* rows,
                         const std::vector<size_t>& cols, size_t depth,
-                        Tree* tree);
+                        Tree* tree, std::vector<double>* gains);
 
   static double PredictTree(const Tree& tree, const std::vector<double>& x);
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "ml/metrics.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace mvg {
@@ -41,50 +42,73 @@ std::vector<FoldIndices> StratifiedKFold(const std::vector<int>& y,
 
 namespace {
 
-/// Shared CV loop; `use_log_loss` picks the score.
-double CrossValScore(const ClassifierFactory& factory, const Matrix& x,
-                     const std::vector<int>& y, size_t num_folds,
-                     uint64_t seed, bool use_log_loss) {
-  const auto folds = StratifiedKFold(y, num_folds, seed);
-  double total = 0.0;
-  size_t used = 0;
-  for (const auto& fold : folds) {
-    if (fold.validation.empty() || fold.train.empty()) continue;
-    Matrix xtr, xval;
-    std::vector<int> ytr, yval;
-    for (size_t i : fold.train) {
-      xtr.push_back(x[i]);
-      ytr.push_back(y[i]);
-    }
-    for (size_t i : fold.validation) {
-      xval.push_back(x[i]);
-      yval.push_back(y[i]);
-    }
-    // A fold's training part may be missing a class entirely when a class
-    // has fewer members than folds; skip such folds (they cannot score
-    // unseen labels).
-    std::vector<int> train_classes = ytr;
+/// A fold is usable when both sides are non-empty and its training part
+/// covers every label occurring in its validation part (a class with
+/// fewer members than folds can leave a gap; such folds cannot score
+/// unseen labels and are skipped, as before).
+std::vector<char> UsableFolds(const std::vector<FoldIndices>& folds,
+                              const std::vector<int>& y) {
+  std::vector<char> usable(folds.size(), 0);
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const FoldIndices& fold = folds[f];
+    if (fold.train.empty() || fold.validation.empty()) continue;
+    std::vector<int> train_classes;
+    train_classes.reserve(fold.train.size());
+    for (size_t i : fold.train) train_classes.push_back(y[i]);
     std::sort(train_classes.begin(), train_classes.end());
     train_classes.erase(
         std::unique(train_classes.begin(), train_classes.end()),
         train_classes.end());
     bool label_gap = false;
-    for (int label : yval) {
+    for (size_t i : fold.validation) {
       if (!std::binary_search(train_classes.begin(), train_classes.end(),
-                              label)) {
+                              y[i])) {
         label_gap = true;
         break;
       }
     }
-    if (label_gap) continue;
+    usable[f] = label_gap ? 0 : 1;
+  }
+  return usable;
+}
 
-    std::unique_ptr<Classifier> clf = factory();
-    clf->Fit(xtr, ytr);
-    if (use_log_loss) {
-      total += LogLoss(yval, clf->PredictProbaAll(xval), clf->classes());
-    } else {
-      total += ErrorRate(yval, clf->PredictAll(xval));
-    }
+/// Score of one candidate x fold cell: fit on the fold's train rows (as a
+/// view — no matrix copy) and score the validation rows one by one.
+double ScoreCell(const ClassifierFactory& factory, const Matrix& x,
+                 const std::vector<int>& y, const FoldIndices& fold,
+                 bool use_log_loss) {
+  std::unique_ptr<Classifier> clf = factory();
+  clf->FitOnRows(x, y, fold.train);
+  std::vector<int> yval;
+  yval.reserve(fold.validation.size());
+  for (size_t i : fold.validation) yval.push_back(y[i]);
+  if (use_log_loss) {
+    Matrix proba;
+    proba.reserve(fold.validation.size());
+    for (size_t i : fold.validation) proba.push_back(clf->PredictProba(x[i]));
+    return LogLoss(yval, proba, clf->classes());
+  }
+  std::vector<int> pred;
+  pred.reserve(fold.validation.size());
+  for (size_t i : fold.validation) pred.push_back(clf->Predict(x[i]));
+  return ErrorRate(yval, pred);
+}
+
+/// Shared CV loop over precomputed folds; `use_log_loss` picks the score.
+double CrossValScore(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y,
+                     const std::vector<FoldIndices>& folds, bool use_log_loss,
+                     size_t num_threads) {
+  const std::vector<char> usable = UsableFolds(folds, y);
+  std::vector<double> scores(folds.size(), 0.0);
+  ParallelFor(folds.size(), num_threads, [&](size_t f) {
+    if (usable[f]) scores[f] = ScoreCell(factory, x, y, folds[f], use_log_loss);
+  });
+  double total = 0.0;
+  size_t used = 0;
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (!usable[f]) continue;
+    total += scores[f];
     ++used;
   }
   if (used == 0) {
@@ -98,25 +122,74 @@ double CrossValScore(const ClassifierFactory& factory, const Matrix& x,
 double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
                        const std::vector<int>& y, size_t num_folds,
                        uint64_t seed) {
-  return CrossValScore(factory, x, y, num_folds, seed, true);
+  return CrossValScore(factory, x, y, StratifiedKFold(y, num_folds, seed),
+                       true, 1);
+}
+
+double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
+                       const std::vector<int>& y,
+                       const std::vector<FoldIndices>& folds,
+                       size_t num_threads) {
+  return CrossValScore(factory, x, y, folds, true, num_threads);
 }
 
 double CrossValError(const ClassifierFactory& factory, const Matrix& x,
                      const std::vector<int>& y, size_t num_folds,
                      uint64_t seed) {
-  return CrossValScore(factory, x, y, num_folds, seed, false);
+  return CrossValScore(factory, x, y, StratifiedKFold(y, num_folds, seed),
+                       false, 1);
+}
+
+double CrossValError(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y,
+                     const std::vector<FoldIndices>& folds,
+                     size_t num_threads) {
+  return CrossValScore(factory, x, y, folds, false, num_threads);
 }
 
 GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
                             const Matrix& x, const std::vector<int>& y,
-                            size_t num_folds, uint64_t seed) {
+                            size_t num_folds, uint64_t seed,
+                            size_t num_threads) {
+  return GridSearch(candidates, x, y, StratifiedKFold(y, num_folds, seed),
+                    num_threads);
+}
+
+GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
+                            const Matrix& x, const std::vector<int>& y,
+                            const std::vector<FoldIndices>& folds,
+                            size_t num_threads) {
   if (candidates.empty()) {
     throw std::invalid_argument("GridSearch: no candidates");
   }
+  const std::vector<char> usable = UsableFolds(folds, y);
+  const size_t num_cells = candidates.size() * folds.size();
+
+  // Every candidate x fold cell is independent; fan them all out at once
+  // and reduce per candidate in fold order afterwards, so the scores are
+  // bit-identical for every thread count.
+  std::vector<double> cell_scores(num_cells, 0.0);
+  ParallelFor(num_cells, num_threads, [&](size_t cell) {
+    const size_t c = cell / folds.size();
+    const size_t f = cell % folds.size();
+    if (usable[f]) {
+      cell_scores[cell] = ScoreCell(candidates[c], x, y, folds[f], true);
+    }
+  });
+
   GridSearchResult result;
   result.scores.reserve(candidates.size());
-  for (const auto& factory : candidates) {
-    result.scores.push_back(CrossValLogLoss(factory, x, y, num_folds, seed));
+  size_t used = 0;
+  for (size_t f = 0; f < folds.size(); ++f) used += usable[f] ? 1 : 0;
+  if (used == 0) {
+    throw std::runtime_error("GridSearch: no usable folds");
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    double total = 0.0;
+    for (size_t f = 0; f < folds.size(); ++f) {
+      if (usable[f]) total += cell_scores[c * folds.size() + f];
+    }
+    result.scores.push_back(total / static_cast<double>(used));
   }
   result.best_index = static_cast<size_t>(
       std::min_element(result.scores.begin(), result.scores.end()) -

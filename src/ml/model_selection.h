@@ -21,15 +21,27 @@ std::vector<FoldIndices> StratifiedKFold(const std::vector<int>& y,
                                          size_t num_folds, uint64_t seed);
 
 /// Cross-validated log loss (paper Eq. 5) of the classifier built by
-/// `factory`, averaged over stratified folds.
+/// `factory`, averaged over stratified folds. Folds are computed once from
+/// (num_folds, seed); the overloads taking `folds` reuse a precomputed
+/// split (what GridSearch and StackingEnsemble do, so every candidate
+/// sees the identical folds without recomputing them). Training happens
+/// on row views via Classifier::FitOnRows — no per-fold matrix copies.
 double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
                        const std::vector<int>& y, size_t num_folds,
                        uint64_t seed);
+double CrossValLogLoss(const ClassifierFactory& factory, const Matrix& x,
+                       const std::vector<int>& y,
+                       const std::vector<FoldIndices>& folds,
+                       size_t num_threads = 1);
 
 /// Cross-validated error rate.
 double CrossValError(const ClassifierFactory& factory, const Matrix& x,
                      const std::vector<int>& y, size_t num_folds,
                      uint64_t seed);
+double CrossValError(const ClassifierFactory& factory, const Matrix& x,
+                     const std::vector<int>& y,
+                     const std::vector<FoldIndices>& folds,
+                     size_t num_threads = 1);
 
 /// Result of a grid search: scores per candidate plus the winner.
 struct GridSearchResult {
@@ -40,9 +52,19 @@ struct GridSearchResult {
 
 /// Evaluates every candidate factory by stratified-CV log loss and picks
 /// the best (the paper's hyper-parameter tuning protocol, §3.2/§4.2).
+/// The folds are computed once and shared by all candidates; the
+/// candidate x fold cells are embarrassingly parallel and fan out across
+/// `num_threads` workers with bit-identical scores for every thread count
+/// (each cell is independent and the per-candidate reduction runs in fold
+/// order on the calling thread).
 GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
                             const Matrix& x, const std::vector<int>& y,
-                            size_t num_folds, uint64_t seed);
+                            size_t num_folds, uint64_t seed,
+                            size_t num_threads = 1);
+GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
+                            const Matrix& x, const std::vector<int>& y,
+                            const std::vector<FoldIndices>& folds,
+                            size_t num_threads = 1);
 
 }  // namespace mvg
 

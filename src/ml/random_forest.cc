@@ -4,38 +4,76 @@
 #include <numeric>
 
 #include "util/binary_io.h"
+#include "util/parallel.h"
 #include "util/random.h"
 
 namespace mvg {
 
 void RandomForestClassifier::Fit(const Matrix& x, const std::vector<int>& y) {
   const std::vector<size_t> encoded = PrepareFit(x, y);
-  const size_t n = x.size();
-  const size_t d = x[0].size();
+  std::vector<size_t> src(x.size());
+  std::iota(src.begin(), src.end(), size_t{0});
+  FitView(x, src, encoded, encoder_.num_classes());
+}
+
+void RandomForestClassifier::FitOnRows(const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<size_t>& rows) {
+  const std::vector<size_t> encoded = PrepareFitOnRows(x, y, rows);
+  FitView(x, rows, encoded, encoder_.num_classes());
+}
+
+void RandomForestClassifier::FitView(const Matrix& x,
+                                     const std::vector<size_t>& src,
+                                     const std::vector<size_t>& y_compact,
+                                     size_t num_classes) {
+  const size_t n = src.size();
+  const size_t d = x[src[0]].size();
   const size_t mtry =
       params_.max_features > 0
           ? params_.max_features
           : std::max<size_t>(1, static_cast<size_t>(std::sqrt(
                                     static_cast<double>(d))));
+
+  // Pre-assign every tree's seed and bootstrap rows from the master RNG in
+  // tree order, so the fitted forest does not depend on how many workers
+  // later share the tree loop.
   Rng rng(params_.seed);
-  trees_.clear();
-  trees_.reserve(params_.num_trees);
+  std::vector<uint64_t> tree_seeds(params_.num_trees);
+  std::vector<std::vector<size_t>> tree_rows(params_.num_trees);
   for (size_t t = 0; t < params_.num_trees; ++t) {
-    DecisionTreeClassifier::Params tp;
-    tp.max_depth = params_.max_depth;
-    tp.min_samples_leaf = params_.min_samples_leaf;
-    tp.max_features = mtry;
-    tp.seed = rng.engine()();
-    DecisionTreeClassifier tree(tp);
-    std::vector<size_t> rows(n);
+    tree_seeds[t] = rng.engine()();
+    std::vector<size_t>& rows = tree_rows[t];
+    rows.resize(n);
     if (params_.bootstrap) {
       for (size_t i = 0; i < n; ++i) rows[i] = rng.Index(n);
     } else {
       std::iota(rows.begin(), rows.end(), size_t{0});
     }
-    tree.FitOnIndices(x, encoded, encoder_.num_classes(), rows);
-    trees_.push_back(std::move(tree));
   }
+
+  // Bin once, share across all trees (read-only).
+  FeatureTable ft;
+  if (params_.split == SplitMode::kHistogram) {
+    ft.Build(x, src, params_.max_bins);
+  }
+
+  trees_.assign(params_.num_trees, DecisionTreeClassifier());
+  ParallelFor(params_.num_trees, params_.num_threads, [&](size_t t) {
+    DecisionTreeClassifier::Params tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.max_features = mtry;
+    tp.seed = tree_seeds[t];
+    tp.split = params_.split;
+    tp.max_bins = params_.max_bins;
+    trees_[t] = DecisionTreeClassifier(tp);
+    if (params_.split == SplitMode::kHistogram) {
+      trees_[t].FitBinned(ft, y_compact, num_classes, tree_rows[t]);
+    } else {
+      trees_[t].FitExactOnView(x, src, y_compact, num_classes, tree_rows[t]);
+    }
+  });
 }
 
 std::vector<double> RandomForestClassifier::PredictProba(
@@ -66,6 +104,8 @@ void RandomForestClassifier::SaveBinary(BinaryWriter* w) const {
   w->WriteSize(params_.max_features);
   w->WriteBool(params_.bootstrap);
   w->WriteU64(params_.seed);
+  w->WriteU8(static_cast<uint8_t>(params_.split));
+  w->WriteSize(params_.max_bins);
   SaveEncoder(w);
   w->WriteSize(trees_.size());
   for (const DecisionTreeClassifier& tree : trees_) tree.SaveBinary(w);
@@ -78,6 +118,12 @@ void RandomForestClassifier::LoadBinary(BinaryReader* r) {
   params_.max_features = r->ReadSize();
   params_.bootstrap = r->ReadBool();
   params_.seed = r->ReadU64();
+  const uint8_t split = r->ReadU8();
+  if (split > static_cast<uint8_t>(SplitMode::kExact)) {
+    throw SerializationError("RandomForest: out-of-range split mode");
+  }
+  params_.split = static_cast<SplitMode>(split);
+  params_.max_bins = r->ReadSize();
   LoadEncoder(r);
   const size_t count = r->ReadSize();
   trees_.assign(count, DecisionTreeClassifier());

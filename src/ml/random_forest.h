@@ -14,6 +14,12 @@ namespace mvg {
 /// Random Forest: bagged CART trees with per-node feature subsampling,
 /// probabilities averaged over trees (one of the paper's three generic
 /// classifier families, §3.2/§4.3).
+///
+/// Training runs on the histogram engine by default: the FeatureTable is
+/// built once per forest and shared read-only by every tree, and trees are
+/// fitted in parallel across `num_threads` workers. Per-tree seeds and
+/// bootstrap draws are pre-assigned from the master RNG before any worker
+/// starts, so the fitted forest is bit-identical for every thread count.
 class RandomForestClassifier : public Classifier {
  public:
   struct Params {
@@ -24,12 +30,20 @@ class RandomForestClassifier : public Classifier {
     size_t max_features = 0;
     bool bootstrap = true;
     uint64_t seed = 42;
+    /// Split engine for the trees (histogram default, exact fallback).
+    SplitMode split = SplitMode::kHistogram;
+    size_t max_bins = FeatureTable::kMaxBins;
+    /// Worker threads for tree fitting; results are identical for every
+    /// value. Runtime knob only — not serialized.
+    size_t num_threads = 1;
   };
 
   RandomForestClassifier() = default;
   explicit RandomForestClassifier(Params params) : params_(params) {}
 
   void Fit(const Matrix& x, const std::vector<int>& y) override;
+  void FitOnRows(const Matrix& x, const std::vector<int>& y,
+                 const std::vector<size_t>& rows) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
@@ -40,6 +54,11 @@ class RandomForestClassifier : public Classifier {
   size_t num_trees_fitted() const { return trees_.size(); }
 
  private:
+  /// Shared implementation: trains on the compact row view `src`
+  /// (compact index i reads x[src[i]]), labels in compact indexing.
+  void FitView(const Matrix& x, const std::vector<size_t>& src,
+               const std::vector<size_t>& y_compact, size_t num_classes);
+
   Params params_;
   std::vector<DecisionTreeClassifier> trees_;
 };

@@ -9,6 +9,7 @@
 #include "ml/metrics.h"
 #include "ml/model_selection.h"
 #include "util/binary_io.h"
+#include "util/parallel.h"
 
 namespace mvg {
 
@@ -34,17 +35,32 @@ void StackingEnsemble::Fit(const Matrix& x, const std::vector<int>& y) {
   }
   const std::vector<size_t> encoded = PrepareFit(x, y);
   const size_t k = encoder_.num_classes();
+  // One stratified split, shared by candidate scoring and the out-of-fold
+  // predictions (same seed always produced identical folds; now they are
+  // computed once instead of once per candidate).
   const auto folds = StratifiedKFold(y, params_.num_folds, params_.seed);
 
   // Step 1-2: score every candidate by CV log loss; keep top-k per family.
+  // Candidates are independent, so they are scored concurrently (each
+  // scoring call runs its folds serially; the cells differ in cost, so
+  // spreading candidates keeps the workers busier than nesting would).
+  std::vector<const ClassifierFactory*> all_candidates;
+  for (const auto& family : families_) {
+    for (const auto& factory : family) all_candidates.push_back(&factory);
+  }
+  std::vector<double> candidate_scores(all_candidates.size(), 0.0);
+  ParallelFor(all_candidates.size(), params_.num_threads, [&](size_t c) {
+    candidate_scores[c] = CrossValLogLoss(*all_candidates[c], x, y, folds);
+  });
+
   std::vector<ClassifierFactory> selected;
+  size_t cursor = 0;
   for (const auto& family : families_) {
     std::vector<std::pair<double, size_t>> scored;
     for (size_t c = 0; c < family.size(); ++c) {
-      scored.emplace_back(
-          CrossValLogLoss(family[c], x, y, params_.num_folds, params_.seed),
-          c);
+      scored.emplace_back(candidate_scores[cursor + c], c);
     }
+    cursor += family.size();
     std::sort(scored.begin(), scored.end());
     const size_t take = std::min(params_.top_k_per_family, scored.size());
     for (size_t i = 0; i < take; ++i) {
@@ -52,44 +68,54 @@ void StackingEnsemble::Fit(const Matrix& x, const std::vector<int>& y) {
     }
   }
 
-  // Step 3: out-of-fold probability predictions per estimator.
+  // Step 3: out-of-fold probability predictions per estimator. A fold is
+  // usable when its training part covers every class. Each estimator x
+  // fold cell trains an independent model on the fold's train rows (a
+  // view — no matrix copies) and writes a disjoint slice of oof, so the
+  // cells fan out across threads with identical results.
+  std::vector<char> fold_usable(folds.size(), 0);
+  for (size_t f = 0; f < folds.size(); ++f) {
+    const auto& fold = folds[f];
+    if (fold.train.empty() || fold.validation.empty()) continue;
+    std::vector<int> tc;
+    tc.reserve(fold.train.size());
+    for (size_t i : fold.train) tc.push_back(y[i]);
+    std::sort(tc.begin(), tc.end());
+    tc.erase(std::unique(tc.begin(), tc.end()), tc.end());
+    fold_usable[f] = tc.size() == k ? 1 : 0;
+  }
+
   std::vector<Matrix> oof(selected.size(),
                           Matrix(x.size(), std::vector<double>(k, 0.0)));
   std::vector<char> has_oof(x.size(), 0);
-  for (const auto& fold : folds) {
-    if (fold.train.empty() || fold.validation.empty()) continue;
-    Matrix xtr;
-    std::vector<int> ytr;
-    for (size_t i : fold.train) {
-      xtr.push_back(x[i]);
-      ytr.push_back(y[i]);
+  const size_t num_cells = selected.size() * folds.size();
+  ParallelFor(num_cells, params_.num_threads, [&](size_t cell) {
+    const size_t e = cell / folds.size();
+    const size_t f = cell % folds.size();
+    if (!fold_usable[f]) return;
+    std::unique_ptr<Classifier> clf = selected[e]();
+    clf->FitOnRows(x, y, folds[f].train);
+    for (size_t i : folds[f].validation) {
+      oof[e][i] = clf->PredictProba(x[i]);
     }
-    // Skip folds whose training part misses a class.
-    std::vector<int> tc = ytr;
-    std::sort(tc.begin(), tc.end());
-    tc.erase(std::unique(tc.begin(), tc.end()), tc.end());
-    if (tc.size() != k) continue;
-
-    for (size_t e = 0; e < selected.size(); ++e) {
-      std::unique_ptr<Classifier> clf = selected[e]();
-      clf->Fit(xtr, ytr);
-      for (size_t i : fold.validation) {
-        oof[e][i] = clf->PredictProba(x[i]);
-      }
-    }
-    for (size_t i : fold.validation) has_oof[i] = 1;
+  });
+  for (size_t f = 0; f < folds.size(); ++f) {
+    if (!fold_usable[f]) continue;
+    for (size_t i : folds[f].validation) has_oof[i] = 1;
   }
 
   // Step 4: one scalar weight per estimator + per-class bias.
   FitCombiner(oof, encoded, has_oof);
 
-  // Step 5: refit base estimators on the full training data.
+  // Step 5: refit base estimators on the full training data (in parallel —
+  // they are independent; slot order keeps the result deterministic).
   base_.clear();
-  for (const auto& factory : selected) {
-    std::unique_ptr<Classifier> clf = factory();
+  base_.resize(selected.size());
+  ParallelFor(selected.size(), params_.num_threads, [&](size_t e) {
+    std::unique_ptr<Classifier> clf = selected[e]();
     clf->Fit(x, y);
-    base_.push_back(std::move(clf));
-  }
+    base_[e] = std::move(clf);
+  });
 }
 
 void StackingEnsemble::FitCombiner(const std::vector<Matrix>& oof_probas,

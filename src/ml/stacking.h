@@ -35,6 +35,10 @@ class StackingEnsemble : public Classifier {
     size_t top_k_per_family = 5;  ///< paper: top five per family.
     size_t num_folds = 3;         ///< paper: 3-fold CV.
     uint64_t seed = 42;
+    /// Worker threads for candidate scoring, out-of-fold fits and the
+    /// final refits (each cell trains an independent estimator). Results
+    /// are identical for every value. Runtime knob only — not serialized.
+    size_t num_threads = 1;
   };
 
   explicit StackingEnsemble(std::vector<std::vector<ClassifierFactory>> families);

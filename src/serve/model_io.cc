@@ -75,10 +75,11 @@ std::map<uint32_t, std::string> ReadSections(std::istream& is) {
     throw SerializationError("model file: bad magic (not an .mvg model)");
   }
   const uint32_t version = r.ReadU32();
-  if (version == 0 || version > kModelFormatVersion) {
+  if (version != kModelFormatVersion) {
     throw SerializationError(
         "model file: unsupported format version " + std::to_string(version) +
-        " (this build reads <= " + std::to_string(kModelFormatVersion) + ")");
+        " (this build reads exactly " + std::to_string(kModelFormatVersion) +
+        ")");
   }
   const uint32_t section_count = r.ReadU32();
 
@@ -139,6 +140,10 @@ void MvgClassifier::SaveBinary(std::ostream& os) const {
   pipeline.WriteSize(config_.cv_folds);
   pipeline.WriteSize(config_.stacking_top_k);
   pipeline.WriteU64(config_.seed);
+  // num_threads is a runtime knob (results are thread-count invariant)
+  // and deliberately not persisted; exact_splits changes what a refit
+  // would learn, so it is part of the model's identity.
+  pipeline.WriteBool(config_.exact_splits);
   pipeline.WriteSize(feature_width_);
   pipeline.WriteSize(train_length_);
   pipeline.WriteDouble(fe_seconds_);
@@ -175,6 +180,7 @@ MvgClassifier MvgClassifier::LoadBinary(std::istream& is) {
   config.cv_folds = pipeline.ReadSize();
   config.stacking_top_k = pipeline.ReadSize();
   config.seed = pipeline.ReadU64();
+  config.exact_splits = pipeline.ReadBool();
 
   MvgClassifier clf(config);
   clf.feature_width_ = pipeline.ReadSize();

@@ -27,15 +27,20 @@ namespace mvg {
 ///   tag 2  scaler     the fitted MinMaxScaler
 ///   tag 3  model      type-tagged classifier body (SaveClassifierBinary)
 ///
-/// Versioning policy: readers accept files whose version is <= their own
-/// kModelFormatVersion and reject newer ones loudly; any layout change
-/// bumps the version. Unknown *section* tags are ignored on read, so a
-/// newer writer may append sections without breaking old readers within
-/// one version. Corruption (bad magic, truncation, CRC mismatch,
-/// out-of-range enums/indices) always throws SerializationError — a model
-/// never half-loads.
+/// Versioning policy: any layout change bumps kModelFormatVersion, and
+/// readers accept exactly their own version — section bodies are not
+/// self-describing, so a version mismatch in either direction is rejected
+/// loudly rather than misparsed. Unknown *section* tags are ignored on
+/// read, so a newer writer may append sections without breaking old
+/// readers within one version. Corruption (bad magic, truncation, CRC
+/// mismatch, out-of-range enums/indices) always throws
+/// SerializationError — a model never half-loads.
+///
+/// v2 (histogram training engine): the tree-family bodies gained the
+/// split-mode/max_bins params and the pipeline section gained the
+/// exact-splits flag, so v1 files are no longer readable.
 inline constexpr char kModelMagic[8] = {'M', 'V', 'G', 'M', 'O', 'D', 'E', 'L'};
-inline constexpr uint32_t kModelFormatVersion = 1;
+inline constexpr uint32_t kModelFormatVersion = 2;
 
 /// Section tags (part of the on-disk format; append, never renumber).
 enum ModelSection : uint32_t {
