@@ -1,0 +1,55 @@
+#ifndef MVG_BENCH_LEGACY_PARALLEL_H_
+#define MVG_BENCH_LEGACY_PARALLEL_H_
+
+// The PR-1..PR-4 spawn-per-call ParallelFor, kept verbatim as the
+// perf_suite baseline for the persistent executor's dispatch-overhead
+// metric (pool_dispatch_speedup_small_n) — the same pattern as
+// legacy_vg.h preserving the pre-CSR graph representation. Every call
+// pays `workers` std::thread spawns + joins and a std::function heap
+// allocation; that is precisely the overhead the pool removes.
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvg {
+namespace bench {
+
+inline void LegacySpawnParallelFor(size_t n, size_t num_threads,
+                                   const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t block =
+      (n + std::min(num_threads, n) - 1) / std::min(num_threads, n);
+  const size_t workers = (n + block - 1) / block;
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t t = 0; t < workers; ++t) {
+    threads.emplace_back([&, t]() {
+      const size_t begin = t * block;
+      const size_t end = std::min(begin + block, n);
+      try {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace bench
+}  // namespace mvg
+
+#endif  // MVG_BENCH_LEGACY_PARALLEL_H_

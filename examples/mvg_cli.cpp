@@ -31,6 +31,7 @@
 
 #include "core/mvg_classifier.h"
 #include "graph/graph_io.h"
+#include "util/executor.h"
 #include "ml/metrics.h"
 #include "serve/model_io.h"
 #include "ts/generators.h"
@@ -117,6 +118,9 @@ int CmdGraph(const std::string& in, size_t index, const std::string& out) {
 int CmdClassify(const std::string& train_path, const std::string& test_path,
                 const std::string& model, const std::string& save_model,
                 const std::string& load_model, size_t num_threads) {
+  // --threads also sizes the persistent executor pool, so the bound holds
+  // for every parallel layer in the process, nested fits included.
+  if (num_threads > 0) Executor::SetGlobalConcurrency(num_threads);
   const Dataset test = ReadUcrFile(test_path);
   MvgClassifier clf;
   if (!load_model.empty()) {

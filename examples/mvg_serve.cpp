@@ -5,16 +5,23 @@
 //
 //   mvg_serve train <train-ucr-file> --out model.mvg
 //            [--model xgb|rf|svm|stack] [--grid none|small|paper]
-//            [--eval <ucr-file> [--out-preds FILE]]
+//            [--threads N] [--eval <ucr-file> [--out-preds FILE]]
 //       fit an MvgClassifier and save it; --eval classifies a file with
 //       the just-trained in-memory model (so CI can diff these
-//       predictions against a fresh process serving the saved file)
+//       predictions against a fresh process serving the saved file);
+//       --threads sizes the persistent executor pool shared by feature
+//       extraction, grid cells and tree fits (0 = hardware concurrency;
+//       fitted models are bit-identical for every value)
 //   mvg_serve info <model.mvg>
 //       print model metadata (family, extractor config, feature width)
 //   mvg_serve serve --model model.mvg --input <ucr-file>
 //            [--threads N] [--out-preds FILE]
+//            [--async [--batch-max B] [--batch-timeout-ms T]]
 //       batch-classify every series in a UCR file via ServingSession;
-//       prints one label per line (or writes them to --out-preds)
+//       prints one label per line (or writes them to --out-preds).
+//       --async routes every series through the micro-batching
+//       AsyncServingSession front end instead (identical predictions;
+//       queue-depth and latency percentile stats go to stderr)
 //   mvg_serve serve --model model.mvg --stream
 //            [--window N] [--hop N]
 //       online monitoring: read one sample per line from stdin into a
@@ -35,9 +42,11 @@
 
 #include "core/mvg_classifier.h"
 #include "ml/metrics.h"
+#include "serve/async_serving.h"
 #include "serve/model_io.h"
 #include "serve/serving.h"
 #include "ts/ucr_io.h"
+#include "util/executor.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -50,10 +59,11 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s train <train-ucr-file> --out MODEL [--model xgb|rf|svm|stack]"
-      " [--grid none|small|paper] [--eval FILE [--out-preds FILE]]\n"
+      " [--grid none|small|paper] [--threads N]"
+      " [--eval FILE [--out-preds FILE]]\n"
       "  %s info <MODEL>\n"
       "  %s serve --model MODEL --input <ucr-file> [--threads N]"
-      " [--out-preds FILE]\n"
+      " [--out-preds FILE] [--async [--batch-max B] [--batch-timeout-ms T]]\n"
       "  %s serve --model MODEL --stream [--window N] [--hop N]\n",
       argv0, argv0, argv0, argv0);
   return 2;
@@ -79,6 +89,24 @@ bool HasFlag(int argc, char** argv, int from, const char* flag) {
     if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// `--threads` with the same validation mvg_cli classify applies: an
+/// integer in [0, 1024], 0 meaning hardware concurrency. A non-zero value
+/// is routed to the persistent executor pool size, so it bounds every
+/// parallel layer in the process (extraction, grid cells, tree fits,
+/// serving fan-out).
+size_t ThreadsFlag(int argc, char** argv, int from) {
+  const std::string raw = FlagValue(argc, argv, from, "--threads", "0");
+  char* end = nullptr;
+  const long parsed = std::strtol(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 1024) {
+    std::fprintf(stderr, "--threads expects an integer in [0, 1024]"
+                         " (0 = hardware concurrency)\n");
+    std::exit(2);
+  }
+  if (parsed > 0) Executor::SetGlobalConcurrency(static_cast<size_t>(parsed));
+  return static_cast<size_t>(parsed);
 }
 
 MvgModel ParseModel(const std::string& name) {
@@ -116,6 +144,7 @@ int CmdTrain(int argc, char** argv) {
   MvgClassifier::Config config;
   config.model = ParseModel(FlagValue(argc, argv, 3, "--model", "xgb"));
   config.grid = ParseGrid(FlagValue(argc, argv, 3, "--grid", "small"));
+  config.num_threads = ThreadsFlag(argc, argv, 3);  // 0 = hardware
 
   const Dataset train = ReadUcrFile(train_path);
   MvgClassifier clf(config);
@@ -169,14 +198,9 @@ int CmdInfo(const std::string& path) {
   return 0;
 }
 
-int CmdServeBatch(ServingSession& session, const std::string& input,
-                  size_t threads, const std::string& out_preds) {
-  const Dataset ds = ReadUcrFile(input);
-  WallTimer timer;
-  const std::vector<int> pred =
-      session.PredictBatch(ds.all_series().data(), ds.size(), threads);
-  const double seconds = timer.Seconds();
-
+/// Writes labels to --out-preds or stdout; shared by the sync and async
+/// batch paths.
+int EmitPreds(const std::vector<int>& pred, const std::string& out_preds) {
   if (!out_preds.empty()) {
     std::ofstream os(out_preds);
     if (!os) {
@@ -187,6 +211,56 @@ int CmdServeBatch(ServingSession& session, const std::string& input,
   } else {
     for (int label : pred) std::printf("%d\n", label);
   }
+  return 0;
+}
+
+int CmdServeAsync(MvgClassifier model, const std::string& input,
+                  size_t threads, const std::string& out_preds,
+                  size_t batch_max, double batch_timeout_ms) {
+  const Dataset ds = ReadUcrFile(input);
+  AsyncServingSession::Options opt;
+  opt.batch_max = batch_max;
+  opt.batch_timeout_ms = batch_timeout_ms;
+  opt.num_threads = threads;
+  AsyncServingSession session(std::move(model), opt);
+
+  WallTimer timer;
+  std::vector<std::future<int>> futures;
+  futures.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    futures.push_back(session.Submit(ds.series(i)));
+  }
+  std::vector<int> pred;
+  pred.reserve(ds.size());
+  for (std::future<int>& f : futures) pred.push_back(f.get());
+  const double seconds = timer.Seconds();
+
+  const int rc = EmitPreds(pred, out_preds);
+  if (rc != 0) return rc;
+  const AsyncServingSession::Stats stats = session.stats();
+  std::fprintf(stderr,
+               "served %zu series async in %.3fs (%.0f series/s), error vs "
+               "file labels %.4f\n"
+               "async stats: %zu batches (mean size %.1f), max queue depth "
+               "%zu, latency p50 %.2fms p99 %.2fms\n",
+               ds.size(), seconds,
+               seconds > 0 ? static_cast<double>(ds.size()) / seconds : 0.0,
+               ErrorRate(ds.labels(), pred), stats.batches,
+               stats.mean_batch_size, stats.max_queue_depth,
+               stats.p50_latency_ms, stats.p99_latency_ms);
+  return 0;
+}
+
+int CmdServeBatch(ServingSession& session, const std::string& input,
+                  size_t threads, const std::string& out_preds) {
+  const Dataset ds = ReadUcrFile(input);
+  WallTimer timer;
+  const std::vector<int> pred =
+      session.PredictBatch(ds.all_series().data(), ds.size(), threads);
+  const double seconds = timer.Seconds();
+
+  const int rc = EmitPreds(pred, out_preds);
+  if (rc != 0) return rc;
   std::fprintf(stderr,
                "served %zu series in %.3fs (%.0f series/s, %zu threads), "
                "error vs file labels %.4f\n",
@@ -224,8 +298,10 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: --model MODEL is required\n");
     return 2;
   }
-  ServingSession session = ServingSession::FromFile(model_path);
+  const size_t threads_flag = ThreadsFlag(argc, argv, 2);
+  const size_t threads = threads_flag == 0 ? DefaultThreads() : threads_flag;
   if (HasFlag(argc, argv, 2, "--stream")) {
+    ServingSession session = ServingSession::FromFile(model_path);
     const size_t window = static_cast<size_t>(
         std::stoul(FlagValue(argc, argv, 2, "--window", "0")));
     const size_t hop = static_cast<size_t>(
@@ -237,10 +313,28 @@ int CmdServe(int argc, char** argv) {
     std::fprintf(stderr, "serve: need --input <ucr-file> or --stream\n");
     return 2;
   }
-  const size_t threads = static_cast<size_t>(std::stoul(FlagValue(
-      argc, argv, 2, "--threads", std::to_string(DefaultThreads()))));
-  return CmdServeBatch(session, input, threads,
-                       FlagValue(argc, argv, 2, "--out-preds", ""));
+  const std::string out_preds = FlagValue(argc, argv, 2, "--out-preds", "");
+  if (HasFlag(argc, argv, 2, "--async")) {
+    const std::string raw_max = FlagValue(argc, argv, 2, "--batch-max", "32");
+    char* end = nullptr;
+    const long batch_max = std::strtol(raw_max.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || batch_max < 1 || batch_max > 4096) {
+      std::fprintf(stderr,
+                   "--batch-max expects an integer in [1, 4096]\n");
+      return 2;
+    }
+    const std::string raw_timeout =
+        FlagValue(argc, argv, 2, "--batch-timeout-ms", "2");
+    const double batch_timeout_ms = std::strtod(raw_timeout.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(batch_timeout_ms >= 0.0)) {
+      std::fprintf(stderr, "--batch-timeout-ms expects a number >= 0\n");
+      return 2;
+    }
+    return CmdServeAsync(LoadModel(model_path), input, threads, out_preds,
+                         static_cast<size_t>(batch_max), batch_timeout_ms);
+  }
+  ServingSession session = ServingSession::FromFile(model_path);
+  return CmdServeBatch(session, input, threads, out_preds);
 }
 
 }  // namespace

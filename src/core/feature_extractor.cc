@@ -272,6 +272,10 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s,
 Matrix MvgFeatureExtractor::ExtractAll(const Dataset& ds,
                                        size_t num_threads) const {
   Matrix x(ds.size());
+  // One pooled workspace per executor worker slot: a slot is owned by
+  // exactly one pool thread for the duration of the loop (stolen chunks
+  // run under the thief's own slot), so the workspaces need no locking
+  // and stay warm across the whole batch.
   std::vector<VgWorkspace> workspaces(MaxWorkers(ds.size(), num_threads));
   ParallelForWorker(ds.size(), num_threads, [&](size_t worker, size_t i) {
     x[i] = Extract(ds.series(i), &workspaces[worker]);

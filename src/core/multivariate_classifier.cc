@@ -79,31 +79,31 @@ void MvgMultivariateClassifier::Fit(const MultivariateDataset& train) {
   gp.min_child_weight = 0.5;
   gp.seed = config_.seed;
   gp.split = split;
+  gp.num_threads = threads;
   RandomForestClassifier::Params rp;
   rp.num_trees = 180;
   rp.max_depth = 20;
   rp.seed = config_.seed;
   rp.split = split;
+  rp.num_threads = threads;
   std::vector<ClassifierFactory> candidates = {
       [gp]() { return std::make_unique<GradientBoostingClassifier>(gp); },
       [rp]() { return std::make_unique<RandomForestClassifier>(rp); },
   };
   size_t best = 0;
   if (config_.grid != GridPreset::kNone) {
-    // Cells run candidates as built (single-threaded); the grid fans the
-    // candidate x fold cells out across the thread budget instead.
+    // The grid fans candidate x fold cells across the executor pool, and
+    // each cell's tree fits submit nested tasks onto the same pool (total
+    // concurrency is capped by the pool size, and results are
+    // thread-count invariant either way).
     best = GridSearch(candidates, x, y, config_.cv_folds, config_.seed,
                       threads)
                .best_index;
   }
-  GradientBoostingClassifier::Params gp_final = gp;
-  gp_final.num_threads = threads;
-  RandomForestClassifier::Params rp_final = rp;
-  rp_final.num_threads = threads;
   if (best == 0) {
-    model_ = std::make_unique<GradientBoostingClassifier>(gp_final);
+    model_ = std::make_unique<GradientBoostingClassifier>(gp);
   } else {
-    model_ = std::make_unique<RandomForestClassifier>(rp_final);
+    model_ = std::make_unique<RandomForestClassifier>(rp);
   }
   model_->Fit(x, y);
   train_seconds_ = train_timer.Seconds();

@@ -180,20 +180,24 @@ void MvgClassifier::Fit(const Dataset& train) {
   const Matrix& x_used = scale ? scaler_.TransformAll(x) : x;
 
   if (config_.model == MvgModel::kStacking) {
-    // The ensemble parallelises its candidate x fold cells itself, so the
-    // base candidates stay single-threaded (no nested fan-out).
+    // The ensemble fans its candidate x fold cells across the pool and
+    // each cell's tree fits submit nested tasks onto the same pool, which
+    // caps total concurrency instead of oversubscribing (pre-pool, base
+    // candidates had to stay single-threaded to avoid spawn explosions).
     StackingEnsemble::Params sp;
     sp.num_folds = config_.cv_folds;
     sp.seed = config_.seed;
     sp.top_k_per_family = config_.stacking_top_k;
     sp.num_threads = threads;
-    model_ = std::make_unique<StackingEnsemble>(BuildFamilies(1), sp);
+    model_ = std::make_unique<StackingEnsemble>(BuildFamilies(threads), sp);
     model_->Fit(x_used, y);
   } else {
-    // Candidate x fold cells fan out across the thread budget (candidates
-    // built with 1 thread each); the winning refit then gets the full
+    // Candidate x fold cells fan out across the thread budget, and each
+    // cell's internal tree-level parallelism rides the same pool as
+    // nested tasks (fitted models are thread-count invariant, so this is
+    // a pure scheduling change); the winning refit then gets the full
     // budget for its internal tree-level parallelism.
-    const std::vector<ClassifierFactory> candidates = BuildCandidates(1);
+    const std::vector<ClassifierFactory> candidates = BuildCandidates(threads);
     size_t best = 0;
     if (candidates.size() > 1 && config_.grid != GridPreset::kNone) {
       best = GridSearch(candidates, x_used, y, config_.cv_folds, config_.seed,

@@ -112,8 +112,9 @@ class MvgClassifier : public SeriesClassifier {
 
  private:
   /// Candidate factories with `num_threads` baked into the tree-family
-  /// params. Grid-search cells run candidates built with 1 thread (the
-  /// cells themselves are parallel); the final refit gets the full count.
+  /// params. Grid-search cells and the cells' internal tree fits share
+  /// the persistent executor pool (nested tasks; total concurrency is
+  /// capped by the pool, so nesting cannot oversubscribe).
   std::vector<ClassifierFactory> BuildCandidates(size_t num_threads) const;
   std::vector<std::vector<ClassifierFactory>> BuildFamilies(
       size_t num_threads) const;

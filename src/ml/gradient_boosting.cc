@@ -252,9 +252,10 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
   std::vector<std::vector<double>> out_gains(num_outputs,
                                              std::vector<double>(d));
 
-  // Per-sample loops only fan out when there is enough work to amortise
-  // the thread spawn; invariance does not depend on this.
-  const size_t row_threads = n >= 512 ? params_.num_threads : 1;
+  // Per-sample loops are cheap per item; the pool's grain-size path keeps
+  // them inline below this many rows and never claims smaller chunks, so
+  // dispatch overhead stays amortised. Invariance does not depend on it.
+  constexpr size_t kRowGrain = 512;
 
   Rng rng(params_.seed);
   for (size_t round = 0; round < params_.num_rounds; ++round) {
@@ -285,13 +286,16 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
 
     // Probabilities once per round (the serial path used to recompute the
     // softmax for every output).
-    ParallelFor(n, row_threads, [&](size_t i) {
-      if (binary) {
-        probs[i][0] = Sigmoid(logits[i][0]);
-      } else {
-        probs[i] = Softmax(logits[i]);
-      }
-    });
+    ParallelFor(
+        n, params_.num_threads,
+        [&](size_t i) {
+          if (binary) {
+            probs[i][0] = Sigmoid(logits[i][0]);
+          } else {
+            probs[i] = Softmax(logits[i]);
+          }
+        },
+        kRowGrain);
 
     // One tree per output, fitted concurrently; gains are accumulated
     // per output and merged in output order below.
@@ -324,12 +328,15 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
     }
 
     // Update logits with shrinkage.
-    ParallelFor(n, row_threads, [&](size_t i) {
-      for (size_t out = 0; out < num_outputs; ++out) {
-        logits[i][out] +=
-            params_.learning_rate * PredictTree(round_trees[out], x[src[i]]);
-      }
-    });
+    ParallelFor(
+        n, params_.num_threads,
+        [&](size_t i) {
+          for (size_t out = 0; out < num_outputs; ++out) {
+            logits[i][out] += params_.learning_rate *
+                              PredictTree(round_trees[out], x[src[i]]);
+          }
+        },
+        kRowGrain);
     trees_.push_back(std::move(round_trees));
   }
 }

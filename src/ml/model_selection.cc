@@ -166,8 +166,10 @@ GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
   const size_t num_cells = candidates.size() * folds.size();
 
   // Every candidate x fold cell is independent; fan them all out at once
-  // and reduce per candidate in fold order afterwards, so the scores are
-  // bit-identical for every thread count.
+  // onto the executor pool — a cell's own tree-level parallelism submits
+  // nested tasks to the same pool rather than spawning — and reduce per
+  // candidate in fold order afterwards, so the scores are bit-identical
+  // for every thread count and pool size.
   std::vector<double> cell_scores(num_cells, 0.0);
   ParallelFor(num_cells, num_threads, [&](size_t cell) {
     const size_t c = cell / folds.size();

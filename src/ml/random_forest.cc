@@ -36,8 +36,9 @@ void RandomForestClassifier::FitView(const Matrix& x,
                                     static_cast<double>(d))));
 
   // Pre-assign every tree's seed and bootstrap rows from the master RNG in
-  // tree order, so the fitted forest does not depend on how many workers
-  // later share the tree loop.
+  // tree order, so the fitted forest does not depend on how many executor
+  // workers later share (or steal chunks of) the tree loop, nor on the
+  // pool size when this fit runs nested inside a grid/stacking cell.
   Rng rng(params_.seed);
   std::vector<uint64_t> tree_seeds(params_.num_trees);
   std::vector<std::vector<size_t>> tree_rows(params_.num_trees);

@@ -41,9 +41,10 @@ void StackingEnsemble::Fit(const Matrix& x, const std::vector<int>& y) {
   const auto folds = StratifiedKFold(y, params_.num_folds, params_.seed);
 
   // Step 1-2: score every candidate by CV log loss; keep top-k per family.
-  // Candidates are independent, so they are scored concurrently (each
-  // scoring call runs its folds serially; the cells differ in cost, so
-  // spreading candidates keeps the workers busier than nesting would).
+  // Candidates are independent, so they are scored concurrently; a
+  // candidate's own tree-level parallelism submits nested tasks onto the
+  // shared executor pool, which caps total concurrency instead of
+  // oversubscribing (scores are thread-count invariant either way).
   std::vector<const ClassifierFactory*> all_candidates;
   for (const auto& family : families_) {
     for (const auto& factory : family) all_candidates.push_back(&factory);

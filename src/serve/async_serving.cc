@@ -1,0 +1,192 @@
+#include "serve/async_serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/model_io.h"
+#include "util/parallel.h"
+
+namespace mvg {
+
+namespace {
+constexpr size_t kLatencyWindow = 4096;  ///< recent requests kept for p50/p99.
+}  // namespace
+
+AsyncServingSession::AsyncServingSession(MvgClassifier model, Options options)
+    : session_(std::move(model)),
+      options_(options),
+      batch_threads_(options.num_threads == 0 ? DefaultThreads()
+                                              : options.num_threads),
+      latency_ring_ms_(kLatencyWindow, 0.0) {
+  if (options_.queue_capacity == 0) {
+    throw std::invalid_argument("AsyncServingSession: queue_capacity 0");
+  }
+  if (options_.batch_max == 0) {
+    throw std::invalid_argument("AsyncServingSession: batch_max 0");
+  }
+  if (options_.batch_timeout_ms < 0.0) {
+    throw std::invalid_argument("AsyncServingSession: negative batch timeout");
+  }
+  dispatcher_ = std::thread([this]() { DispatcherMain(); });
+}
+
+AsyncServingSession AsyncServingSession::FromFile(const std::string& path,
+                                                 Options options) {
+  return AsyncServingSession(LoadModel(path), options);
+}
+
+AsyncServingSession AsyncServingSession::FromFile(const std::string& path) {
+  return FromFile(path, Options());
+}
+
+AsyncServingSession::~AsyncServingSession() { Shutdown(); }
+
+std::future<int> AsyncServingSession::Submit(Series series) {
+  Request request;
+  request.series = std::move(series);
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<int> future = request.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_has_room_.wait(lock, [this]() {
+      return shutdown_ || queue_.size() < options_.queue_capacity;
+    });
+    if (shutdown_) {
+      throw std::runtime_error("AsyncServingSession: Submit after Shutdown");
+    }
+    queue_.push_back(std::move(request));
+    ++submitted_;
+    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+  }
+  queue_nonempty_.notify_one();
+  return future;
+}
+
+void AsyncServingSession::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  queue_nonempty_.notify_all();
+  queue_has_room_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void AsyncServingSession::DispatcherMain() {
+  const auto timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.batch_timeout_ms));
+  std::vector<Request> batch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_nonempty_.wait(
+          lock, [this]() { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue.
+      // Micro-batching: give the batch `batch_timeout_ms` from its first
+      // request to fill up to batch_max, then flush whatever is there.
+      // Shutdown flushes immediately — draining beats coalescing then.
+      const auto deadline = queue_.front().enqueued + timeout;
+      while (queue_.size() < options_.batch_max && !shutdown_) {
+        if (queue_nonempty_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+      const size_t take = std::min(queue_.size(), options_.batch_max);
+      batch.clear();
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_has_room_.notify_all();
+    RunBatch(&batch);
+  }
+}
+
+void AsyncServingSession::RunBatch(std::vector<Request>* batch) {
+  std::vector<Series> series;
+  series.reserve(batch->size());
+  for (Request& request : *batch) series.push_back(std::move(request.series));
+
+  std::vector<int> labels;
+  try {
+    labels = session_.PredictBatch(series.data(), series.size(),
+                                   batch_threads_);
+  } catch (...) {
+    const std::exception_ptr error = std::current_exception();
+    {
+      // Count before resolving, mirroring the success path: a caller
+      // observing its future ready also observes the failure counted.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++batches_;
+      failed_ += batch->size();
+    }
+    for (Request& request : *batch) request.promise.set_exception(error);
+    return;
+  }
+
+  const auto done = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++batches_;
+    completed_ += batch->size();
+    for (const Request& request : *batch) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(done - request.enqueued)
+              .count();
+      latency_ring_ms_[latency_next_] = ms;
+      latency_next_ = (latency_next_ + 1) % latency_ring_ms_.size();
+      latency_count_ = std::min(latency_count_ + 1, latency_ring_ms_.size());
+    }
+  }
+  // Resolve futures after bookkeeping so a caller observing its future
+  // ready also observes the request counted in stats().
+  for (size_t i = 0; i < batch->size(); ++i) {
+    (*batch)[i].promise.set_value(labels[i]);
+  }
+}
+
+AsyncServingSession::Stats AsyncServingSession::stats() const {
+  Stats stats;
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.submitted = submitted_;
+    stats.completed = completed_;
+    stats.failed = failed_;
+    stats.batches = batches_;
+    stats.queue_depth = queue_.size();
+    stats.max_queue_depth = max_queue_depth_;
+    stats.mean_batch_size =
+        batches_ == 0 ? 0.0
+                      : static_cast<double>(completed_ + failed_) /
+                            static_cast<double>(batches_);
+    latencies.assign(latency_ring_ms_.begin(),
+                     latency_ring_ms_.begin() +
+                         static_cast<std::ptrdiff_t>(latency_count_));
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    // Nearest-rank percentile: the smallest value with at least q*n
+    // samples at or below it (ceil(q*n) - 1 as a 0-based index).
+    const auto at = [&](double q) {
+      const double rank =
+          std::ceil(q * static_cast<double>(latencies.size()));
+      const size_t idx = rank <= 1.0 ? 0
+                                     : std::min(latencies.size() - 1,
+                                                static_cast<size_t>(rank) - 1);
+      return latencies[idx];
+    };
+    stats.p50_latency_ms = at(0.50);
+    stats.p99_latency_ms = at(0.99);
+  }
+  return stats;
+}
+
+}  // namespace mvg

@@ -1,0 +1,133 @@
+#ifndef MVG_SERVE_ASYNC_SERVING_H_
+#define MVG_SERVE_ASYNC_SERVING_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/serving.h"
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// Asynchronous, micro-batching front end over ServingSession — the shape
+/// a server under sustained concurrent traffic wants, where the
+/// synchronous session (single-client by contract) would serialize every
+/// producer behind one lock.
+///
+/// Producers call Submit() from any number of threads; requests land in a
+/// bounded queue (backpressure: Submit blocks while the queue is full). A
+/// dispatcher thread coalesces up to `batch_max` queued series per
+/// dispatch — waiting at most `batch_timeout_ms` after the first queued
+/// request before flushing a partial batch — and fans each batch across
+/// the persistent executor pool via ServingSession::PredictBatch, so
+/// per-request dispatch overhead is amortized over the batch and the
+/// pooled per-worker workspaces stay warm. Each request's future resolves
+/// with the predicted label (or the batch's exception).
+///
+/// Predictions are identical to the synchronous path: micro-batching
+/// changes scheduling only, never results.
+///
+/// Shutdown() (and the destructor) is graceful: new submissions are
+/// rejected, everything already queued is dispatched and resolved, then
+/// the dispatcher exits.
+class AsyncServingSession {
+ public:
+  struct Options {
+    /// Bound on queued (not yet dispatched) requests; Submit blocks while
+    /// the queue is full. Must be >= 1.
+    size_t queue_capacity = 1024;
+    /// Coalesce up to this many queued series per dispatch. Must be >= 1.
+    size_t batch_max = 32;
+    /// Flush a partial batch this long after its first request arrives.
+    double batch_timeout_ms = 2.0;
+    /// Pool fan-out per dispatched batch (0 = hardware concurrency).
+    size_t num_threads = 0;
+  };
+
+  /// Aggregate counters plus an enqueue-to-completion latency
+  /// distribution over a sliding window of recent requests.
+  struct Stats {
+    size_t submitted = 0;
+    size_t completed = 0;  ///< futures resolved with a label.
+    size_t failed = 0;     ///< futures resolved with an exception.
+    size_t batches = 0;
+    size_t queue_depth = 0;      ///< current
+    size_t max_queue_depth = 0;  ///< high-water mark
+    double mean_batch_size = 0.0;
+    double p50_latency_ms = 0.0;
+    double p99_latency_ms = 0.0;
+  };
+
+  /// Takes ownership of a fitted classifier.
+  AsyncServingSession(MvgClassifier model, Options options);
+  explicit AsyncServingSession(MvgClassifier model)
+      : AsyncServingSession(std::move(model), Options()) {}
+
+  /// Loads a `.mvg` model file into a fresh async session.
+  static AsyncServingSession FromFile(const std::string& path,
+                                      Options options);
+  static AsyncServingSession FromFile(const std::string& path);
+
+  AsyncServingSession(const AsyncServingSession&) = delete;
+  AsyncServingSession& operator=(const AsyncServingSession&) = delete;
+
+  /// Graceful: drains the queue, resolves every future, then stops.
+  ~AsyncServingSession();
+
+  /// Enqueues one series; the future resolves with its predicted label.
+  /// Blocks while the queue is at capacity; throws std::runtime_error
+  /// after Shutdown().
+  std::future<int> Submit(Series series);
+
+  /// Stops accepting work and waits for everything queued to resolve.
+  /// Idempotent.
+  void Shutdown();
+
+  Stats stats() const;
+
+  const MvgClassifier& model() const { return session_.model(); }
+
+ private:
+  struct Request {
+    Series series;
+    std::promise<int> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatcherMain();
+  void RunBatch(std::vector<Request>* batch);
+
+  ServingSession session_;
+  const Options options_;
+  const size_t batch_threads_;  ///< resolved num_threads.
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_nonempty_;  ///< signals the dispatcher.
+  std::condition_variable queue_has_room_;  ///< signals blocked producers.
+  std::deque<Request> queue_;
+  bool shutdown_ = false;
+
+  // Stats (guarded by mu_): counters plus a fixed ring of recent
+  // latencies the percentiles are computed from.
+  size_t submitted_ = 0;
+  size_t completed_ = 0;
+  size_t failed_ = 0;
+  size_t batches_ = 0;
+  size_t max_queue_depth_ = 0;
+  std::vector<double> latency_ring_ms_;
+  size_t latency_next_ = 0;
+  size_t latency_count_ = 0;
+
+  std::thread dispatcher_;  ///< last member: started once state is ready.
+};
+
+}  // namespace mvg
+
+#endif  // MVG_SERVE_ASYNC_SERVING_H_

@@ -29,8 +29,9 @@ std::vector<int> ServingSession::PredictBatch(const Series* series,
                                               size_t num_threads) {
   std::vector<int> out(count);
   const size_t workers = MaxWorkers(count, num_threads);
-  // Grow-only: a worker pool warmed by earlier batches stays warm even if
-  // a small batch needs fewer workers.
+  // Grow-only: a workspace pool warmed by earlier batches stays warm even
+  // if a small batch needs fewer executor slots. The fan-out rides the
+  // persistent pool, so per-batch dispatch is a queue push, not a spawn.
   if (workspaces_.size() < workers) workspaces_.resize(workers);
   ParallelForWorker(count, num_threads, [&](size_t worker, size_t i) {
     out[i] = model_.Predict(series[i], &workspaces_[worker]);

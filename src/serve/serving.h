@@ -16,11 +16,14 @@ namespace mvg {
 /// classify-many deployment shape).
 ///
 /// A session owns the classifier plus one pooled VgWorkspace per worker
-/// thread, so batch after batch the feature-extraction graph builds hit
+/// slot, so batch after batch the feature-extraction graph builds hit
 /// zero steady-state heap allocation (the PR-2 pooled-CSR contract). A
 /// session is single-client state: concurrent PredictBatch calls on one
 /// session must be externally serialized (parallelism belongs *inside* a
-/// batch, where ParallelForWorker gives each worker its own workspace).
+/// batch, where the persistent executor pool's ParallelForWorker gives
+/// each slot its own workspace). For many concurrent producers, wrap the
+/// session in AsyncServingSession (serve/async_serving.h), which
+/// micro-batches a bounded queue instead of serializing clients.
 class ServingSession {
  public:
   /// Takes ownership of a fitted classifier.

@@ -3,71 +3,51 @@
 
 #include <algorithm>
 #include <cstddef>
-#include <exception>
-#include <functional>
-#include <mutex>
 #include <thread>
-#include <vector>
+#include <utility>
+
+#include "util/executor.h"
 
 namespace mvg {
 
-/// Runs the body for every i in [0, n) across `num_threads` workers with
-/// static block partitioning: thread t owns the contiguous range
-/// [t*ceil(n/W), min((t+1)*ceil(n/W), n)). `num_threads <= 1` (or n small)
-/// degrades to a plain loop. The paper stresses that MVG's "feature
-/// extraction and classification process is inherently parallel" (§1) —
-/// per-series extraction is embarrassingly parallel, and this helper is
-/// what MvgFeatureExtractor::ExtractAll uses to exploit it.
+/// Runs the body for every i in [0, n) across at most `num_threads`
+/// participants of the process-wide persistent pool (Executor::Global()).
+/// The paper stresses that MVG's "feature extraction and classification
+/// process is inherently parallel" (§1) — per-series extraction is
+/// embarrassingly parallel, and this helper is what
+/// MvgFeatureExtractor::ExtractAll uses to exploit it.
 ///
-/// fn must be safe to call concurrently for distinct i. If any invocation
-/// throws, the first exception is captured and rethrown on the calling
-/// thread after all workers join; remaining iterations in other blocks may
-/// still run.
-/// Worker-indexed variant: fn(worker, i) with worker in [0, MaxWorkers).
-/// Each worker owns one contiguous block and runs on exactly one thread,
-/// so per-worker state (e.g. a pooled VgWorkspace) needs no locking.
-inline void ParallelForWorker(
-    size_t n, size_t num_threads,
-    const std::function<void(size_t worker, size_t i)>& fn) {
-  if (n == 0) return;
-  if (num_threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(0, i);
-    return;
-  }
-  const size_t block = (n + std::min(num_threads, n) - 1) /
-                       std::min(num_threads, n);
-  // Recompute so every spawned thread owns a non-empty block (e.g. n=7,
-  // num_threads=5 gives block=2 and only 4 useful workers).
-  const size_t workers = (n + block - 1) / block;
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (size_t t = 0; t < workers; ++t) {
-    threads.emplace_back([&, t]() {
-      const size_t begin = t * block;
-      const size_t end = std::min(begin + block, n);
-      try {
-        for (size_t i = begin; i < end; ++i) fn(t, i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-    });
-  }
-  for (auto& thread : threads) thread.join();
-  if (first_error) std::rethrow_exception(first_error);
+/// Historically this spawned `num_threads` fresh std::threads per call;
+/// it now dispatches chunked, work-stealing ranges onto warm pool workers
+/// (see executor.h for scheduling, nesting, the grain-size heuristic and
+/// the determinism contract). The observable contract is unchanged: every
+/// index runs exactly once, `num_threads <= 1` (or n <= grain) degrades
+/// to a plain inline loop, fn must be safe to call concurrently for
+/// distinct i, and if any invocation throws, the first exception is
+/// rethrown on the calling thread after all participants finish
+/// (iterations in chunks already claimed may still run).
+template <typename Body>
+inline void ParallelFor(size_t n, size_t num_threads, Body&& body,
+                        size_t grain = 1) {
+  Executor::Global().ParallelFor(n, num_threads, std::forward<Body>(body),
+                                 grain);
 }
 
-/// Index-only variant (the original interface); see ParallelForWorker.
-inline void ParallelFor(size_t n, size_t num_threads,
-                        const std::function<void(size_t)>& fn) {
-  ParallelForWorker(n, num_threads,
-                    [&fn](size_t /*worker*/, size_t i) { fn(i); });
+/// Worker-indexed variant: fn(worker, i) with worker in [0,
+/// MaxWorkers(n, num_threads)). A worker slot is owned by exactly one OS
+/// thread for the duration of the loop — including when chunks are
+/// stolen, which run under the thief's own slot — so per-slot state
+/// (e.g. a pooled VgWorkspace) needs no locking.
+template <typename Body>
+inline void ParallelForWorker(size_t n, size_t num_threads, Body&& body,
+                              size_t grain = 1) {
+  Executor::Global().ParallelForWorker(n, num_threads,
+                                       std::forward<Body>(body), grain);
 }
 
 /// Upper bound on the worker index ParallelForWorker passes to fn; use it
-/// to size per-worker state.
+/// to size per-worker state. (The pool may use fewer slots — it also caps
+/// by its own concurrency — but never more.)
 inline size_t MaxWorkers(size_t n, size_t num_threads) {
   if (n == 0) return 1;
   return std::max<size_t>(1, std::min(num_threads, n));

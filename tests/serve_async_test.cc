@@ -1,0 +1,241 @@
+// AsyncServingSession: the micro-batching async front end must answer
+// exactly like the synchronous path (batching changes scheduling, never
+// results), resolve every future under concurrent producers, flush
+// partial batches on timeout, coalesce up to batch_max, shut down
+// gracefully with work queued, and report sane stats.
+
+#include <atomic>
+#include <sstream>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mvg_classifier.h"
+#include "serve/async_serving.h"
+#include "serve/model_io.h"
+#include "serve/serving.h"
+#include "ts/generators.h"
+
+namespace mvg {
+namespace {
+
+constexpr size_t kSeriesLen = 64;
+
+/// One small fitted pipeline shared by every test in this suite (training
+/// is the expensive part; the async session under test is rebuilt per
+/// test).
+const MvgClassifier& SharedModel() {
+  static const MvgClassifier* model = []() {
+    Dataset train("async_train");
+    for (size_t i = 0; i < 20; ++i) {
+      train.Add(GaussianNoise(kSeriesLen, 500 + i), static_cast<int>(i % 2));
+    }
+    MvgClassifier::Config config;
+    config.grid = GridPreset::kNone;
+    auto* clf = new MvgClassifier(config);
+    clf->Fit(train);
+    return clf;
+  }();
+  return *model;
+}
+
+/// MvgClassifier owns its model behind a unique_ptr (not copyable), so
+/// tests clone the shared fitted pipeline through the binary format —
+/// predictions of the loaded pipeline are bit-identical by the PR-3
+/// persistence contract.
+MvgClassifier CloneModel() {
+  std::stringstream buffer;
+  SharedModel().SaveBinary(buffer);
+  return MvgClassifier::LoadBinary(buffer);
+}
+
+std::vector<Series> MakeBatch(size_t count, uint64_t seed) {
+  std::vector<Series> batch;
+  batch.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    batch.push_back(GaussianNoise(kSeriesLen, seed + i));
+  }
+  return batch;
+}
+
+TEST(AsyncServingTest, MatchesSynchronousPredictions) {
+  const std::vector<Series> batch = MakeBatch(24, 9000);
+  ServingSession sync(CloneModel());
+  const std::vector<int> expected = sync.PredictBatch(batch, 1);
+
+  AsyncServingSession::Options opt;
+  opt.batch_max = 5;  // force several partial batches
+  opt.batch_timeout_ms = 1.0;
+  AsyncServingSession async(CloneModel(), opt);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]) << "series " << i;
+  }
+}
+
+TEST(AsyncServingTest, ConcurrentProducersAllResolve) {
+  AsyncServingSession::Options opt;
+  opt.batch_max = 8;
+  opt.batch_timeout_ms = 1.0;
+  opt.queue_capacity = 16;  // small: exercises producer backpressure
+  AsyncServingSession async(CloneModel(), opt);
+
+  constexpr size_t kProducers = 4;
+  constexpr size_t kPerProducer = 8;
+  // Expected labels computed up front on the synchronous session (which
+  // is single-client by contract, so it must not be shared by producers).
+  std::vector<std::vector<Series>> inputs(kProducers);
+  std::vector<std::vector<int>> expected(kProducers);
+  {
+    ServingSession sync(CloneModel());
+    for (size_t p = 0; p < kProducers; ++p) {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        inputs[p].push_back(GaussianNoise(kSeriesLen, 7000 + p * 100 + i));
+      }
+      expected[p] = sync.PredictBatch(inputs[p], 1);
+    }
+  }
+  std::atomic<size_t> mismatches{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        std::future<int> f = async.Submit(inputs[p][i]);
+        if (f.get() != expected[p][i]) mismatches++;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  const AsyncServingSession::Stats stats = async.stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_EQ(stats.completed, kProducers * kPerProducer);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(AsyncServingTest, CoalescesUpToBatchMax) {
+  // With a long timeout, requests submitted back-to-back coalesce into
+  // full batches: 16 submissions against batch_max=8 must dispatch as
+  // far fewer than 16 batches (16 only if coalescing is broken).
+  AsyncServingSession::Options opt;
+  opt.batch_max = 8;
+  opt.batch_timeout_ms = 1000.0;
+  AsyncServingSession async(CloneModel(), opt);
+  const std::vector<Series> batch = MakeBatch(16, 11000);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (auto& f : futures) f.get();
+  const AsyncServingSession::Stats stats = async.stats();
+  EXPECT_EQ(stats.completed, 16u);
+  EXPECT_LE(stats.batches, 8u);
+  EXPECT_GE(stats.mean_batch_size, 2.0);
+}
+
+TEST(AsyncServingTest, TimeoutFlushesPartialBatch) {
+  // batch_max far above the submission count: only the timeout can flush,
+  // so resolved futures prove the flush path works.
+  AsyncServingSession::Options opt;
+  opt.batch_max = 1024;
+  opt.batch_timeout_ms = 5.0;
+  AsyncServingSession async(CloneModel(), opt);
+  const std::vector<Series> batch = MakeBatch(3, 12000);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (auto& f : futures) {
+    EXPECT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    f.get();
+  }
+  EXPECT_EQ(async.stats().completed, 3u);
+}
+
+TEST(AsyncServingTest, BatchMaxOneDispatchesPerRequest) {
+  AsyncServingSession::Options opt;
+  opt.batch_max = 1;
+  opt.batch_timeout_ms = 0.0;
+  AsyncServingSession async(CloneModel(), opt);
+  const std::vector<Series> batch = MakeBatch(6, 13000);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (auto& f : futures) f.get();
+  const AsyncServingSession::Stats stats = async.stats();
+  EXPECT_EQ(stats.batches, 6u);
+  EXPECT_DOUBLE_EQ(stats.mean_batch_size, 1.0);
+}
+
+TEST(AsyncServingTest, ShutdownDrainsQueuedRequestsThenRejects) {
+  AsyncServingSession::Options opt;
+  opt.batch_max = 4;
+  opt.batch_timeout_ms = 50.0;
+  AsyncServingSession async(CloneModel(), opt);
+  const std::vector<Series> batch = MakeBatch(10, 14000);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  async.Shutdown();  // graceful: everything queued resolves first
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    f.get();  // must hold a value, not a broken promise
+  }
+  EXPECT_EQ(async.stats().completed, 10u);
+  EXPECT_THROW(async.Submit(batch[0]), std::runtime_error);
+  async.Shutdown();  // idempotent
+}
+
+TEST(AsyncServingTest, StatsLatenciesAreOrderedAndFinite) {
+  AsyncServingSession::Options opt;
+  opt.batch_max = 4;
+  opt.batch_timeout_ms = 1.0;
+  AsyncServingSession async(CloneModel(), opt);
+  const std::vector<Series> batch = MakeBatch(12, 15000);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (auto& f : futures) f.get();
+  const AsyncServingSession::Stats stats = async.stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.p50_latency_ms, 0.0);
+  EXPECT_GE(stats.p99_latency_ms, stats.p50_latency_ms);
+  EXPECT_GE(stats.max_queue_depth, 1u);
+  EXPECT_GE(stats.mean_batch_size, 1.0);
+}
+
+TEST(AsyncServingTest, FromFileMatchesInMemoryModel) {
+  const char* path = "ASYNC_test_model.mvg";
+  SaveModel(SharedModel(), path);
+  AsyncServingSession async = AsyncServingSession::FromFile(path);
+  std::remove(path);
+  const std::vector<Series> batch = MakeBatch(8, 16000);
+  ServingSession sync(CloneModel());
+  const std::vector<int> expected = sync.PredictBatch(batch, 1);
+  std::vector<std::future<int>> futures;
+  for (const Series& s : batch) futures.push_back(async.Submit(s));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(futures[i].get(), expected[i]);
+  }
+}
+
+TEST(AsyncServingTest, RejectsInvalidOptions) {
+  AsyncServingSession::Options opt;
+  opt.batch_max = 0;
+  EXPECT_THROW(AsyncServingSession(CloneModel(), opt),
+               std::invalid_argument);
+  opt.batch_max = 1;
+  opt.queue_capacity = 0;
+  EXPECT_THROW(AsyncServingSession(CloneModel(), opt),
+               std::invalid_argument);
+  opt.queue_capacity = 1;
+  opt.batch_timeout_ms = -1.0;
+  EXPECT_THROW(AsyncServingSession(CloneModel(), opt),
+               std::invalid_argument);
+  EXPECT_THROW(AsyncServingSession{MvgClassifier()},  // unfitted
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mvg
