@@ -5,23 +5,30 @@
 //
 //   mvg_serve train <train-ucr-file> --out model.mvg
 //            [--model xgb|rf|svm|stack] [--grid none|small|paper]
-//            [--threads N] [--eval <ucr-file> [--out-preds FILE]]
+//            [--threads N] [--paged [--page-rows N]]
+//            [--eval <ucr-file> [--out-preds FILE]]
 //       fit an MvgClassifier and save it; --eval classifies a file with
 //       the just-trained in-memory model (so CI can diff these
 //       predictions against a fresh process serving the saved file);
 //       --threads sizes the persistent executor pool shared by feature
 //       extraction, grid cells and tree fits (0 = hardware concurrency;
-//       fitted models are bit-identical for every value)
+//       fitted models are bit-identical for every value); --paged streams
+//       the training file through PagedUcrReader instead of loading it
+//       whole — O(page) peak raw-series memory, bit-identical model
 //   mvg_serve info <model.mvg>
 //       print model metadata (family, extractor config, feature width)
 //   mvg_serve serve --model model.mvg --input <ucr-file>
-//            [--threads N] [--out-preds FILE]
+//            [--mmap] [--threads N] [--out-preds FILE]
 //            [--async [--batch-max B] [--batch-timeout-ms T]]
 //       batch-classify every series in a UCR file via ServingSession;
 //       prints one label per line (or writes them to --out-preds).
-//       --async routes every series through the micro-batching
-//       AsyncServingSession front end instead (identical predictions;
-//       queue-depth and latency percentile stats go to stderr)
+//       --mmap memory-maps the (v3) model file and serves zero-copy
+//       views into the mapping instead of deserializing it — identical
+//       predictions, O(1) tree construction, and concurrent processes
+//       serving the same file share one physical copy. --async routes
+//       every series through the micro-batching AsyncServingSession
+//       front end instead (identical predictions; queue-depth and
+//       latency percentile stats go to stderr)
 //   mvg_serve serve --model model.mvg --stream
 //            [--window N] [--hop N]
 //       online monitoring: read one sample per line from stdin into a
@@ -45,6 +52,7 @@
 #include "serve/async_serving.h"
 #include "serve/model_io.h"
 #include "serve/serving.h"
+#include "ts/paged_ucr_reader.h"
 #include "ts/ucr_io.h"
 #include "util/executor.h"
 #include "util/parallel.h"
@@ -59,12 +67,12 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s train <train-ucr-file> --out MODEL [--model xgb|rf|svm|stack]"
-      " [--grid none|small|paper] [--threads N]"
+      " [--grid none|small|paper] [--threads N] [--paged [--page-rows N]]"
       " [--eval FILE [--out-preds FILE]]\n"
       "  %s info <MODEL>\n"
-      "  %s serve --model MODEL --input <ucr-file> [--threads N]"
+      "  %s serve --model MODEL --input <ucr-file> [--mmap] [--threads N]"
       " [--out-preds FILE] [--async [--batch-max B] [--batch-timeout-ms T]]\n"
-      "  %s serve --model MODEL --stream [--window N] [--hop N]\n",
+      "  %s serve --model MODEL --stream [--mmap] [--window N] [--hop N]\n",
       argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -146,12 +154,29 @@ int CmdTrain(int argc, char** argv) {
   config.grid = ParseGrid(FlagValue(argc, argv, 3, "--grid", "small"));
   config.num_threads = ThreadsFlag(argc, argv, 3);  // 0 = hardware
 
-  const Dataset train = ReadUcrFile(train_path);
   MvgClassifier clf(config);
-  clf.Fit(train);
+  size_t trained_on = 0;
+  if (HasFlag(argc, argv, 3, "--paged")) {
+    const std::string raw = FlagValue(argc, argv, 3, "--page-rows", "256");
+    char* end = nullptr;
+    const long page_rows = std::strtol(raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || page_rows < 1) {
+      std::fprintf(stderr, "--page-rows expects a positive integer\n");
+      return 2;
+    }
+    PagedUcrReader::Options popt;
+    popt.page_rows = static_cast<size_t>(page_rows);
+    PagedUcrReader reader(train_path, popt);
+    clf.FitPaged(&reader);
+    trained_on = reader.rows_read();
+  } else {
+    const Dataset train = ReadUcrFile(train_path);
+    clf.Fit(train);
+    trained_on = train.size();
+  }
   SaveModel(clf, out);
   std::printf("trained %s on %zu series (FE %.2fs, Clf %.2fs) -> %s\n",
-              clf.Name().c_str(), train.size(),
+              clf.Name().c_str(), trained_on,
               clf.feature_extraction_seconds(), clf.training_seconds(),
               out.c_str());
 
@@ -178,9 +203,9 @@ int CmdTrain(int argc, char** argv) {
 }
 
 int CmdInfo(const std::string& path) {
+  const uint32_t version = PeekModelVersion(path);
   const MvgClassifier clf = LoadModel(path);
-  std::printf("model file:     %s (format v%u)\n", path.c_str(),
-              kModelFormatVersion);
+  std::printf("model file:     %s (format v%u)\n", path.c_str(), version);
   std::printf("pipeline:       %s\n", clf.Name().c_str());
   std::printf("family:         %s\n", ModelName(clf.config().model));
   std::printf("underlying:     %s\n", clf.model().Name().c_str());
@@ -214,15 +239,18 @@ int EmitPreds(const std::vector<int>& pred, const std::string& out_preds) {
   return 0;
 }
 
-int CmdServeAsync(MvgClassifier model, const std::string& input,
-                  size_t threads, const std::string& out_preds,
-                  size_t batch_max, double batch_timeout_ms) {
+int CmdServeAsync(const std::string& model_path, bool mmap,
+                  const std::string& input, size_t threads,
+                  const std::string& out_preds, size_t batch_max,
+                  double batch_timeout_ms) {
   const Dataset ds = ReadUcrFile(input);
   AsyncServingSession::Options opt;
   opt.batch_max = batch_max;
   opt.batch_timeout_ms = batch_timeout_ms;
   opt.num_threads = threads;
-  AsyncServingSession session(std::move(model), opt);
+  AsyncServingSession session =
+      mmap ? AsyncServingSession::FromFileMapped(model_path, opt)
+           : AsyncServingSession::FromFile(model_path, opt);
 
   WallTimer timer;
   std::vector<std::future<int>> futures;
@@ -300,8 +328,13 @@ int CmdServe(int argc, char** argv) {
   }
   const size_t threads_flag = ThreadsFlag(argc, argv, 2);
   const size_t threads = threads_flag == 0 ? DefaultThreads() : threads_flag;
+  const bool mmap = HasFlag(argc, argv, 2, "--mmap");
+  const auto open_session = [&]() {
+    return mmap ? ServingSession::FromFileMapped(model_path)
+                : ServingSession::FromFile(model_path);
+  };
   if (HasFlag(argc, argv, 2, "--stream")) {
-    ServingSession session = ServingSession::FromFile(model_path);
+    ServingSession session = open_session();
     const size_t window = static_cast<size_t>(
         std::stoul(FlagValue(argc, argv, 2, "--window", "0")));
     const size_t hop = static_cast<size_t>(
@@ -330,10 +363,10 @@ int CmdServe(int argc, char** argv) {
       std::fprintf(stderr, "--batch-timeout-ms expects a number >= 0\n");
       return 2;
     }
-    return CmdServeAsync(LoadModel(model_path), input, threads, out_preds,
+    return CmdServeAsync(model_path, mmap, input, threads, out_preds,
                          static_cast<size_t>(batch_max), batch_timeout_ms);
   }
-  ServingSession session = ServingSession::FromFile(model_path);
+  ServingSession session = open_session();
   return CmdServeBatch(session, input, threads, out_preds);
 }
 

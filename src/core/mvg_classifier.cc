@@ -1,12 +1,15 @@
 #include "core/mvg_classifier.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "ml/gradient_boosting.h"
 #include "ml/model_selection.h"
 #include "ml/random_forest.h"
 #include "ml/stacking.h"
 #include "ml/svm.h"
+#include "ts/paged_ucr_reader.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -154,14 +157,57 @@ std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies(
 
 void MvgClassifier::Fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("MvgClassifier: empty train");
-  train_length_ = train.MaxLength();
   const size_t threads = ResolvedThreads();
 
   WallTimer fe_timer;
   Matrix x = extractor_.ExtractAll(train, threads);
   std::vector<int> y = train.labels();
+  FitOnExtracted(std::move(x), std::move(y), train.MaxLength(),
+                 fe_timer.Seconds());
+}
+
+void MvgClassifier::FitPaged(PagedUcrReader* reader) {
+  if (reader == nullptr) {
+    throw std::invalid_argument("MvgClassifier::FitPaged: null reader");
+  }
+  const size_t threads = ResolvedThreads();
+
+  WallTimer fe_timer;
+  Matrix x;
+  std::vector<int> y;
+  size_t max_len = 0;
+  size_t max_width = 0;
+  SeriesPage page;
+  while (reader->NextPage(&page)) {
+    // Extraction is per-series (one row depends only on its own series),
+    // so extracting page by page and padding to the *global* max width at
+    // the end yields exactly the matrix ExtractAll builds in one shot —
+    // the foundation of the paged-vs-in-RAM bit-identity contract.
+    Dataset chunk;
+    for (size_t i = 0; i < page.size(); ++i) {
+      max_len = std::max(max_len, page.series[i].size());
+      chunk.Add(std::move(page.series[i]), page.labels[i]);
+    }
+    Matrix rows = extractor_.ExtractAll(chunk, threads);
+    for (auto& row : rows) {
+      max_width = std::max(max_width, row.size());
+      x.push_back(std::move(row));
+    }
+    y.insert(y.end(), page.labels.begin(), page.labels.end());
+  }
+  if (x.empty()) {
+    throw std::invalid_argument("MvgClassifier: empty train");
+  }
+  for (auto& row : x) row.resize(max_width, 0.0);
+  FitOnExtracted(std::move(x), std::move(y), max_len, fe_timer.Seconds());
+}
+
+void MvgClassifier::FitOnExtracted(Matrix x, std::vector<int> y,
+                                   size_t max_len, double fe_seconds) {
+  const size_t threads = ResolvedThreads();
+  train_length_ = max_len;
   feature_width_ = x.empty() ? 0 : x[0].size();
-  fe_seconds_ = fe_timer.Seconds();
+  fe_seconds_ = fe_seconds;
 
   WallTimer train_timer;
   if (config_.oversample) {

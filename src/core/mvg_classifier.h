@@ -14,6 +14,9 @@
 
 namespace mvg {
 
+class BinaryReader;
+class PagedUcrReader;
+
 /// Which generic classifier family sits on top of the graph features
 /// (paper §3.2/§4.3).
 enum class MvgModel {
@@ -65,6 +68,13 @@ class MvgClassifier : public SeriesClassifier {
   explicit MvgClassifier(Config config);
 
   void Fit(const Dataset& train) override;
+  /// Out-of-core Fit: consumes a UCR file page by page, so peak raw-series
+  /// memory is O(page) instead of O(dataset) — extracted feature rows (a
+  /// few KiB per series) still accumulate, since training is batch. The
+  /// fitted model is bit-identical to Fit() on ReadUcrFile of the same
+  /// file: pages are processed in file order and padding/oversampling/
+  /// search see exactly the same feature matrix.
+  void FitPaged(PagedUcrReader* reader);
   int Predict(const Series& s) const override;
   /// Pooled variant: feature extraction routes every graph build through
   /// `ws`, so a workspace reused across predictions reaches zero
@@ -75,13 +85,21 @@ class MvgClassifier : public SeriesClassifier {
   std::string Name() const override;
 
   /// Writes the fitted pipeline (extractor config, scaler, model) in the
-  /// versioned binary model format of serve/model_io.h. Requires Fit();
-  /// implemented in serve/model_io.cc.
+  /// versioned binary model format of serve/model_io.h (current = v3).
+  /// Requires Fit(); implemented in serve/model_io.cc.
   void SaveBinary(std::ostream& os) const;
-  /// Rebuilds a classifier from SaveBinary output. Predictions of the
+  /// Legacy v2 writer — migration fixtures and v2-reader tests only.
+  void SaveBinaryV2(std::ostream& os) const;
+  /// Rebuilds a classifier from SaveBinary (v3) or SaveBinaryV2 (v2)
+  /// output, copying everything out of the stream. Predictions of the
   /// loaded pipeline are bit-identical to the saved one. Throws
   /// SerializationError on corrupt, truncated or version-mismatched data.
   static MvgClassifier LoadBinary(std::istream& is);
+  /// Zero-copy load over a caller-owned buffer holding a whole v3 file.
+  /// Structural validation only (payload CRCs deferred, so construction
+  /// is O(1) in file size); see LoadModelView in serve/model_io.h for
+  /// the lifetime contract and the full-verification variant.
+  static MvgClassifier LoadBinaryView(const void* data, size_t size);
 
   /// Wall-clock split of the last Fit() (Table 3's FE vs Clf columns).
   double feature_extraction_seconds() const { return fe_seconds_; }
@@ -119,6 +137,28 @@ class MvgClassifier : public SeriesClassifier {
   std::vector<std::vector<ClassifierFactory>> BuildFamilies(
       size_t num_threads) const;
   size_t ResolvedThreads() const;
+
+  /// Everything Fit() does after feature extraction (oversample, scale,
+  /// grid search, final fit) — the shared tail of Fit and FitPaged.
+  /// `x` rows must already be padded to a uniform width; `fe_seconds` is
+  /// the measured extraction time, `max_len` the longest training series.
+  void FitOnExtracted(Matrix x, std::vector<int> y, size_t max_len,
+                      double fe_seconds);
+
+ public:
+  // Model-format internals (serve/model_io.cc) — public only so the
+  // framing layer's free functions can reach the section bodies; not API.
+
+  /// Serializes the three model-file section payloads.
+  void BuildSections(uint32_t format_version, std::string* pipeline,
+                     std::string* scaler, std::string* model) const;
+  /// Rebuilds a classifier from section readers already configured with
+  /// the source format version (and zero-copy flag, for the mmap path).
+  static MvgClassifier FromSectionReaders(BinaryReader* pipeline,
+                                          BinaryReader* scaler,
+                                          BinaryReader* model);
+
+ private:
 
   Config config_;
   MvgFeatureExtractor extractor_;

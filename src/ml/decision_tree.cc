@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <utility>
 
 #include "util/binary_io.h"
 #include "util/random.h"
@@ -71,6 +73,7 @@ struct DecisionTreeClassifier::HistBuilder {
   const size_t k;                ///< number of classes.
   const Params& params;
   std::vector<Node>* nodes;
+  std::vector<double>* leaf_proba;  ///< flat leaf-distribution storage.
   Rng* rng;
 
   size_t d = 0;
@@ -87,9 +90,9 @@ struct DecisionTreeClassifier::HistBuilder {
 
   HistBuilder(const FeatureTable& ft_in, const std::vector<size_t>& y_in,
               size_t k_in, const Params& params_in, std::vector<Node>* nodes_in,
-              Rng* rng_in)
+              std::vector<double>* leaf_proba_in, Rng* rng_in)
       : ft(ft_in), y(y_in), k(k_in), params(params_in), nodes(nodes_in),
-        rng(rng_in) {
+        leaf_proba(leaf_proba_in), rng(rng_in) {
     d = ft.num_features();
     sampled = params.max_features > 0 && params.max_features < d;
     if (sampled) {
@@ -192,14 +195,13 @@ struct DecisionTreeClassifier::HistBuilder {
 
   /// Appends a leaf carrying the current `totals` distribution; shared by
   /// both build regimes so the leaf policy cannot drift between them.
-  int32_t MakeLeaf(size_t n, size_t depth) {
+  int32_t MakeLeaf(size_t n) {
     Node leaf;
-    leaf.depth = depth;
-    leaf.proba.resize(k);
+    leaf.proba_begin = static_cast<int32_t>(leaf_proba->size());
     for (size_t c = 0; c < k; ++c) {
-      leaf.proba[c] = totals[c] / static_cast<double>(n);
+      leaf_proba->push_back(totals[c] / static_cast<double>(n));
     }
-    nodes->push_back(std::move(leaf));
+    nodes->push_back(leaf);
     return static_cast<int32_t>(nodes->size() - 1);
   }
 
@@ -215,7 +217,7 @@ struct DecisionTreeClassifier::HistBuilder {
   int32_t BuildSampled(size_t begin, size_t end, size_t depth) {
     const size_t n = end - begin;
     ComputeTotals(begin, end);
-    if (ShouldStop(n, depth)) return MakeLeaf(n, depth);
+    if (ShouldStop(n, depth)) return MakeLeaf(n);
     const double parent_imp =
         Impurity(totals, static_cast<double>(n), params.use_entropy);
 
@@ -246,17 +248,16 @@ struct DecisionTreeClassifier::HistBuilder {
                 fbuf.begin() + static_cast<std::ptrdiff_t>((hi + 1) * k), 0.0);
     }
 
-    if (best_feature < 0) return MakeLeaf(n, depth);
+    if (best_feature < 0) return MakeLeaf(n);
     const size_t mid = StablePartitionRows(
         rows, scratch, begin, end,
         ft.column(static_cast<size_t>(best_feature)), best_bin);
-    if (mid == begin || mid == end) return MakeLeaf(n, depth);
+    if (mid == begin || mid == end) return MakeLeaf(n);
 
     Node internal;
     internal.feature = best_feature;
     internal.threshold = best_threshold;
-    internal.depth = depth;
-    nodes->push_back(std::move(internal));
+    nodes->push_back(internal);
     const int32_t id = static_cast<int32_t>(nodes->size() - 1);
     const int32_t left_id = BuildSampled(begin, mid, depth + 1);
     const int32_t right_id = BuildSampled(mid, end, depth + 1);
@@ -275,7 +276,7 @@ struct DecisionTreeClassifier::HistBuilder {
     // Same leaf/stop policy as BuildSampled, plus buffer bookkeeping.
     auto make_leaf = [&]() {
       if (buf != kNoBuf) hpool->Release(buf);
-      return MakeLeaf(n, depth);
+      return MakeLeaf(n);
     };
 
     if (ShouldStop(n, depth)) return make_leaf();
@@ -311,8 +312,7 @@ struct DecisionTreeClassifier::HistBuilder {
     Node internal;
     internal.feature = best_feature;
     internal.threshold = best_threshold;
-    internal.depth = depth;
-    nodes->push_back(std::move(internal));
+    nodes->push_back(internal);
     const int32_t id = static_cast<int32_t>(nodes->size() - 1);
 
     // Scan only the smaller child and derive its sibling by subtraction
@@ -367,9 +367,10 @@ void DecisionTreeClassifier::FitBinned(const FeatureTable& ft,
                                        size_t num_classes,
                                        const std::vector<size_t>& rows) {
   num_classes_internal_ = num_classes;
-  nodes_.clear();
+  ResetStorage();
   Rng rng(params_.seed);
-  HistBuilder builder(ft, y_compact, num_classes, params_, &nodes_, &rng);
+  HistBuilder builder(ft, y_compact, num_classes, params_, &nodes_,
+                      &leaf_proba_, &rng);
   builder.Run(rows);
 }
 
@@ -379,7 +380,7 @@ void DecisionTreeClassifier::FitExactOnView(const Matrix& x,
                                             size_t num_classes,
                                             const std::vector<size_t>& rows) {
   num_classes_internal_ = num_classes;
-  nodes_.clear();
+  ResetStorage();
   Rng rng(params_.seed);
   std::vector<size_t> mutable_rows = rows;
   BuildNode(x, src, y_compact, &mutable_rows, 0, &rng);
@@ -396,12 +397,11 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
 
   auto make_leaf = [&]() {
     Node leaf;
-    leaf.depth = depth;
-    leaf.proba.resize(num_classes_internal_);
+    leaf.proba_begin = static_cast<int32_t>(leaf_proba_.size());
     for (size_t c = 0; c < hist.size(); ++c) {
-      leaf.proba[c] = hist[c] / static_cast<double>(n);
+      leaf_proba_.push_back(hist[c] / static_cast<double>(n));
     }
-    nodes_.push_back(std::move(leaf));
+    nodes_.push_back(leaf);
     return static_cast<int32_t>(nodes_.size() - 1);
   };
 
@@ -474,8 +474,7 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
   Node internal;
   internal.feature = best_feature;
   internal.threshold = best_threshold;
-  internal.depth = depth;
-  nodes_.push_back(std::move(internal));
+  nodes_.push_back(internal);
   const int32_t id = static_cast<int32_t>(nodes_.size() - 1);
   rows->clear();
   rows->shrink_to_fit();
@@ -488,16 +487,18 @@ int32_t DecisionTreeClassifier::BuildNode(const Matrix& x,
 
 std::vector<double> DecisionTreeClassifier::PredictProba(
     const std::vector<double>& x) const {
-  if (nodes_.empty()) {
+  const Node* nodes = node_data();
+  if (node_count() == 0) {
     return std::vector<double>(num_classes_internal_, 0.0);
   }
   int32_t cur = 0;
-  while (nodes_[cur].feature >= 0) {
-    const auto& node = nodes_[cur];
+  while (nodes[cur].feature >= 0) {
+    const Node& node = nodes[cur];
     cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
                                                                  : node.right;
   }
-  return nodes_[cur].proba;
+  const double* proba = proba_data() + nodes[cur].proba_begin;
+  return std::vector<double>(proba, proba + num_classes_internal_);
 }
 
 std::unique_ptr<Classifier> DecisionTreeClassifier::Clone() const {
@@ -509,9 +510,23 @@ std::string DecisionTreeClassifier::Name() const {
 }
 
 size_t DecisionTreeClassifier::Depth() const {
-  size_t d = 0;
-  for (const auto& node : nodes_) d = std::max(d, node.depth);
-  return d;
+  // Depth is no longer stored per node (the POD on-disk record has no room
+  // for a derived field); recompute by traversal — a diagnostics-only path.
+  const Node* nodes = node_data();
+  if (node_count() == 0) return 0;
+  size_t max_depth = 0;
+  std::vector<std::pair<int32_t, size_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const Node& node = nodes[id];
+    if (node.feature >= 0) {
+      stack.emplace_back(node.left, depth + 1);
+      stack.emplace_back(node.right, depth + 1);
+    }
+  }
+  return max_depth;
 }
 
 void DecisionTreeClassifier::SaveBinary(BinaryWriter* w) const {
@@ -525,14 +540,96 @@ void DecisionTreeClassifier::SaveBinary(BinaryWriter* w) const {
   w->WriteSize(params_.max_bins);
   SaveEncoder(w);
   w->WriteSize(num_classes_internal_);
-  w->WriteSize(nodes_.size());
-  for (const Node& node : nodes_) {
-    w->WriteI32(node.feature);
-    w->WriteDouble(node.threshold);
-    w->WriteI32(node.left);
-    w->WriteI32(node.right);
-    w->WriteDoubleVec(node.proba);
-    w->WriteSize(node.depth);
+  const Node* nodes = node_data();
+  const size_t count = node_count();
+  const size_t k = num_classes_internal_;
+
+  if (w->format_version() == 2) {
+    // Legacy v2 body (node-by-node records with inline distributions and a
+    // stored depth) — kept so migration fixtures can be produced and the
+    // v2 reader exercised. Depth was dropped from in-memory storage, so
+    // recompute it with one forward pass (children always follow their
+    // parent).
+    std::vector<size_t> depths(count, 0);
+    std::vector<double> proba;
+    for (size_t i = 0; i < count; ++i) {
+      const Node& node = nodes[i];
+      if (node.feature >= 0) {
+        depths[static_cast<size_t>(node.left)] = depths[i] + 1;
+        depths[static_cast<size_t>(node.right)] = depths[i] + 1;
+      }
+    }
+    w->WriteSize(count);
+    for (size_t i = 0; i < count; ++i) {
+      const Node& node = nodes[i];
+      w->WriteI32(node.feature);
+      w->WriteDouble(node.threshold);
+      w->WriteI32(node.left);
+      w->WriteI32(node.right);
+      if (node.feature < 0) {
+        const double* p = proba_data() + node.proba_begin;
+        proba.assign(p, p + k);
+      } else {
+        proba.clear();
+      }
+      w->WriteDoubleVec(proba);
+      w->WriteSize(depths[i]);
+    }
+    return;
+  }
+
+  // v3 body: two flat, 8-byte-aligned arrays — the 24-byte POD nodes and
+  // the concatenated leaf distributions — in exactly the little-endian
+  // layout of the in-memory structs, so a reader on a little-endian host
+  // can view the mmap'd bytes in place.
+  w->WriteSize(count);
+  w->WriteSize(proba_count());
+  w->AlignTo(8);
+  if (HostIsLittleEndian()) {
+    w->WriteBytes(nodes, count * sizeof(Node));
+    w->WriteBytes(proba_data(), proba_count() * sizeof(double));
+  } else {
+    for (size_t i = 0; i < count; ++i) {
+      w->WriteDouble(nodes[i].threshold);
+      w->WriteI32(nodes[i].feature);
+      w->WriteI32(nodes[i].left);
+      w->WriteI32(nodes[i].right);
+      w->WriteI32(nodes[i].proba_begin);
+    }
+    for (size_t i = 0; i < proba_count(); ++i) w->WriteDouble(proba_data()[i]);
+  }
+}
+
+void DecisionTreeClassifier::ValidateNodes(const Node* nodes, size_t count,
+                                           size_t proba_total,
+                                           size_t num_classes) {
+  // Structural well-formedness, so a crafted/corrupt file that slipped
+  // past the CRC still cannot make PredictProba follow -1 children, loop,
+  // or read out of the distribution array: internal nodes must point
+  // strictly forward (builders append children after their parent, so
+  // genuine trees always satisfy this and it rules out cycles), leaves
+  // must carry a full in-bounds distribution.
+  for (size_t i = 0; i < count; ++i) {
+    const Node& node = nodes[i];
+    if (node.feature >= 0) {
+      const auto forward = [count, i](int32_t child) {
+        return child > static_cast<int32_t>(i) &&
+               static_cast<size_t>(child) < count;
+      };
+      if (!forward(node.left) || !forward(node.right)) {
+        throw SerializationError(
+            "DecisionTree: internal node with invalid child index");
+      }
+    } else {
+      if (node.feature != -1 || node.left != -1 || node.right != -1) {
+        throw SerializationError("DecisionTree: malformed leaf node");
+      }
+      if (node.proba_begin < 0 ||
+          static_cast<size_t>(node.proba_begin) + num_classes > proba_total) {
+        throw SerializationError(
+            "DecisionTree: leaf distribution out of bounds");
+      }
+    }
   }
 }
 
@@ -551,44 +648,82 @@ void DecisionTreeClassifier::LoadBinary(BinaryReader* r) {
   params_.max_bins = r->ReadSize();
   LoadEncoder(r);
   num_classes_internal_ = r->ReadSize();
-  const size_t count = r->ReadSize();
-  nodes_.clear();
-  nodes_.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    Node node;
-    node.feature = r->ReadI32();
-    node.threshold = r->ReadDouble();
-    node.left = r->ReadI32();
-    node.right = r->ReadI32();
-    node.proba = r->ReadDoubleVec();
-    node.depth = r->ReadSize();
-    // Structural well-formedness, so a crafted/corrupt file that slipped
-    // past the CRC still cannot make PredictProba follow -1 children or
-    // loop: internal nodes must point strictly forward (BuildNode appends
-    // children after their parent, so genuine trees always satisfy this
-    // and it rules out cycles), leaves must carry a full distribution.
-    if (node.feature >= 0) {
-      const auto forward = [count, i](int32_t child) {
-        return child > static_cast<int32_t>(i) &&
-               static_cast<size_t>(child) < count;
-      };
-      if (!forward(node.left) || !forward(node.right)) {
-        throw SerializationError(
-            "DecisionTree: internal node with invalid child index");
+  ResetStorage();
+
+  if (r->format_version() == 2) {
+    // v2 body: per-node records with inline leaf distributions; converted
+    // into the flat storage on load.
+    const size_t count = r->ReadSize();
+    nodes_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      Node node;
+      node.feature = r->ReadI32();
+      node.threshold = r->ReadDouble();
+      node.left = r->ReadI32();
+      node.right = r->ReadI32();
+      const std::vector<double> proba = r->ReadDoubleVec();
+      r->ReadSize();  // depth: derived, no longer stored.
+      if (node.feature < 0) {
+        if (proba.size() != num_classes_internal_) {
+          throw SerializationError("DecisionTree: leaf distribution size " +
+                                   std::to_string(proba.size()) +
+                                   " != num_classes " +
+                                   std::to_string(num_classes_internal_));
+        }
+        node.proba_begin = static_cast<int32_t>(leaf_proba_.size());
+        leaf_proba_.insert(leaf_proba_.end(), proba.begin(), proba.end());
       }
-    } else {
-      if (node.feature != -1 || node.left != -1 || node.right != -1) {
-        throw SerializationError("DecisionTree: malformed leaf node");
-      }
-      if (node.proba.size() != num_classes_internal_) {
-        throw SerializationError("DecisionTree: leaf distribution size " +
-                                 std::to_string(node.proba.size()) +
-                                 " != num_classes " +
-                                 std::to_string(num_classes_internal_));
-      }
+      nodes_.push_back(node);
     }
-    nodes_.push_back(std::move(node));
+    ValidateNodes(nodes_.data(), nodes_.size(), leaf_proba_.size(),
+                  num_classes_internal_);
+    return;
   }
+
+  // v3 body: flat aligned node/distribution arrays.
+  const size_t count = r->ReadSize();
+  const size_t proba_total = r->ReadSize();
+  r->AlignTo(8);
+  if (count > r->remaining() / sizeof(Node)) {
+    throw SerializationError("DecisionTree: node array exceeds section");
+  }
+  const uint8_t* node_bytes = r->ViewBytes(count * sizeof(Node));
+  if (proba_total > r->remaining() / sizeof(double)) {
+    throw SerializationError(
+        "DecisionTree: leaf distribution array exceeds section");
+  }
+  const uint8_t* proba_bytes = r->ViewBytes(proba_total * sizeof(double));
+
+  const bool aligned =
+      reinterpret_cast<uintptr_t>(node_bytes) % alignof(Node) == 0 &&
+      reinterpret_cast<uintptr_t>(proba_bytes) % alignof(double) == 0;
+  if (r->zero_copy() && HostIsLittleEndian() && aligned) {
+    nodes_view_ = reinterpret_cast<const Node*>(node_bytes);
+    nodes_view_count_ = count;
+    proba_view_ = reinterpret_cast<const double*>(proba_bytes);
+    proba_view_count_ = proba_total;
+  } else {
+    nodes_.resize(count);
+    leaf_proba_.resize(proba_total);
+    if (HostIsLittleEndian()) {
+      std::memcpy(nodes_.data(), node_bytes, count * sizeof(Node));
+      std::memcpy(leaf_proba_.data(), proba_bytes,
+                  proba_total * sizeof(double));
+    } else {
+      BinaryReader nr(node_bytes, count * sizeof(Node));
+      for (size_t i = 0; i < count; ++i) {
+        nodes_[i].threshold = nr.ReadDouble();
+        nodes_[i].feature = nr.ReadI32();
+        nodes_[i].left = nr.ReadI32();
+        nodes_[i].right = nr.ReadI32();
+        nodes_[i].proba_begin = nr.ReadI32();
+      }
+      BinaryReader pr(proba_bytes, proba_total * sizeof(double));
+      for (size_t i = 0; i < proba_total; ++i) leaf_proba_[i] = pr.ReadDouble();
+    }
+  }
+  ValidateNodes(node_data(), node_count(), proba_count(),
+                num_classes_internal_);
 }
 
 }  // namespace mvg

@@ -66,21 +66,45 @@ class DecisionTreeClassifier : public Classifier {
                       const std::vector<size_t>& y_compact, size_t num_classes,
                       const std::vector<size_t>& rows);
 
+  /// Flat POD node — 24 bytes, fixed layout. This struct doubles as the
+  /// v3 on-disk record (each field serialized in declaration order is, on
+  /// a little-endian host, exactly this memory layout), which is what lets
+  /// a v3 model file's node array be *viewed* over an mmap instead of
+  /// deserialized node by node. Leaf distributions live out-of-line in one
+  /// flat double array (`proba_begin` indexes it) for the same reason.
+  /// Append-only: changing this layout is a model-format version bump.
+  struct Node {
+    double threshold = 0.0;     ///< go left iff x[feature] <= threshold.
+    int32_t feature = -1;       ///< -1 marks a leaf.
+    int32_t left = -1, right = -1;
+    int32_t proba_begin = -1;   ///< leaf: start index into the proba array.
+  };
+  static_assert(sizeof(Node) == 24, "Node is the on-disk v3 record");
+
   /// Tree size diagnostics.
-  size_t NumNodes() const { return nodes_.size(); }
+  size_t NumNodes() const { return node_count(); }
   size_t Depth() const;
 
   const Params& params() const { return params_; }
 
- private:
-  struct Node {
-    int feature = -1;          ///< -1 marks a leaf.
-    double threshold = 0.0;    ///< go left iff x[feature] <= threshold.
-    int32_t left = -1, right = -1;
-    std::vector<double> proba;  ///< leaf class distribution.
-    size_t depth = 0;
-  };
+  /// Node/leaf-distribution storage, owned (nodes_/leaf_proba_) or a
+  /// zero-copy view into an externally-owned buffer (v3 mmap load; the
+  /// buffer must outlive the tree — the serving session keeps the mapping
+  /// alive).
+  const Node* node_data() const {
+    return nodes_view_ != nullptr ? nodes_view_ : nodes_.data();
+  }
+  size_t node_count() const {
+    return nodes_view_ != nullptr ? nodes_view_count_ : nodes_.size();
+  }
+  const double* proba_data() const {
+    return proba_view_ != nullptr ? proba_view_ : leaf_proba_.data();
+  }
+  size_t proba_count() const {
+    return proba_view_ != nullptr ? proba_view_count_ : leaf_proba_.size();
+  }
 
+ private:
   struct HistBuilder;  // histogram split engine; defined in the .cc.
 
   /// Dispatches on params_.split; `src` maps compact rows to Matrix rows.
@@ -91,9 +115,28 @@ class DecisionTreeClassifier : public Classifier {
                     const std::vector<size_t>& y, std::vector<size_t>* rows,
                     size_t depth, class Rng* rng);
 
+  /// Validates a decoded node array (forward-pointing children, leaves
+  /// carrying a full distribution); throws SerializationError.
+  static void ValidateNodes(const Node* nodes, size_t count,
+                            size_t proba_total, size_t num_classes);
+
+  void ResetStorage() {
+    nodes_.clear();
+    leaf_proba_.clear();
+    nodes_view_ = nullptr;
+    nodes_view_count_ = 0;
+    proba_view_ = nullptr;
+    proba_view_count_ = 0;
+  }
+
   Params params_;
   size_t num_classes_internal_ = 0;
   std::vector<Node> nodes_;
+  std::vector<double> leaf_proba_;  ///< concatenated leaf distributions.
+  const Node* nodes_view_ = nullptr;
+  size_t nodes_view_count_ = 0;
+  const double* proba_view_ = nullptr;
+  size_t proba_view_count_ = 0;
 };
 
 }  // namespace mvg

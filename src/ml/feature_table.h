@@ -78,12 +78,48 @@ class FeatureTable {
   const std::vector<size_t>& source_rows() const { return src_rows_; }
 
  private:
+  friend class FeatureTableBuilder;
+
   size_t num_rows_ = 0;
   size_t num_features_ = 0;
   std::vector<uint8_t> bins_;       ///< column-major, f * num_rows_ + i.
   std::vector<double> cuts_;        ///< strictly increasing cut points, flat.
   std::vector<size_t> cut_offset_;  ///< per-feature offset into cuts_ (d+1).
   std::vector<size_t> src_rows_;    ///< compact index -> original row.
+};
+
+/// Streaming construction of a FeatureTable: rows arrive one page (or one
+/// row) at a time — the out-of-core training shape, where the raw data
+/// never sits in memory whole — and Finish() quantizes in a single pass
+/// over the accumulated columns. The result is bit-identical to
+/// FeatureTable::Build on the same rows in the same order regardless of
+/// how the stream was chunked (Build itself is implemented on this
+/// builder, so the two paths cannot drift).
+class FeatureTableBuilder {
+ public:
+  explicit FeatureTableBuilder(size_t max_bins = FeatureTable::kMaxBins)
+      : max_bins_(max_bins) {}
+
+  /// Appends one sample. All rows must share one width; throws
+  /// std::invalid_argument on a mismatch.
+  void AddRow(const std::vector<double>& row);
+
+  /// Appends a page of samples in order.
+  void AddRows(const Matrix& page);
+
+  size_t num_rows() const { return num_rows_; }
+
+  /// Quantizes the accumulated rows into `*out` (compact row i = i-th row
+  /// added; source_row defaults to the compact index). Throws
+  /// std::invalid_argument when no rows were added. The builder is left
+  /// empty and reusable.
+  void Finish(FeatureTable* out);
+
+ private:
+  size_t max_bins_;
+  size_t num_rows_ = 0;
+  size_t num_features_ = 0;
+  std::vector<std::vector<double>> columns_;  ///< column-major accumulation.
 };
 
 /// Free-list pool of flat per-node histograms for the tree builders. One

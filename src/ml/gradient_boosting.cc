@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 #include "util/binary_io.h"
@@ -222,10 +223,11 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
   const size_t k = encoder_.num_classes();
   num_features_ = d;
   feature_gain_.assign(d, 0.0);
-  trees_.clear();
+  ResetStorage();
 
   const bool binary = k == 2;
   const size_t num_outputs = binary ? 1 : k;
+  trees_per_round_ = num_outputs;
   const bool hist = params_.split == SplitMode::kHistogram;
 
   // Base score: log-odds (binary) / log-prior (softmax).
@@ -337,8 +339,14 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
           }
         },
         kRowGrain);
-    trees_.push_back(std::move(round_trees));
+    for (const Tree& tree : round_trees) AppendTree(tree);
+    ++num_rounds_;
   }
+}
+
+void GradientBoostingClassifier::AppendTree(const Tree& tree) {
+  nodes_.insert(nodes_.end(), tree.begin(), tree.end());
+  tree_offsets_.push_back(nodes_.size());
 }
 
 GradientBoostingClassifier::Tree GradientBoostingClassifier::BuildTreeExact(
@@ -433,13 +441,18 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
 
 double GradientBoostingClassifier::PredictTree(const Tree& tree,
                                                const std::vector<double>& x) {
+  return PredictTreeAt(tree.data(), x);
+}
+
+double GradientBoostingClassifier::PredictTreeAt(const TreeNode* nodes,
+                                                 const std::vector<double>& x) {
   int32_t cur = 0;
-  while (tree[cur].feature >= 0) {
-    const TreeNode& node = tree[cur];
+  while (nodes[cur].feature >= 0) {
+    const TreeNode& node = nodes[cur];
     cur = x[static_cast<size_t>(node.feature)] <= node.threshold ? node.left
                                                                  : node.right;
   }
-  return tree[cur].weight;
+  return nodes[cur].weight;
 }
 
 std::vector<double> GradientBoostingClassifier::PredictProba(
@@ -447,9 +460,9 @@ std::vector<double> GradientBoostingClassifier::PredictProba(
   const size_t k = encoder_.num_classes();
   const bool binary = k == 2;
   std::vector<double> logits(base_score_);
-  for (const auto& round : trees_) {
-    for (size_t out = 0; out < round.size(); ++out) {
-      logits[out] += params_.learning_rate * PredictTree(round[out], x);
+  for (size_t rd = 0; rd < num_rounds_; ++rd) {
+    for (size_t out = 0; out < trees_per_round_; ++out) {
+      logits[out] += params_.learning_rate * PredictTreeAt(tree_at(rd, out), x);
     }
   }
   if (binary) {
@@ -495,17 +508,89 @@ void GradientBoostingClassifier::SaveBinary(BinaryWriter* w) const {
   w->WriteSize(num_features_);
   w->WriteDoubleVec(base_score_);
   w->WriteDoubleVec(feature_gain_);
-  w->WriteSize(trees_.size());
-  for (const std::vector<Tree>& round : trees_) {
-    w->WriteSize(round.size());
-    for (const Tree& tree : round) {
-      w->WriteSize(tree.size());
-      for (const TreeNode& node : tree) {
-        w->WriteI32(node.feature);
-        w->WriteDouble(node.threshold);
-        w->WriteDouble(node.weight);
-        w->WriteI32(node.left);
-        w->WriteI32(node.right);
+
+  if (w->format_version() == 2) {
+    // Legacy v2 body: nested round/tree/node records in the old field
+    // order — kept so migration fixtures can be produced and the v2
+    // reader exercised.
+    w->WriteSize(num_rounds_);
+    for (size_t rd = 0; rd < num_rounds_; ++rd) {
+      w->WriteSize(trees_per_round_);
+      for (size_t t = 0; t < trees_per_round_; ++t) {
+        const size_t idx = rd * trees_per_round_ + t;
+        const TreeNode* tree = node_data() + tree_offsets_[idx];
+        const size_t count =
+            static_cast<size_t>(tree_offsets_[idx + 1] - tree_offsets_[idx]);
+        w->WriteSize(count);
+        for (size_t i = 0; i < count; ++i) {
+          w->WriteI32(tree[i].feature);
+          w->WriteDouble(tree[i].threshold);
+          w->WriteDouble(tree[i].weight);
+          w->WriteI32(tree[i].left);
+          w->WriteI32(tree[i].right);
+        }
+      }
+    }
+    return;
+  }
+
+  // v3 body: tree index (per-tree node counts) followed by one flat,
+  // 8-byte-aligned POD node array in exactly the little-endian layout of
+  // the in-memory structs, so a reader on a little-endian host can view
+  // the mmap'd bytes in place.
+  w->WriteSize(num_rounds_);
+  w->WriteSize(trees_per_round_);
+  w->WriteSize(node_count());
+  for (size_t idx = 0; idx < num_rounds_ * trees_per_round_; ++idx) {
+    w->WriteU64(tree_offsets_[idx + 1] - tree_offsets_[idx]);
+  }
+  w->AlignTo(8);
+  if (HostIsLittleEndian()) {
+    w->WriteBytes(node_data(), node_count() * sizeof(TreeNode));
+  } else {
+    const TreeNode* nodes = node_data();
+    for (size_t i = 0; i < node_count(); ++i) {
+      w->WriteDouble(nodes[i].threshold);
+      w->WriteDouble(nodes[i].weight);
+      w->WriteI32(nodes[i].feature);
+      w->WriteI32(nodes[i].left);
+      w->WriteI32(nodes[i].right);
+      w->WriteI32(0);  // pad
+    }
+  }
+}
+
+void GradientBoostingClassifier::ValidateTrees() const {
+  // Same well-formedness rules as DecisionTree::ValidateNodes, applied
+  // per tree inside the flat storage: internal nodes split on a stored
+  // feature and point strictly forward within their tree (rules out -1
+  // children, cycles and OOB feature reads); leaves have no children.
+  const TreeNode* base = node_data();
+  const size_t num_trees = num_rounds_ * trees_per_round_;
+  for (size_t idx = 0; idx < num_trees; ++idx) {
+    const TreeNode* tree = base + tree_offsets_[idx];
+    const size_t count =
+        static_cast<size_t>(tree_offsets_[idx + 1] - tree_offsets_[idx]);
+    if (count == 0) {
+      throw SerializationError("GradientBoosting: empty tree");
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const TreeNode& node = tree[i];
+      if (node.feature >= 0) {
+        if (static_cast<size_t>(node.feature) >= num_features_) {
+          throw SerializationError(
+              "GradientBoosting: split feature out of range");
+        }
+        const auto forward = [count, i](int32_t child) {
+          return child > static_cast<int32_t>(i) &&
+                 static_cast<size_t>(child) < count;
+        };
+        if (!forward(node.left) || !forward(node.right)) {
+          throw SerializationError(
+              "GradientBoosting: internal node with invalid child index");
+        }
+      } else if (node.feature != -1 || node.left != -1 || node.right != -1) {
+        throw SerializationError("GradientBoosting: malformed leaf node");
       }
     }
   }
@@ -542,56 +627,91 @@ void GradientBoostingClassifier::LoadBinary(BinaryReader* r) {
         std::to_string(base_score_.size()) + " inconsistent with " +
         std::to_string(k) + " classes");
   }
-  const size_t rounds = r->ReadSize();
-  trees_.clear();
-  trees_.reserve(rounds);
-  for (size_t rd = 0; rd < rounds; ++rd) {
-    const size_t per_round = r->ReadSize();
-    if (per_round != base_score_.size()) {
-      throw SerializationError(
-          "GradientBoosting: round with " + std::to_string(per_round) +
-          " trees, expected " + std::to_string(base_score_.size()));
-    }
-    std::vector<Tree> round;
-    round.reserve(per_round);
-    for (size_t t = 0; t < per_round; ++t) {
-      const size_t nodes = r->ReadSize();
-      Tree tree;
-      tree.reserve(nodes);
-      for (size_t n = 0; n < nodes; ++n) {
-        TreeNode node;
-        node.feature = r->ReadI32();
-        node.threshold = r->ReadDouble();
-        node.weight = r->ReadDouble();
-        node.left = r->ReadI32();
-        node.right = r->ReadI32();
-        // Same well-formedness rules as DecisionTree::LoadBinary:
-        // internal nodes split on a stored feature and point strictly
-        // forward (rules out -1 children, cycles and OOB feature reads);
-        // leaves have no children.
-        if (node.feature >= 0) {
-          if (static_cast<size_t>(node.feature) >= num_features_) {
-            throw SerializationError(
-                "GradientBoosting: split feature out of range");
-          }
-          const auto forward = [nodes, n](int32_t child) {
-            return child > static_cast<int32_t>(n) &&
-                   static_cast<size_t>(child) < nodes;
-          };
-          if (!forward(node.left) || !forward(node.right)) {
-            throw SerializationError(
-                "GradientBoosting: internal node with invalid child index");
-          }
-        } else if (node.feature != -1 || node.left != -1 ||
-                   node.right != -1) {
-          throw SerializationError("GradientBoosting: malformed leaf node");
-        }
-        tree.push_back(node);
+  ResetStorage();
+
+  if (r->format_version() == 2) {
+    // v2 body: nested round/tree/node records, converted into the flat
+    // storage on load.
+    const size_t rounds = r->ReadSize();
+    for (size_t rd = 0; rd < rounds; ++rd) {
+      const size_t per_round = r->ReadSize();
+      if (per_round != base_score_.size()) {
+        throw SerializationError(
+            "GradientBoosting: round with " + std::to_string(per_round) +
+            " trees, expected " + std::to_string(base_score_.size()));
       }
-      round.push_back(std::move(tree));
+      for (size_t t = 0; t < per_round; ++t) {
+        const size_t count = r->ReadSize();
+        Tree tree;
+        tree.reserve(count);
+        for (size_t n = 0; n < count; ++n) {
+          TreeNode node;
+          node.feature = r->ReadI32();
+          node.threshold = r->ReadDouble();
+          node.weight = r->ReadDouble();
+          node.left = r->ReadI32();
+          node.right = r->ReadI32();
+          tree.push_back(node);
+        }
+        AppendTree(tree);
+      }
     }
-    trees_.push_back(std::move(round));
+    num_rounds_ = rounds;
+    trees_per_round_ = base_score_.size();
+    ValidateTrees();
+    return;
   }
+
+  // v3 body: tree index + flat aligned node array.
+  num_rounds_ = r->ReadSize();
+  trees_per_round_ = r->ReadSize();
+  const size_t total = r->ReadSize();
+  if (trees_per_round_ != base_score_.size()) {
+    throw SerializationError(
+        "GradientBoosting: round with " + std::to_string(trees_per_round_) +
+        " trees, expected " + std::to_string(base_score_.size()));
+  }
+  if (num_rounds_ > 0 &&
+      trees_per_round_ > r->remaining() / (8 * num_rounds_)) {
+    throw SerializationError("GradientBoosting: tree index exceeds section");
+  }
+  const size_t num_trees = num_rounds_ * trees_per_round_;
+  tree_offsets_.assign(1, 0);
+  tree_offsets_.reserve(num_trees + 1);
+  for (size_t idx = 0; idx < num_trees; ++idx) {
+    tree_offsets_.push_back(tree_offsets_.back() + r->ReadU64());
+  }
+  if (tree_offsets_.back() != total) {
+    throw SerializationError(
+        "GradientBoosting: tree index inconsistent with node count");
+  }
+  r->AlignTo(8);
+  if (total > r->remaining() / sizeof(TreeNode)) {
+    throw SerializationError("GradientBoosting: node array exceeds section");
+  }
+  const uint8_t* node_bytes = r->ViewBytes(total * sizeof(TreeNode));
+
+  if (r->zero_copy() && HostIsLittleEndian() &&
+      reinterpret_cast<uintptr_t>(node_bytes) % alignof(TreeNode) == 0) {
+    nodes_view_ = reinterpret_cast<const TreeNode*>(node_bytes);
+    nodes_view_count_ = total;
+  } else {
+    nodes_.resize(total);
+    if (HostIsLittleEndian()) {
+      std::memcpy(nodes_.data(), node_bytes, total * sizeof(TreeNode));
+    } else {
+      BinaryReader nr(node_bytes, total * sizeof(TreeNode));
+      for (size_t i = 0; i < total; ++i) {
+        nodes_[i].threshold = nr.ReadDouble();
+        nodes_[i].weight = nr.ReadDouble();
+        nodes_[i].feature = nr.ReadI32();
+        nodes_[i].left = nr.ReadI32();
+        nodes_[i].right = nr.ReadI32();
+        nodes_[i].pad = nr.ReadI32();
+      }
+    }
+  }
+  ValidateTrees();
 }
 
 }  // namespace mvg

@@ -63,6 +63,21 @@ class GradientBoostingClassifier : public Classifier {
   void SaveBinary(BinaryWriter* w) const override;
   void LoadBinary(BinaryReader* r) override;
 
+  /// Flat POD regression-tree node — 32 bytes, fixed layout. Like
+  /// DecisionTreeClassifier::Node this struct doubles as the v3 on-disk
+  /// record (fields serialized in declaration order are, on little-endian
+  /// hosts, exactly this memory layout), so an mmap'd v3 model's node
+  /// array is viewed in place. Append-only: changing the layout is a
+  /// model-format version bump.
+  struct TreeNode {
+    double threshold = 0.0;
+    double weight = 0.0;    ///< leaf output.
+    int32_t feature = -1;   ///< -1 marks a leaf.
+    int32_t left = -1, right = -1;
+    int32_t pad = 0;        ///< keeps sizeof == 32; always zero on disk.
+  };
+  static_assert(sizeof(TreeNode) == 32, "TreeNode is the on-disk v3 record");
+
   /// Total split gain accumulated per feature across all trees; the
   /// importance ranking used in the paper's case study (Fig. 10).
   const std::vector<double>& FeatureGains() const { return feature_gain_; }
@@ -73,12 +88,6 @@ class GradientBoostingClassifier : public Classifier {
   const Params& params() const { return params_; }
 
  private:
-  struct TreeNode {
-    int feature = -1;       ///< -1 marks a leaf.
-    double threshold = 0.0;
-    double weight = 0.0;    ///< leaf output.
-    int32_t left = -1, right = -1;
-  };
   using Tree = std::vector<TreeNode>;
 
   struct HistBuilder;  // histogram split engine; defined in the .cc.
@@ -105,12 +114,54 @@ class GradientBoostingClassifier : public Classifier {
                         Tree* tree, std::vector<double>* gains);
 
   static double PredictTree(const Tree& tree, const std::vector<double>& x);
+  /// Walks one tree inside the flat node storage.
+  static double PredictTreeAt(const TreeNode* nodes,
+                              const std::vector<double>& x);
+
+  /// Appends `tree` to the flat storage and records its offset.
+  void AppendTree(const Tree& tree);
+
+  /// Node storage accessors — owned (nodes_) or a zero-copy view into an
+  /// externally-owned buffer (v3 mmap load; the buffer must outlive the
+  /// model — the serving session keeps the mapping alive). Tree t of round
+  /// rd starts at tree_offsets_[rd * trees_per_round_ + t].
+  const TreeNode* node_data() const {
+    return nodes_view_ != nullptr ? nodes_view_ : nodes_.data();
+  }
+  size_t node_count() const {
+    return nodes_view_ != nullptr ? nodes_view_count_ : nodes_.size();
+  }
+  const TreeNode* tree_at(size_t rd, size_t t) const {
+    return node_data() + tree_offsets_[rd * trees_per_round_ + t];
+  }
+
+  void ResetStorage() {
+    nodes_.clear();
+    tree_offsets_.assign(1, 0);
+    num_rounds_ = 0;
+    trees_per_round_ = 0;
+    nodes_view_ = nullptr;
+    nodes_view_count_ = 0;
+  }
+
+  /// Validates the flat node storage against tree_offsets_; throws
+  /// SerializationError.
+  void ValidateTrees() const;
 
   Params params_;
   size_t num_features_ = 0;
-  /// trees_[round][class] — for binary classification the inner vector has
-  /// a single tree driving the positive-class logit.
-  std::vector<std::vector<Tree>> trees_;
+  /// Every tree of every round concatenated round-major (round 0's trees
+  /// in class order, then round 1's, ...): one flat POD array is both the
+  /// training output and, bit for bit, the v3 on-disk node section — the
+  /// xgboost-style layout that makes zero-copy serving possible. For
+  /// binary classification there is a single tree per round driving the
+  /// positive-class logit.
+  std::vector<TreeNode> nodes_;
+  std::vector<uint64_t> tree_offsets_ = {0};  ///< per-tree start; back() = total.
+  size_t num_rounds_ = 0;
+  size_t trees_per_round_ = 0;
+  const TreeNode* nodes_view_ = nullptr;  ///< non-null in view mode.
+  size_t nodes_view_count_ = 0;
   std::vector<double> base_score_;  ///< initial logit per class.
   std::vector<double> feature_gain_;
 };

@@ -16,7 +16,11 @@ constexpr size_t kLatencyWindow = 4096;  ///< recent requests kept for p50/p99.
 }  // namespace
 
 AsyncServingSession::AsyncServingSession(MvgClassifier model, Options options)
-    : session_(std::move(model)),
+    : AsyncServingSession(ServingSession(std::move(model)), options) {}
+
+AsyncServingSession::AsyncServingSession(ServingSession session,
+                                         Options options)
+    : session_(std::move(session)),
       options_(options),
       batch_threads_(options.num_threads == 0 ? DefaultThreads()
                                               : options.num_threads),
@@ -40,6 +44,16 @@ AsyncServingSession AsyncServingSession::FromFile(const std::string& path,
 
 AsyncServingSession AsyncServingSession::FromFile(const std::string& path) {
   return FromFile(path, Options());
+}
+
+AsyncServingSession AsyncServingSession::FromFileMapped(
+    const std::string& path, Options options) {
+  return AsyncServingSession(ServingSession::FromFileMapped(path), options);
+}
+
+AsyncServingSession AsyncServingSession::FromFileMapped(
+    const std::string& path) {
+  return FromFileMapped(path, Options());
 }
 
 AsyncServingSession::~AsyncServingSession() { Shutdown(); }

@@ -75,6 +75,13 @@ class AsyncServingSession {
                                       Options options);
   static AsyncServingSession FromFile(const std::string& path);
 
+  /// Zero-copy variant: mmaps a v3 `.mvg` file and serves views into the
+  /// mapping (ServingSession::FromFileMapped semantics — the inner
+  /// session owns the mapping for the whole lifetime).
+  static AsyncServingSession FromFileMapped(const std::string& path,
+                                            Options options);
+  static AsyncServingSession FromFileMapped(const std::string& path);
+
   AsyncServingSession(const AsyncServingSession&) = delete;
   AsyncServingSession& operator=(const AsyncServingSession&) = delete;
 
@@ -95,6 +102,10 @@ class AsyncServingSession {
   const MvgClassifier& model() const { return session_.model(); }
 
  private:
+  /// All construction funnels here: the inner session may own an mmap
+  /// keepalive (FromFileMapped), which must travel with it.
+  AsyncServingSession(ServingSession session, Options options);
+
   struct Request {
     Series series;
     std::promise<int> promise;

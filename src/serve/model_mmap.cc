@@ -1,0 +1,79 @@
+#include "serve/model_mmap.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MVG_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#else
+#define MVG_HAVE_MMAP 0
+#endif
+
+namespace mvg {
+
+namespace {
+
+[[noreturn]] void Fail(const std::string& what, const std::string& path) {
+#if MVG_HAVE_MMAP
+  throw std::runtime_error("MappedFile: " + what + " failed for " + path +
+                           ": " + std::strerror(errno));
+#else
+  throw std::runtime_error("MappedFile: " + what + " failed for " + path);
+#endif
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+#if MVG_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) Fail("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    Fail("fstat", path);
+  }
+  if (st.st_size <= 0) {
+    ::close(fd);
+    throw std::runtime_error("MappedFile: " + path + " is empty");
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor is
+  // not needed past this point either way.
+  ::close(fd);
+  if (base == MAP_FAILED) Fail("mmap", path);
+  map_base_ = base;
+  data_ = static_cast<const uint8_t*>(base);
+  size_ = size;
+  mapped_ = true;
+#else
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) Fail("open", path);
+  const std::streamsize size = is.tellg();
+  if (size <= 0) {
+    throw std::runtime_error("MappedFile: " + path + " is empty");
+  }
+  heap_.resize(static_cast<size_t>(size));
+  is.seekg(0);
+  is.read(reinterpret_cast<char*>(heap_.data()), size);
+  if (!is) Fail("read", path);
+  data_ = heap_.data();
+  size_ = heap_.size();
+#endif
+}
+
+MappedFile::~MappedFile() {
+#if MVG_HAVE_MMAP
+  if (mapped_) ::munmap(map_base_, size_);
+#endif
+}
+
+}  // namespace mvg

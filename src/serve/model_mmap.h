@@ -1,0 +1,49 @@
+#ifndef MVG_SERVE_MODEL_MMAP_H_
+#define MVG_SERVE_MODEL_MMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvg {
+
+/// Read-only memory mapping of a model file (RAII). On POSIX hosts this
+/// is a real `mmap(PROT_READ, MAP_SHARED)` — the kernel pages the file in
+/// on demand and N processes mapping the same file share one physical
+/// copy of the bytes. On other platforms it degrades to reading the file
+/// into a heap buffer (same interface, no sharing).
+///
+/// The mapping is immutable and the class does no parsing itself; pass
+/// data()/size() to LoadModelView. Whatever views that load produces
+/// alias this object's bytes, so it must outlive them —
+/// ServingSession::FromFileMapped owns one of these alongside the model
+/// for exactly that reason.
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws std::runtime_error on open/map failure
+  /// (with errno text) and on empty files.
+  explicit MappedFile(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+  /// True when backed by a real mmap (false on the heap fallback).
+  bool mapped() const { return mapped_; }
+
+ private:
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_base_ = nullptr;          ///< munmap target when mapped_.
+  std::vector<uint8_t> heap_;         ///< fallback storage otherwise.
+};
+
+}  // namespace mvg
+
+#endif  // MVG_SERVE_MODEL_MMAP_H_

@@ -1,9 +1,11 @@
 #include "serve/serving.h"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "serve/model_io.h"
+#include "serve/model_mmap.h"
 #include "util/parallel.h"
 
 namespace mvg {
@@ -17,6 +19,13 @@ ServingSession::ServingSession(MvgClassifier model)
 
 ServingSession ServingSession::FromFile(const std::string& path) {
   return ServingSession(LoadModel(path));
+}
+
+ServingSession ServingSession::FromFileMapped(const std::string& path) {
+  auto mapping = std::make_shared<MappedFile>(path);
+  ServingSession session(LoadModelView(mapping->data(), mapping->size()));
+  session.mapping_ = std::move(mapping);
+  return session;
 }
 
 int ServingSession::Predict(const Series& s) {

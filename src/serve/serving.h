@@ -2,6 +2,7 @@
 #define MVG_SERVE_SERVING_H_
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,6 +33,15 @@ class ServingSession {
   /// Loads a `.mvg` model file (serve/model_io.h) into a fresh session.
   static ServingSession FromFile(const std::string& path);
 
+  /// mmaps a v3 `.mvg` file and builds the session over zero-copy views
+  /// into the mapping (LoadModelView): O(1) tree-node construction after
+  /// the upfront CRC sweep, and N processes serving the same file share
+  /// one physical copy of the model. The session owns the mapping, so the
+  /// views stay valid for the session's lifetime; moving the session
+  /// moves the mapping with it. Requires a v3 file — v2 files must go
+  /// through FromFile.
+  static ServingSession FromFileMapped(const std::string& path);
+
   /// Single-sample prediction through the pooled workspace.
   int Predict(const Series& s);
 
@@ -47,6 +57,10 @@ class ServingSession {
   const MvgClassifier& model() const { return model_; }
 
  private:
+  /// Keeps the mmap'd model file (FromFileMapped) alive for as long as
+  /// the model's zero-copy views point into it. Declared before model_
+  /// so it is destroyed after the views are gone. Null for owned models.
+  std::shared_ptr<const void> mapping_;
   MvgClassifier model_;
   std::vector<VgWorkspace> workspaces_;  ///< one per worker, kept warm.
 };

@@ -1,0 +1,86 @@
+#include "ts/paged_ucr_reader.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "ts/ucr_io.h"
+
+namespace mvg {
+
+PagedUcrReader::PagedUcrReader(std::string path)
+    : PagedUcrReader(std::move(path), Options()) {}
+
+PagedUcrReader::PagedUcrReader(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {
+  options_.page_rows = std::max<size_t>(options_.page_rows, 1);
+  in_.open(path_);
+  if (!in_) {
+    throw std::runtime_error("PagedUcrReader: cannot open " + path_);
+  }
+}
+
+PagedUcrReader::~PagedUcrReader() { DrainPending(); }
+
+void PagedUcrReader::DrainPending() {
+  if (pending_.valid()) {
+    try {
+      pending_.get();
+    } catch (...) {
+      // A parse error in a page nobody asked for must not escape the
+      // destructor / Reset; NextPage re-reads and re-throws it if the
+      // caller ever reaches that page again.
+    }
+  }
+}
+
+void PagedUcrReader::Reset() {
+  DrainPending();
+  in_.clear();
+  in_.seekg(0);
+  if (!in_) {
+    throw std::runtime_error("PagedUcrReader: cannot rewind " + path_);
+  }
+  line_no_ = 0;
+  next_row_ = 0;
+  exhausted_ = false;
+}
+
+SeriesPage PagedUcrReader::ReadPageNow() {
+  SeriesPage page;
+  page.first_row = next_row_;
+  if (exhausted_) return page;
+  std::string line;
+  Series s;
+  int label = 0;
+  while (page.size() < options_.page_rows && std::getline(in_, line)) {
+    ++line_no_;
+    if (!ParseUcrLine(line, line_no_, "PagedUcrReader(" + path_ + ")", &label,
+                      &s)) {
+      continue;  // blank line
+    }
+    page.series.push_back(std::move(s));
+    page.labels.push_back(label);
+    s.clear();
+  }
+  next_row_ += page.size();
+  if (page.size() < options_.page_rows) exhausted_ = true;
+  return page;
+}
+
+bool PagedUcrReader::NextPage(SeriesPage* page) {
+  if (pending_.valid()) {
+    *page = pending_.get();
+  } else {
+    *page = ReadPageNow();
+  }
+  // One page of read-ahead: parse the next chunk while the caller works
+  // on this one. The background task is the only reader of the stream
+  // until the next NextPage/Reset claims its result.
+  if (options_.read_ahead && !exhausted_) {
+    pending_ = std::async(std::launch::async, [this] { return ReadPageNow(); });
+  }
+  return !page->empty();
+}
+
+}  // namespace mvg

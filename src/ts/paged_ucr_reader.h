@@ -1,0 +1,87 @@
+#ifndef MVG_TS_PAGED_UCR_READER_H_
+#define MVG_TS_PAGED_UCR_READER_H_
+
+#include <cstddef>
+#include <fstream>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+/// One fixed-size chunk of a UCR file: up to `page_rows` labeled series in
+/// file order. The unit of out-of-core training — the paged pipeline only
+/// ever holds O(page) raw series in memory.
+struct SeriesPage {
+  std::vector<Series> series;
+  std::vector<int> labels;
+  /// Global (file-order) row index of series[0].
+  size_t first_row = 0;
+
+  size_t size() const { return series.size(); }
+  bool empty() const { return series.empty(); }
+};
+
+/// Streams a UCR-format dataset from disk page by page instead of loading
+/// it whole (the xgboost page_dmatrix shape: fixed-size row pages, one
+/// page of read-ahead). Lines are parsed by the same strict ParseUcrLine
+/// as ReadUcrFile, so the paged and in-RAM paths accept exactly the same
+/// files and a malformed token fails with the same line-numbered error.
+///
+/// With read-ahead enabled (the default), the next page is parsed on a
+/// background task while the caller consumes the current one, so I/O and
+/// parsing overlap training's feature extraction. A reader is single-
+/// consumer state: NextPage/Reset must be externally serialized.
+class PagedUcrReader {
+ public:
+  struct Options {
+    /// Series per page (>= 1; clamped). Peak raw-series memory is one
+    /// page being consumed plus one page of read-ahead.
+    size_t page_rows = 256;
+    /// Prefetch the next page on a background task.
+    bool read_ahead = true;
+  };
+
+  explicit PagedUcrReader(std::string path);
+  PagedUcrReader(std::string path, Options options);
+  ~PagedUcrReader();
+
+  PagedUcrReader(const PagedUcrReader&) = delete;
+  PagedUcrReader& operator=(const PagedUcrReader&) = delete;
+
+  /// Fills `*page` with the next chunk of the file (file order). Returns
+  /// false — leaving `*page` empty — once the file is exhausted. Ragged
+  /// final pages (fewer than page_rows series) are returned as-is. Parse
+  /// errors throw std::runtime_error with the 1-based line number.
+  bool NextPage(SeriesPage* page);
+
+  /// Rewinds to the beginning of the file, discarding any read-ahead.
+  void Reset();
+
+  const std::string& path() const { return path_; }
+  const Options& options() const { return options_; }
+
+  /// Series handed out (or parsed ahead) so far; after the file is fully
+  /// consumed this is its total row count.
+  size_t rows_read() const { return next_row_; }
+
+ private:
+  /// Synchronously parses the next page off the stream.
+  SeriesPage ReadPageNow();
+  /// Blocks on and discards any in-flight read-ahead.
+  void DrainPending();
+
+  std::string path_;
+  Options options_;
+  std::ifstream in_;
+  size_t line_no_ = 0;
+  size_t next_row_ = 0;
+  bool exhausted_ = false;
+  std::future<SeriesPage> pending_;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_TS_PAGED_UCR_READER_H_

@@ -2,45 +2,64 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <stdexcept>
 
 #include "util/string_util.h"
 
 namespace mvg {
 
+namespace {
+
+/// Strict numeric token parse: the whole token must be consumed, so a
+/// partially-numeric token like "1.5abc" (which strtod happily accepts)
+/// fails loudly instead of silently truncating the value.
+double ParseStrict(const std::string& token, size_t line_no, const char* what,
+                   const std::string& where) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || end != token.c_str() + token.size()) {
+    throw std::runtime_error(where + ": bad " + what + " '" + token +
+                             "' on line " + std::to_string(line_no));
+  }
+  return v;
+}
+
+}  // namespace
+
+bool ParseUcrLine(const std::string& line, size_t line_no,
+                  const std::string& where, int* label, Series* values) {
+  const std::string trimmed = Trim(line);
+  if (trimmed.empty()) return false;
+  const std::vector<std::string> tokens = Split(trimmed, ", \t");
+  if (tokens.size() < 2) {
+    throw std::runtime_error(where + ": line " + std::to_string(line_no) +
+                             " has fewer than 2 fields");
+  }
+  *label = static_cast<int>(ParseStrict(tokens[0], line_no, "label", where));
+  values->clear();
+  values->reserve(tokens.size() - 1);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    values->push_back(ParseStrict(tokens[i], line_no, "value", where));
+  }
+  return true;
+}
+
 Dataset ReadUcrFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("ReadUcrFile: cannot open " + path);
   Dataset ds(path);
   std::string line;
+  Series s;
+  int label = 0;
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    line = Trim(line);
-    if (line.empty()) continue;
-    const std::vector<std::string> tokens = Split(line, ", \t");
-    if (tokens.size() < 2) {
-      throw std::runtime_error("ReadUcrFile: line " + std::to_string(line_no) +
-                               " has fewer than 2 fields");
+    if (ParseUcrLine(line, line_no, "ReadUcrFile", &label, &s)) {
+      ds.Add(std::move(s), label);
+      s.clear();
     }
-    char* end = nullptr;
-    const double label_val = std::strtod(tokens[0].c_str(), &end);
-    if (end == tokens[0].c_str()) {
-      throw std::runtime_error("ReadUcrFile: bad label on line " +
-                               std::to_string(line_no));
-    }
-    Series s;
-    s.reserve(tokens.size() - 1);
-    for (size_t i = 1; i < tokens.size(); ++i) {
-      end = nullptr;
-      const double v = std::strtod(tokens[i].c_str(), &end);
-      if (end == tokens[i].c_str()) {
-        throw std::runtime_error("ReadUcrFile: bad value on line " +
-                                 std::to_string(line_no));
-      }
-      s.push_back(v);
-    }
-    ds.Add(std::move(s), static_cast<int>(label_val));
   }
   return ds;
 }
@@ -48,11 +67,16 @@ Dataset ReadUcrFile(const std::string& path) {
 void WriteUcrFile(const Dataset& ds, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("WriteUcrFile: cannot open " + path);
+  // max_digits10 significant digits make the text round trip every finite
+  // double bit-for-bit (the default 6 silently loses precision).
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (size_t i = 0; i < ds.size(); ++i) {
     out << ds.label(i);
     for (double v : ds.series(i)) out << ',' << v;
     out << '\n';
   }
+  out.flush();
+  if (!out) throw std::runtime_error("WriteUcrFile: write failed: " + path);
 }
 
 }  // namespace mvg

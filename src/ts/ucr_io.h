@@ -7,13 +7,26 @@
 
 namespace mvg {
 
-/// Reads a UCR-archive-format file: one series per line, the first field is
-/// the integer class label, remaining fields are the values. Both comma-
-/// and whitespace-separated files are accepted. Throws std::runtime_error
-/// if the file cannot be opened or a line cannot be parsed.
+/// Parses one UCR-format line: the first field is the integer class label,
+/// remaining fields are the values; comma- and whitespace-separated tokens
+/// are both accepted. Returns false for blank (or all-separator) lines.
+/// Every token must parse as a complete number — trailing garbage such as
+/// "1.5abc" is rejected with a std::runtime_error naming `where` and the
+/// 1-based `line_no`. Shared by ReadUcrFile and PagedUcrReader so the two
+/// paths cannot drift.
+bool ParseUcrLine(const std::string& line, size_t line_no,
+                  const std::string& where, int* label, Series* values);
+
+/// Reads a UCR-archive-format file: one series per line, parsed by
+/// ParseUcrLine. Throws std::runtime_error if the file cannot be opened or
+/// a line cannot be parsed.
 Dataset ReadUcrFile(const std::string& path);
 
-/// Writes a dataset in comma-separated UCR format.
+/// Writes a dataset in comma-separated UCR format at full round-trip
+/// precision (max_digits10 significant digits), so
+/// ReadUcrFile(WriteUcrFile(ds)) reproduces every value bit-for-bit.
+/// Throws std::runtime_error if the file cannot be opened or the write
+/// fails (checked after flush).
 void WriteUcrFile(const Dataset& ds, const std::string& path);
 
 }  // namespace mvg

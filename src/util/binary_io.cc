@@ -4,8 +4,21 @@
 
 namespace mvg {
 
+bool HostIsLittleEndian() {
+  const uint32_t probe = 1;
+  uint8_t first = 0;
+  std::memcpy(&first, &probe, 1);
+  return first == 1;
+}
+
 void BinaryWriter::WriteBytes(const void* data, size_t size) {
   buf_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::AlignTo(size_t alignment) {
+  if (alignment == 0) return;
+  const size_t rem = buf_.size() % alignment;
+  if (rem != 0) buf_.append(alignment - rem, '\0');
 }
 
 void BinaryWriter::WriteU8(uint8_t v) {
@@ -78,6 +91,22 @@ void BinaryReader::ReadBytes(void* dst, size_t n) {
   Need(n);
   std::memcpy(dst, data_ + pos_, n);
   pos_ += n;
+}
+
+const uint8_t* BinaryReader::ViewBytes(size_t n) {
+  Need(n);
+  const uint8_t* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+void BinaryReader::AlignTo(size_t alignment) {
+  if (alignment == 0) return;
+  const size_t rem = pos_ % alignment;
+  if (rem != 0) {
+    Need(alignment - rem);
+    pos_ += alignment - rem;
+  }
 }
 
 uint8_t BinaryReader::ReadU8() {

@@ -18,6 +18,16 @@ class SerializationError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Sentinel for BinaryWriter/BinaryReader `format_version`: "the current
+/// model format" — components that branch on version treat anything other
+/// than an explicitly pinned legacy version as current.
+inline constexpr uint32_t kFormatCurrent = 0;
+
+/// True on little-endian hosts, where the endian-stable serialized layout
+/// of the flat node blobs coincides with the in-memory struct layout and
+/// can therefore be viewed zero-copy instead of decoded field by field.
+bool HostIsLittleEndian();
+
 /// Appends primitives to an in-memory buffer in an endian-stable layout:
 /// every integer is written little-endian byte by byte, doubles as their
 /// IEEE-754 bit pattern via uint64. The buffer is the unit the model-file
@@ -42,12 +52,26 @@ class BinaryWriter {
   /// Row-major vector-of-rows (the ml layer's Matrix).
   void WriteDoubleMat(const std::vector<std::vector<double>>& m);
 
+  /// Zero-pads the buffer to a multiple of `alignment` bytes (relative to
+  /// the buffer start). The model-file layer places section payloads at
+  /// 64-byte-aligned file offsets, so in-payload alignment carries over to
+  /// absolute alignment of the mmap'd bytes.
+  void AlignTo(size_t alignment);
+
+  /// Which on-disk model format version this writer is producing
+  /// (kFormatCurrent unless a legacy writer pins an older one). Components
+  /// with version-dependent bodies branch on this, so the version context
+  /// propagates through nested SaveBinary calls for free.
+  uint32_t format_version() const { return format_version_; }
+  void set_format_version(uint32_t v) { format_version_ = v; }
+
   const std::string& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
   void Clear() { buf_.clear(); }
 
  private:
   std::string buf_;
+  uint32_t format_version_ = kFormatCurrent;
 };
 
 /// Reads the layout produced by BinaryWriter. Non-owning: the buffer must
@@ -78,6 +102,29 @@ class BinaryReader {
   std::vector<size_t> ReadSizeVec();
   std::vector<std::vector<double>> ReadDoubleMat();
 
+  /// Bounds-checked view of the next `n` raw bytes; advances the cursor
+  /// without copying. The pointer aliases the reader's buffer and shares
+  /// its lifetime — callers must copy unless zero_copy() promises the
+  /// buffer outlives the loaded object (the mmap path).
+  const uint8_t* ViewBytes(size_t n);
+
+  /// Skips the zero padding a writer's AlignTo(alignment) emitted; throws
+  /// if the padding would run past the end of the buffer.
+  void AlignTo(size_t alignment);
+
+  /// Version context, mirroring BinaryWriter: which on-disk format the
+  /// framing layer determined this buffer to be.
+  uint32_t format_version() const { return format_version_; }
+  void set_format_version(uint32_t v) { format_version_ = v; }
+
+  /// When true, the underlying buffer is guaranteed (by the caller, e.g.
+  /// a model file mmap held alive by the serving session) to outlive the
+  /// loaded objects, so loaders may keep ViewBytes pointers instead of
+  /// copying flat payloads.
+  bool zero_copy() const { return zero_copy_; }
+  void set_zero_copy(bool v) { zero_copy_ = v; }
+
+  size_t pos() const { return pos_; }
   size_t remaining() const { return size_ - pos_; }
   bool AtEnd() const { return pos_ == size_; }
 
@@ -90,6 +137,8 @@ class BinaryReader {
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  uint32_t format_version_ = kFormatCurrent;
+  bool zero_copy_ = false;
 };
 
 /// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range — the

@@ -3,7 +3,9 @@
 // predictions, and corrupt/truncated/mismatched files must be rejected
 // loudly with SerializationError.
 
+#include <cstdint>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -19,6 +21,8 @@
 #include "ml/stacking.h"
 #include "ml/svm.h"
 #include "serve/model_io.h"
+#include "serve/model_mmap.h"
+#include "serve/serving.h"
 #include "tests/test_util.h"
 #include "util/binary_io.h"
 
@@ -385,9 +389,16 @@ TEST_F(CorruptionTest, TruncatedFileRejected) {
 
 TEST_F(CorruptionTest, PayloadBitFlipFailsChecksum) {
   std::string blob = Blob();
-  // Flip one byte well inside the first section's payload (header is
-  // 16 bytes, section header 16 more).
-  blob[40] = static_cast<char>(blob[40] ^ 0x5A);
+  // Flip one byte inside the first section's payload. In the v3 layout
+  // payloads start at the first 64-byte-aligned offset past the header
+  // (64 bytes) and the three table entries (32 bytes each).
+  const size_t first_payload =
+      ((kModelHeaderBytes + 3 * kModelTableEntryBytes + kModelPayloadAlign -
+        1) /
+       kModelPayloadAlign) *
+      kModelPayloadAlign;
+  ASSERT_LT(first_payload + 8, blob.size());
+  blob[first_payload + 8] = static_cast<char>(blob[first_payload + 8] ^ 0x5A);
   ExpectRejected(blob);
 }
 
@@ -411,6 +422,283 @@ TEST_F(CorruptionTest, FileRoundTripViaPath) {
     EXPECT_EQ(loaded.Predict(train.series(i)), clf.Predict(train.series(i)));
   }
   EXPECT_THROW(LoadModel(path + ".does_not_exist"), std::runtime_error);
+}
+
+/// A stream whose sink fails every write: exercises the
+/// stream-state-after-write-and-flush contract of SaveModel (a full disk
+/// or broken pipe must throw, never leave a silently truncated file).
+class FailingBuf : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+TEST_F(CorruptionTest, FailingStreamThrowsOnSave) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(MakeNoiseDataset("failbuf_train", {0, 1}, 6, 48, 3));
+  FailingBuf buf;
+  std::ostream os(&buf);
+  EXPECT_THROW(SaveModel(clf, os), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// v3 framing: structural corruption, migration, zero-copy views
+// ---------------------------------------------------------------------------
+
+/// v3 structural-corruption fixture with table-tampering helpers.
+class V3FramingTest : public CorruptionTest {
+ protected:
+  static constexpr size_t kTableStart = kModelHeaderBytes;
+
+  /// Byte offset of field `field_off` inside table entry `i`.
+  static size_t Entry(size_t i, size_t field_off) {
+    return kTableStart + i * kModelTableEntryBytes + field_off;
+  }
+
+  static uint64_t GetU64(const std::string& blob, size_t off) {
+    uint64_t v = 0;
+    std::memcpy(&v, blob.data() + off, sizeof(v));
+    return v;  // test runs on little-endian CI; format is little-endian
+  }
+
+  static void PutU64(std::string* blob, size_t off, uint64_t v) {
+    std::memcpy(&(*blob)[off], &v, sizeof(v));
+  }
+
+  static void PutU32(std::string* blob, size_t off, uint32_t v) {
+    std::memcpy(&(*blob)[off], &v, sizeof(v));
+  }
+
+  /// Recomputes the header's table CRC after a deliberate table edit, so
+  /// the test reaches the *structural* validation being exercised instead
+  /// of tripping the table-checksum check first.
+  static void FixTableCrc(std::string* blob) {
+    BinaryReader counter(blob->data() + 12, 4);
+    const uint32_t n = counter.ReadU32();
+    PutU32(blob, 24,
+           Crc32(blob->data() + kTableStart, n * kModelTableEntryBytes));
+  }
+};
+
+TEST_F(V3FramingTest, WritesCurrentVersion) {
+  const std::string& blob = Blob();
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_EQ(PeekModelVersion(is), kModelFormatVersion);
+  EXPECT_EQ(GetU64(blob, 16), blob.size());  // self-reported file size
+}
+
+TEST_F(V3FramingTest, SectionTableTamperFailsTableCrc) {
+  std::string blob = Blob();
+  blob[Entry(0, 0)] = static_cast<char>(blob[Entry(0, 0)] ^ 0x01);  // tag
+  ExpectRejected(blob);
+}
+
+TEST_F(V3FramingTest, MisalignedSectionOffsetRejected) {
+  std::string blob = Blob();
+  PutU64(&blob, Entry(0, 8), GetU64(blob, Entry(0, 8)) + 8);
+  FixTableCrc(&blob);
+  ExpectRejected(blob);
+}
+
+TEST_F(V3FramingTest, OutOfBoundsSectionRejected) {
+  std::string blob = Blob();
+  // Push the last section's offset past the end of the file (keeping it
+  // 64-byte aligned so the bounds check, not the alignment check, fires).
+  PutU64(&blob, Entry(2, 8),
+         (blob.size() / kModelPayloadAlign + 2) * kModelPayloadAlign);
+  FixTableCrc(&blob);
+  ExpectRejected(blob);
+}
+
+TEST_F(V3FramingTest, OverlappingSectionsRejected) {
+  std::string blob = Blob();
+  // Alias section 1 (scaler) onto section 0's extent, copying its size
+  // and CRC so every per-section check passes and only the overlap scan
+  // can catch it.
+  PutU64(&blob, Entry(1, 8), GetU64(blob, Entry(0, 8)));   // offset
+  PutU64(&blob, Entry(1, 16), GetU64(blob, Entry(0, 16))); // size
+  PutU32(&blob, Entry(1, 24),
+         static_cast<uint32_t>(GetU64(blob, Entry(0, 24)) & 0xFFFFFFFFu));
+  FixTableCrc(&blob);
+  ExpectRejected(blob);
+}
+
+TEST_F(V3FramingTest, TrailingGarbageRejected) {
+  std::string blob = Blob();
+  blob.push_back('\0');  // header's file_size no longer matches
+  ExpectRejected(blob);
+}
+
+TEST_F(V3FramingTest, V2FileStillLoadsAndResavesAsV3) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  const Dataset train = MakeNoiseDataset("migrate_train", {0, 1}, 6, 48, 4);
+  clf.Fit(train);
+
+  std::ostringstream v2(std::ios::binary);
+  SaveModelV2(clf, v2);
+  {
+    std::istringstream is(v2.str(), std::ios::binary);
+    EXPECT_EQ(PeekModelVersion(is), 2u);
+  }
+
+  std::istringstream is(v2.str(), std::ios::binary);
+  const MvgClassifier migrated = LoadModel(is);
+  for (size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(migrated.Predict(train.series(i)), clf.Predict(train.series(i)));
+  }
+
+  // Re-saving a migrated model writes the current format.
+  std::ostringstream resaved(std::ios::binary);
+  SaveModel(migrated, resaved);
+  std::istringstream peek(resaved.str(), std::ios::binary);
+  EXPECT_EQ(PeekModelVersion(peek), kModelFormatVersion);
+}
+
+TEST_F(V3FramingTest, CorruptV2SectionStillRejected) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(MakeNoiseDataset("migrate_corrupt", {0, 1}, 6, 48, 4));
+  std::ostringstream v2(std::ios::binary);
+  SaveModelV2(clf, v2);
+  std::string blob = v2.str();
+  blob[40] ^= 0x5A;  // v2 payloads start at byte 32; this hits section 1
+  ExpectRejected(blob);
+}
+
+/// Zero-copy loads: the same bytes viewed in place must behave exactly
+/// like the copying stream load.
+class ZeroCopyTest : public ::testing::Test {
+ protected:
+  static void TrainAndCompare(MvgModel model) {
+    MvgClassifier::Config config;
+    config.model = model;
+    config.grid = GridPreset::kNone;
+    MvgClassifier clf(config);
+    const Dataset train = MakeNoiseDataset("zerocopy_train", {0, 1}, 6, 48, 4);
+    clf.Fit(train);
+
+    std::ostringstream os(std::ios::binary);
+    SaveModel(clf, os);
+    const std::string blob = os.str();
+
+    // An 8-byte-aligned home for the file image (mmap hands out
+    // page-aligned memory; a heap test buffer must arrange alignment
+    // itself for the in-place node views to engage).
+    std::vector<uint64_t> buf((blob.size() + 7) / 8);
+    std::memcpy(buf.data(), blob.data(), blob.size());
+    const MvgClassifier viewed = LoadModelView(buf.data(), blob.size());
+
+    std::istringstream is(blob, std::ios::binary);
+    const MvgClassifier copied = LoadModel(is);
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+      const Series s = testutil::MakeFamilySeries(
+          testutil::AllSeriesFamilies()[seed % 4], 48, 2000 + seed);
+      const int expect = copied.Predict(s);
+      EXPECT_EQ(viewed.Predict(s), expect) << "seed " << seed;
+      EXPECT_EQ(clf.Predict(s), expect) << "seed " << seed;
+    }
+  }
+};
+
+TEST_F(ZeroCopyTest, ViewLoadMatchesStreamLoadXgboost) {
+  TrainAndCompare(MvgModel::kXgboost);
+}
+
+TEST_F(ZeroCopyTest, ViewLoadMatchesStreamLoadRandomForest) {
+  TrainAndCompare(MvgModel::kRandomForest);
+}
+
+TEST_F(ZeroCopyTest, ViewLoadRejectsV2) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(MakeNoiseDataset("zerocopy_v2", {0, 1}, 6, 48, 3));
+  std::ostringstream os(std::ios::binary);
+  SaveModelV2(clf, os);
+  const std::string blob = os.str();
+  std::vector<uint64_t> buf((blob.size() + 7) / 8);
+  std::memcpy(buf.data(), blob.data(), blob.size());
+  EXPECT_THROW(LoadModelView(buf.data(), blob.size()), SerializationError);
+}
+
+// The view load is O(1) by deferring payload CRCs (ModelVerify::
+// kStructure, the default): a payload bit flip passes the default open
+// but is caught by ModelVerify::kFull and by the stream loader. The
+// flipped byte sits in the pipeline section's trailing timing doubles,
+// which decode without error — isolating checksum behavior from decode
+// failures.
+TEST_F(ZeroCopyTest, ViewLoadDefersPayloadCrcUntilAskedToVerify) {
+  MvgClassifier::Config config;
+  config.model = MvgModel::kSvm;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  clf.Fit(MakeNoiseDataset("zerocopy_crc", {0, 1}, 6, 48, 3));
+  std::ostringstream os(std::ios::binary);
+  SaveModel(clf, os);
+  const std::string blob = os.str();
+
+  std::vector<uint64_t> buf((blob.size() + 7) / 8);
+  std::memcpy(buf.data(), blob.data(), blob.size());
+  EXPECT_NO_THROW(LoadModelView(buf.data(), blob.size(), ModelVerify::kFull));
+
+  // Pipeline section = first payload; its last 16 bytes are the two
+  // recorded wall times.
+  const size_t first_payload =
+      ((kModelHeaderBytes + 3 * kModelTableEntryBytes + kModelPayloadAlign -
+        1) /
+       kModelPayloadAlign) *
+      kModelPayloadAlign;
+  size_t pipeline_size = 0;
+  std::memcpy(&pipeline_size, blob.data() + kModelHeaderBytes + 8, 8);
+  reinterpret_cast<uint8_t*>(buf.data())[first_payload + pipeline_size - 1] ^=
+      0x01;
+
+  EXPECT_NO_THROW(LoadModelView(buf.data(), blob.size()));  // kStructure
+  EXPECT_THROW(LoadModelView(buf.data(), blob.size(), ModelVerify::kFull),
+               SerializationError);
+}
+
+TEST_F(ZeroCopyTest, MappedFileSessionMatchesStreamSession) {
+  const std::string path = ::testing::TempDir() + "serve_io_test_mmap.mvg";
+  MvgClassifier::Config config;
+  config.model = MvgModel::kXgboost;
+  config.grid = GridPreset::kNone;
+  MvgClassifier clf(config);
+  const Dataset train = MakeNoiseDataset("mmap_train", {0, 1}, 6, 48, 4);
+  clf.Fit(train);
+  SaveModel(clf, path);
+
+  ServingSession mapped = ServingSession::FromFileMapped(path);
+  ServingSession streamed = ServingSession::FromFile(path);
+  const std::vector<int> a = mapped.PredictBatch(train.all_series());
+  const std::vector<int> b = streamed.PredictBatch(train.all_series());
+  EXPECT_EQ(a, b);
+
+  // The mapping must survive moving the session.
+  ServingSession moved = std::move(mapped);
+  EXPECT_EQ(moved.PredictBatch(train.all_series()), b);
+}
+
+TEST_F(ZeroCopyTest, MappedFileBasics) {
+  const std::string path = ::testing::TempDir() + "serve_io_test_raw.bin";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "mapped bytes";
+  }
+  MappedFile map(path);
+  EXPECT_EQ(map.size(), 12u);
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(map.data()), map.size()),
+            "mapped bytes");
+  EXPECT_THROW(MappedFile(path + ".does_not_exist"), std::runtime_error);
 }
 
 }  // namespace
