@@ -40,6 +40,9 @@
 #include "bench/legacy_vg.h"
 #include "core/feature_extractor.h"
 #include "core/mvg_classifier.h"
+#include "dist/reducer.h"
+#include "dist/shard_router.h"
+#include "ml/gradient_boosting.h"
 #include "ml/metrics.h"
 #include "motif/motif_counts.h"
 #include "serve/async_serving.h"
@@ -49,7 +52,9 @@
 #include "ts/generators.h"
 #include "ts/paged_ucr_reader.h"
 #include "ts/ucr_io.h"
+#include "util/binary_io.h"
 #include "util/parallel.h"
+#include "util/random.h"
 #include "util/timer.h"
 #include "vg/visibility_graph.h"
 
@@ -784,6 +789,113 @@ int main(int argc, char** argv) {
           static_cast<double>(usage.ru_maxrss) / 1024.0;  // Linux: KiB
     }
 #endif
+  }
+
+  // --- Distributed: histogram-merge determinism + shard serving scaling ---
+  // dist_train_match is an exact contract (gated at 1.0 in every mode):
+  // training with the int64-quantized histogram-merge seam must produce
+  // byte-identical GBT models for world size 1 and 3, on every rank. The
+  // in-process LocalReducerGroup is used so the bench stays fork-free for
+  // this half. shard_serving_scaling gates the router's throughput win:
+  // the same request batch through a 4-shard process fleet vs a single
+  // shard over the identical wire protocol (so framing overhead cancels
+  // and the ratio isolates the process-parallel serving win). Calibrated
+  // for 1-core CI runners, where the gain comes from pipelining overlap
+  // rather than true parallelism — multi-core hosts clear the floor with
+  // a wide margin.
+  std::printf("Distributed:\n");
+  {
+    Matrix x;
+    std::vector<int> y;
+    Rng rng(91);
+    for (size_t c = 0; c < 3; ++c) {
+      for (size_t i = 0; i < (opt.quick ? 15u : 40u); ++i) {
+        x.push_back({3.0 * static_cast<double>(c) + rng.Gaussian(0, 0.6),
+                     rng.Gaussian(0, 0.6)});
+        y.push_back(static_cast<int>(c));
+      }
+    }
+    const auto fit_world = [&](size_t world) {
+      LocalReducerGroup group(world);
+      std::vector<std::string> bytes(world);
+      std::vector<std::thread> ranks;
+      for (size_t r = 0; r < world; ++r) {
+        ranks.emplace_back([&, r] {
+          GradientBoostingClassifier::Params params;
+          params.num_rounds = 10;
+          params.reducer = group.reducer(r);
+          GradientBoostingClassifier gbt(params);
+          gbt.Fit(x, y);
+          BinaryWriter w;
+          gbt.SaveBinary(&w);
+          bytes[r] = w.data();
+        });
+      }
+      for (std::thread& t : ranks) t.join();
+      return bytes;
+    };
+    const std::vector<std::string> world1 = fit_world(1);
+    const std::vector<std::string> world3 = fit_world(3);
+    bool match = !world1[0].empty();
+    for (const std::string& b : world3) match = match && b == world1[0];
+    metrics["dist_train_match"] = match ? 1.0 : 0.0;
+
+    // Shard scaling: one model file, one batch, 1 vs 4 worker processes.
+    const size_t series_len = 128;
+    const size_t train_n = opt.quick ? 16 : 24;
+    Dataset train("shard_train");
+    for (size_t i = 0; i < train_n; ++i) {
+      train.Add(GaussianNoise(series_len, 9100 + i), static_cast<int>(i % 2));
+    }
+    MvgClassifier::Config config;
+    config.grid = GridPreset::kNone;
+    MvgClassifier clf(config);
+    clf.Fit(train);
+    const char* model_path = "BENCH_shard_model.mvg";
+    SaveModel(clf, model_path);
+
+    const size_t batch_n = opt.quick ? 24 : 64;
+    std::vector<Series> batch;
+    batch.reserve(batch_n);
+    for (size_t i = 0; i < batch_n; ++i) {
+      batch.push_back(GaussianNoise(series_len, 9500 + i));
+    }
+
+    const auto route_seconds = [&](size_t shards) {
+      ShardRouter::Options ropt;
+      ropt.model_path = model_path;
+      ropt.num_shards = shards;
+      ShardRouter router = ShardRouter::SpawnLocal(ropt);
+      router.PredictBatch(batch);  // warm every worker's workspace pool
+      const int reps = opt.quick ? 1 : 3;
+      double best = 0.0;
+      for (int rep = 0; rep < reps; ++rep) {
+        WallTimer timer;
+        router.PredictBatch(batch);
+        const double seconds = timer.Seconds();
+        if (rep == 0 || seconds < best) best = seconds;
+      }
+      return best;
+    };
+    const double t_shard1 = route_seconds(1);
+    const double t_shard4 = route_seconds(4);
+    std::remove(model_path);
+
+    BenchResult shard1_row{"route_batch_1shard", batch_n, 1,
+                           t_shard1 * 1e9 / static_cast<double>(batch_n)};
+    BenchResult shard4_row{"route_batch_4shards", batch_n, 1,
+                           t_shard4 * 1e9 / static_cast<double>(batch_n)};
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                shard1_row.name.c_str(), shard1_row.n, shard1_row.ns_per_iter,
+                shard1_row.iters);
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                shard4_row.name.c_str(), shard4_row.n, shard4_row.ns_per_iter,
+                shard4_row.iters);
+    results.push_back(shard1_row);
+    results.push_back(shard4_row);
+    if (t_shard4 > 0.0) {
+      metrics["shard_serving_scaling"] = t_shard1 / t_shard4;
+    }
   }
 
   for (const auto& [name, value] : metrics) {

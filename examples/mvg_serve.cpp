@@ -5,7 +5,7 @@
 //
 //   mvg_serve train <train-ucr-file> --out model.mvg
 //            [--model xgb|rf|svm|stack] [--grid none|small|paper]
-//            [--threads N] [--paged [--page-rows N]]
+//            [--threads N] [--workers N] [--paged [--page-rows N]]
 //            [--eval <ucr-file> [--out-preds FILE]]
 //       fit an MvgClassifier and save it; --eval classifies a file with
 //       the just-trained in-memory model (so CI can diff these
@@ -14,7 +14,11 @@
 //       extraction, grid cells and tree fits (0 = hardware concurrency;
 //       fitted models are bit-identical for every value); --paged streams
 //       the training file through PagedUcrReader instead of loading it
-//       whole — O(page) peak raw-series memory, bit-identical model
+//       whole — O(page) peak raw-series memory, bit-identical model;
+//       --workers N trains across N forked worker processes that merge
+//       histograms through the dist/ coordinator — the saved model is
+//       bit-identical for every worker count (enforced at runtime by the
+//       coordinator, which byte-compares all workers' models)
 //   mvg_serve info <model.mvg>
 //       print model metadata (family, extractor config, feature width)
 //   mvg_serve serve --model model.mvg --input <ucr-file>
@@ -34,6 +38,14 @@
 //       online monitoring: read one sample per line from stdin into a
 //       StreamingClassifier sliding window; on every completed window
 //       print "<sample-index> <label>"
+//   mvg_serve route --model model.mvg --input <ucr-file> --shards N
+//            [--mmap] [--max-inflight W] [--drain K] [--out-preds FILE]
+//       sharded serving: fork N shard worker processes, each serving the
+//       model over the framed wire protocol, and hash-route the request
+//       stream across them (per-shard health checks and served counts go
+//       to stderr). --drain K gracefully drains shard K halfway through
+//       the stream — in-flight requests are preserved and the remaining
+//       traffic rehashes over the surviving shards
 //
 // Example end-to-end round trip on a built-in synthetic set:
 //   mvg_cli generate SynChaos /tmp/chaos
@@ -44,10 +56,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/mvg_classifier.h"
+#include "dist/coordinator.h"
+#include "dist/shard_router.h"
+#include "ml/histogram_reducer.h"
 #include "ml/metrics.h"
 #include "serve/async_serving.h"
 #include "serve/model_io.h"
@@ -67,13 +83,15 @@ int Usage(const char* argv0) {
       stderr,
       "usage:\n"
       "  %s train <train-ucr-file> --out MODEL [--model xgb|rf|svm|stack]"
-      " [--grid none|small|paper] [--threads N] [--paged [--page-rows N]]"
-      " [--eval FILE [--out-preds FILE]]\n"
+      " [--grid none|small|paper] [--threads N] [--workers N]"
+      " [--paged [--page-rows N]] [--eval FILE [--out-preds FILE]]\n"
       "  %s info <MODEL>\n"
       "  %s serve --model MODEL --input <ucr-file> [--mmap] [--threads N]"
       " [--out-preds FILE] [--async [--batch-max B] [--batch-timeout-ms T]]\n"
-      "  %s serve --model MODEL --stream [--mmap] [--window N] [--hop N]\n",
-      argv0, argv0, argv0, argv0);
+      "  %s serve --model MODEL --stream [--mmap] [--window N] [--hop N]\n"
+      "  %s route --model MODEL --input <ucr-file> --shards N [--mmap]"
+      " [--max-inflight W] [--drain K] [--out-preds FILE]\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -99,22 +117,36 @@ bool HasFlag(int argc, char** argv, int from, const char* flag) {
   return false;
 }
 
-/// `--threads` with the same validation mvg_cli classify applies: an
-/// integer in [0, 1024], 0 meaning hardware concurrency. A non-zero value
-/// is routed to the persistent executor pool size, so it bounds every
-/// parallel layer in the process (extraction, grid cells, tree fits,
-/// serving fan-out).
-size_t ThreadsFlag(int argc, char** argv, int from) {
-  const std::string raw = FlagValue(argc, argv, from, "--threads", "0");
+/// Bounded integer flag in [lo, hi]; exits with a usage error otherwise.
+size_t CountFlag(int argc, char** argv, int from, const char* flag,
+                 const char* fallback, long lo, long hi) {
+  const std::string raw = FlagValue(argc, argv, from, flag, fallback);
   char* end = nullptr;
   const long parsed = std::strtol(raw.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 1024) {
-    std::fprintf(stderr, "--threads expects an integer in [0, 1024]"
-                         " (0 = hardware concurrency)\n");
+  if (end == nullptr || *end != '\0' || parsed < lo || parsed > hi) {
+    std::fprintf(stderr, "%s expects an integer in [%ld, %ld]\n",
+                 flag, lo, hi);
     std::exit(2);
   }
-  if (parsed > 0) Executor::SetGlobalConcurrency(static_cast<size_t>(parsed));
   return static_cast<size_t>(parsed);
+}
+
+/// Pure parse of `--threads`: an integer in [0, 1024], 0 meaning hardware
+/// concurrency. Does NOT touch the executor — the distributed train path
+/// must fork before the global pool's threads exist, so it parses here
+/// and applies inside each worker.
+size_t ParseThreadsFlag(int argc, char** argv, int from) {
+  return CountFlag(argc, argv, from, "--threads", "0", 0, 1024);
+}
+
+/// `--threads` with the same validation mvg_cli classify applies. A
+/// non-zero value is routed to the persistent executor pool size, so it
+/// bounds every parallel layer in the process (extraction, grid cells,
+/// tree fits, serving fan-out).
+size_t ThreadsFlag(int argc, char** argv, int from) {
+  const size_t parsed = ParseThreadsFlag(argc, argv, from);
+  if (parsed > 0) Executor::SetGlobalConcurrency(parsed);
+  return parsed;
 }
 
 MvgModel ParseModel(const std::string& name) {
@@ -142,6 +174,30 @@ const char* ModelName(MvgModel m) {
   return "?";
 }
 
+/// `--eval FILE`: classify a UCR file with the just-trained model and
+/// report the error rate; shared by the local and distributed train
+/// paths.
+int EvalTrained(const MvgClassifier& clf, int argc, char** argv) {
+  const std::string eval = FlagValue(argc, argv, 3, "--eval", "");
+  if (eval.empty()) return 0;
+  const Dataset ds = ReadUcrFile(eval);
+  const std::vector<int> pred = clf.PredictAll(ds);
+  const std::string out_preds = FlagValue(argc, argv, 3, "--out-preds", "");
+  if (!out_preds.empty()) {
+    std::ofstream os(out_preds);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_preds.c_str());
+      return 1;
+    }
+    for (int label : pred) os << label << '\n';
+  } else {
+    for (int label : pred) std::printf("%d\n", label);
+  }
+  std::fprintf(stderr, "eval: error vs file labels %.4f on %zu series\n",
+               ErrorRate(ds.labels(), pred), ds.size());
+  return 0;
+}
+
 int CmdTrain(int argc, char** argv) {
   const std::string train_path = argv[2];
   const std::string out = FlagValue(argc, argv, 3, "--out", "");
@@ -152,54 +208,65 @@ int CmdTrain(int argc, char** argv) {
   MvgClassifier::Config config;
   config.model = ParseModel(FlagValue(argc, argv, 3, "--model", "xgb"));
   config.grid = ParseGrid(FlagValue(argc, argv, 3, "--grid", "small"));
-  config.num_threads = ThreadsFlag(argc, argv, 3);  // 0 = hardware
 
-  MvgClassifier clf(config);
-  size_t trained_on = 0;
-  if (HasFlag(argc, argv, 3, "--paged")) {
-    const std::string raw = FlagValue(argc, argv, 3, "--page-rows", "256");
-    char* end = nullptr;
-    const long page_rows = std::strtol(raw.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || page_rows < 1) {
-      std::fprintf(stderr, "--page-rows expects a positive integer\n");
-      return 2;
+  const bool paged = HasFlag(argc, argv, 3, "--paged");
+  const size_t page_rows =
+      CountFlag(argc, argv, 3, "--page-rows", "256", 1, 1L << 30);
+  const size_t workers = CountFlag(argc, argv, 3, "--workers", "0", 0, 64);
+
+  const auto fit_with = [&](MvgClassifier* clf) -> size_t {
+    if (paged) {
+      PagedUcrReader::Options popt;
+      popt.page_rows = page_rows;
+      PagedUcrReader reader(train_path, popt);
+      clf->FitPaged(&reader);
+      return reader.rows_read();
     }
-    PagedUcrReader::Options popt;
-    popt.page_rows = static_cast<size_t>(page_rows);
-    PagedUcrReader reader(train_path, popt);
-    clf.FitPaged(&reader);
-    trained_on = reader.rows_read();
-  } else {
     const Dataset train = ReadUcrFile(train_path);
-    clf.Fit(train);
-    trained_on = train.size();
+    clf->Fit(train);
+    return train.size();
+  };
+
+  if (workers > 0) {
+    // Distributed train: parse --threads purely here — the coordinator
+    // must fork before the executor pool's threads exist, so each worker
+    // applies the pool size itself after the fork.
+    const size_t threads = ParseThreadsFlag(argc, argv, 3);
+    const std::string bytes = RunDistributedTraining(
+        workers, [&](HistogramReducer* red) -> std::string {
+          if (threads > 0) Executor::SetGlobalConcurrency(threads);
+          MvgClassifier::Config wconfig = config;
+          wconfig.num_threads = threads;
+          wconfig.reducer = red;
+          MvgClassifier wclf(wconfig);
+          fit_with(&wclf);
+          std::ostringstream os;
+          SaveModel(wclf, os);
+          return os.str();
+        });
+    std::ofstream os(out, std::ios::binary);
+    if (!os.write(bytes.data(), static_cast<std::streamsize>(bytes.size())) ||
+        !os.flush()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::istringstream is(bytes);
+    const MvgClassifier clf = LoadModel(is);
+    std::printf("trained %s across %zu workers -> %s (%zu bytes,"
+                " verified bit-identical across ranks)\n",
+                clf.Name().c_str(), workers, out.c_str(), bytes.size());
+    return EvalTrained(clf, argc, argv);
   }
+
+  config.num_threads = ThreadsFlag(argc, argv, 3);  // 0 = hardware
+  MvgClassifier clf(config);
+  const size_t trained_on = fit_with(&clf);
   SaveModel(clf, out);
   std::printf("trained %s on %zu series (FE %.2fs, Clf %.2fs) -> %s\n",
               clf.Name().c_str(), trained_on,
               clf.feature_extraction_seconds(), clf.training_seconds(),
               out.c_str());
-
-  const std::string eval = FlagValue(argc, argv, 3, "--eval", "");
-  if (!eval.empty()) {
-    const Dataset ds = ReadUcrFile(eval);
-    const std::vector<int> pred = clf.PredictAll(ds);
-    const std::string out_preds = FlagValue(argc, argv, 3, "--out-preds", "");
-    if (!out_preds.empty()) {
-      std::ofstream os(out_preds);
-      if (!os) {
-        std::fprintf(stderr, "cannot open %s for writing\n",
-                     out_preds.c_str());
-        return 1;
-      }
-      for (int label : pred) os << label << '\n';
-    } else {
-      for (int label : pred) std::printf("%d\n", label);
-    }
-    std::fprintf(stderr, "eval: error vs file labels %.4f on %zu series\n",
-                 ErrorRate(ds.labels(), pred), ds.size());
-  }
-  return 0;
+  return EvalTrained(clf, argc, argv);
 }
 
 int CmdInfo(const std::string& path) {
@@ -370,6 +437,68 @@ int CmdServe(int argc, char** argv) {
   return CmdServeBatch(session, input, threads, out_preds);
 }
 
+int CmdRoute(int argc, char** argv) {
+  const std::string model_path = FlagValue(argc, argv, 2, "--model", "");
+  const std::string input = FlagValue(argc, argv, 2, "--input", "");
+  if (model_path.empty() || input.empty()) {
+    std::fprintf(stderr, "route: --model MODEL and --input FILE are"
+                         " required\n");
+    return 2;
+  }
+  ShardRouter::Options opt;
+  opt.model_path = model_path;
+  opt.num_shards = CountFlag(argc, argv, 2, "--shards", "1", 1, 64);
+  opt.mmap = HasFlag(argc, argv, 2, "--mmap");
+  opt.max_inflight =
+      CountFlag(argc, argv, 2, "--max-inflight", "16", 1, 4096);
+  // --drain K: drain shard K halfway through the stream, exercising the
+  // graceful-removal path (in-flight preserved, traffic rehashed).
+  const bool drain_requested = HasFlag(argc, argv, 2, "--drain");
+  const size_t drain_shard =
+      CountFlag(argc, argv, 2, "--drain", "0", 0, 63);
+
+  const Dataset ds = ReadUcrFile(input);
+  ShardRouter router = ShardRouter::SpawnLocal(opt);
+
+  WallTimer timer;
+  std::vector<uint64_t> ids;
+  ids.reserve(ds.size());
+  const size_t half = drain_requested ? ds.size() / 2 : ds.size();
+  for (size_t i = 0; i < half; ++i) ids.push_back(router.Submit(ds.series(i)));
+  if (drain_requested) {
+    router.Drain(drain_shard);
+    std::fprintf(stderr, "drained shard %zu after %zu submissions (%zu"
+                         " shards remain)\n",
+                 drain_shard, half, router.num_active());
+    for (size_t i = half; i < ds.size(); ++i) {
+      ids.push_back(router.Submit(ds.series(i)));
+    }
+  }
+  std::vector<int> pred;
+  pred.reserve(ids.size());
+  for (uint64_t id : ids) pred.push_back(router.Collect(id));
+  const double seconds = timer.Seconds();
+
+  const int rc = EmitPreds(pred, FlagValue(argc, argv, 2, "--out-preds", ""));
+  if (rc != 0) return rc;
+  std::fprintf(stderr,
+               "routed %zu series over %zu shards in %.3fs (%.0f series/s),"
+               " error vs file labels %.4f\n",
+               ds.size(), router.num_shards(), seconds,
+               seconds > 0 ? static_cast<double>(ds.size()) / seconds : 0.0,
+               ErrorRate(ds.labels(), pred));
+  const std::vector<ShardRouter::ShardStats> stats = router.Stats();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const bool healthy = stats[i].active && router.Ping(i);
+    std::fprintf(stderr, "shard %zu: %s pid=%ld served=%llu\n", i,
+                 stats[i].active ? (healthy ? "healthy" : "UNRESPONSIVE")
+                                 : "drained",
+                 static_cast<long>(stats[i].pid),
+                 static_cast<unsigned long long>(stats[i].served));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,6 +508,7 @@ int main(int argc, char** argv) {
     if (cmd == "train" && argc >= 3) return CmdTrain(argc, argv);
     if (cmd == "info" && argc == 3) return CmdInfo(argv[2]);
     if (cmd == "serve") return CmdServe(argc, argv);
+    if (cmd == "route") return CmdRoute(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -21,6 +21,10 @@ namespace {
 struct EngineOptions {
   SplitMode split = SplitMode::kHistogram;
   size_t num_threads = 1;
+  /// Distributed histogram-merge seam, forwarded into every tree-family
+  /// candidate (SVM candidates replicate the fit deterministically
+  /// instead — their solver has no histogram to merge).
+  HistogramReducer* reducer = nullptr;
 };
 
 /// XGBoost grids. The paper's grid (§4.2): learning rate in {0.01, 0.1,
@@ -40,6 +44,7 @@ std::vector<ClassifierFactory> XgbGrid(GridPreset preset, uint64_t seed,
     p.seed = seed;
     p.split = engine.split;
     p.num_threads = engine.num_threads;
+    p.reducer = engine.reducer;
     return p;
   };
   switch (preset) {
@@ -78,6 +83,7 @@ std::vector<ClassifierFactory> RfGrid(GridPreset preset, uint64_t seed,
     p.seed = seed;
     p.split = engine.split;
     p.num_threads = engine.num_threads;
+    p.reducer = engine.reducer;
     return p;
   };
   if (preset == GridPreset::kNone) {
@@ -131,7 +137,7 @@ std::vector<ClassifierFactory> MvgClassifier::BuildCandidates(
     size_t num_threads) const {
   const EngineOptions engine{
       config_.exact_splits ? SplitMode::kExact : SplitMode::kHistogram,
-      num_threads};
+      num_threads, config_.reducer};
   switch (config_.model) {
     case MvgModel::kXgboost:
       return XgbGrid(config_.grid, config_.seed, engine);
@@ -149,7 +155,7 @@ std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies(
     size_t num_threads) const {
   const EngineOptions engine{
       config_.exact_splits ? SplitMode::kExact : SplitMode::kHistogram,
-      num_threads};
+      num_threads, config_.reducer};
   return {XgbGrid(config_.grid, config_.seed, engine),
           RfGrid(config_.grid, config_.seed, engine),
           SvmGrid(config_.grid, config_.seed)};
@@ -204,7 +210,11 @@ void MvgClassifier::FitPaged(PagedUcrReader* reader) {
 
 void MvgClassifier::FitOnExtracted(Matrix x, std::vector<int> y,
                                    size_t max_len, double fe_seconds) {
-  const size_t threads = ResolvedThreads();
+  // Distributed training serialises the grid/stacking/tree loops: every
+  // candidate fit issues allreduce rounds, and all ranks must reach them
+  // in the same order. (Feature extraction stays parallel — it is
+  // collective-free, see Fit/FitPaged.)
+  const size_t threads = config_.reducer != nullptr ? 1 : ResolvedThreads();
   train_length_ = max_len;
   feature_width_ = x.empty() ? 0 : x[0].size();
   fe_seconds_ = fe_seconds;
@@ -254,6 +264,14 @@ void MvgClassifier::FitOnExtracted(Matrix x, std::vector<int> y,
     model_->Fit(x_used, y);
   }
   train_seconds_ = train_timer.Seconds();
+  if (config_.reducer != nullptr) {
+    // The recorded wall times are serialized into the model's pipeline
+    // section; zero them so every rank's model bytes — and reruns with
+    // different worker counts — are identical (dist_test and the CI
+    // cross-process smoke byte-compare them).
+    fe_seconds_ = 0.0;
+    train_seconds_ = 0.0;
+  }
 }
 
 int MvgClassifier::Predict(const Series& s) const {

@@ -62,6 +62,14 @@ class MvgClassifier : public SeriesClassifier {
     /// enumeration instead of the default binned histograms (slower;
     /// kept for parity testing and as a reference).
     bool exact_splits = false;
+    /// Distributed histogram-merge seam (runtime-only, never serialized;
+    /// not owned). When set, this process is one rank of a training
+    /// group: tree candidates accumulate histograms over their owned row
+    /// slice and allreduce them before split finding, training loops run
+    /// sequentially so collectives line up across ranks, and the
+    /// recorded wall times are zeroed so every rank writes byte-identical
+    /// model files for any worker count. Incompatible with exact_splits.
+    class HistogramReducer* reducer = nullptr;
   };
 
   MvgClassifier();

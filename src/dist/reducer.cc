@@ -1,0 +1,85 @@
+#include "dist/reducer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace mvg {
+
+// Two-phase barrier with separate accumulate/result buffers and a
+// generation counter. Arrivals of round k sum into `acc`; the last
+// arrival swaps `acc` into `result`, bumps the generation, and wakes the
+// waiters, which copy `result` out under the same lock. This is safe
+// against a fast rank racing ahead into round k+1: that rank can only
+// touch `acc` (the retired buffer), never `result`, until every round-k
+// waiter has copied out and the next last-arrival swaps again.
+struct LocalReducerGroup::Shared {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t world = 0;
+  size_t arrived = 0;
+  uint64_t generation = 0;
+  size_t count = 0;
+  std::vector<int64_t> acc;
+  std::vector<int64_t> result;
+};
+
+class LocalReducerGroup::Member : public HistogramReducer {
+ public:
+  Member(Shared* shared, size_t rank) : shared_(shared), rank_(rank) {}
+
+  size_t rank() const override { return rank_; }
+  size_t world_size() const override { return shared_->world; }
+
+  void AllreduceSum(int64_t* data, size_t count) override {
+    Shared& s = *shared_;
+    std::unique_lock<std::mutex> lock(s.mu);
+    if (s.arrived == 0) {
+      s.count = count;
+      s.acc.assign(data, data + count);
+    } else {
+      if (count != s.count) {
+        throw std::logic_error(
+            "LocalReducerGroup: ranks disagree on allreduce size (" +
+            std::to_string(count) + " vs " + std::to_string(s.count) + ")");
+      }
+      for (size_t i = 0; i < count; ++i) s.acc[i] += data[i];
+    }
+    ++s.arrived;
+    if (s.arrived == s.world) {
+      s.arrived = 0;
+      s.result.swap(s.acc);
+      ++s.generation;
+      std::copy(s.result.begin(), s.result.end(), data);
+      s.cv.notify_all();
+    } else {
+      const uint64_t gen = s.generation;
+      s.cv.wait(lock, [&s, gen] { return s.generation != gen; });
+      std::copy(s.result.begin(), s.result.end(), data);
+    }
+  }
+
+ private:
+  Shared* shared_;
+  size_t rank_;
+};
+
+LocalReducerGroup::LocalReducerGroup(size_t world_size)
+    : world_(world_size), shared_(new Shared) {
+  if (world_size == 0) {
+    throw std::invalid_argument("LocalReducerGroup: world_size must be >= 1");
+  }
+  shared_->world = world_size;
+  members_.reserve(world_size);
+  for (size_t r = 0; r < world_size; ++r) {
+    members_.emplace_back(new Member(shared_.get(), r));
+  }
+}
+
+LocalReducerGroup::~LocalReducerGroup() = default;
+
+HistogramReducer* LocalReducerGroup::reducer(size_t rank) {
+  return members_.at(rank).get();
+}
+
+}  // namespace mvg

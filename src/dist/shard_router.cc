@@ -1,0 +1,343 @@
+#include "dist/shard_router.h"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/serving.h"
+#include "util/binary_io.h"
+#include "util/framing.h"
+
+namespace mvg {
+
+namespace {
+
+std::string EncodeSeries(const Series& s) {
+  BinaryWriter w;
+  w.WriteDoubleVec(s);
+  return w.data();
+}
+
+Series DecodeSeries(const std::string& payload) {
+  BinaryReader r(payload.data(), payload.size());
+  return r.ReadDoubleVec();
+}
+
+std::string EncodeI32(int32_t v) {
+  BinaryWriter w;
+  w.WriteI32(v);
+  return w.data();
+}
+
+std::string EncodeU64(uint64_t v) {
+  BinaryWriter w;
+  w.WriteU64(v);
+  return w.data();
+}
+
+uint64_t DecodeU64(const std::string& payload) {
+  BinaryReader r(payload.data(), payload.size());
+  return r.ReadU64();
+}
+
+// splitmix64 finalizer: spreads sequential request ids uniformly over
+// the shard set.
+uint64_t MixId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void RunShardWorker(int fd, const std::string& model_path, bool use_mmap) {
+  signal(SIGPIPE, SIG_IGN);
+  ServingSession session = use_mmap ? ServingSession::FromFileMapped(model_path)
+                                    : ServingSession::FromFile(model_path);
+  uint64_t served = 0;
+  Frame f;
+  while (ReadFrame(fd, &f)) {
+    switch (f.type) {
+      case kMsgShardRequest: {
+        try {
+          const Series s = DecodeSeries(f.payload);
+          const int label = session.Predict(s);
+          ++served;
+          WriteFrame(fd, kMsgShardResponse, f.seq, EncodeI32(label));
+        } catch (const std::exception& e) {
+          WriteFrame(fd, kMsgError, f.seq, std::string(e.what()));
+          return;
+        }
+        break;
+      }
+      case kMsgPing:
+        WriteFrame(fd, kMsgPong, f.seq, std::string());
+        break;
+      case kMsgStatsReq:
+        WriteFrame(fd, kMsgStatsResp, f.seq, EncodeU64(served));
+        break;
+      case kMsgDrain:
+        // FIFO frame processing guarantees every in-flight request was
+        // answered before this acknowledgement is sent.
+        WriteFrame(fd, kMsgDrained, f.seq, EncodeU64(served));
+        return;
+      default:
+        WriteFrame(fd, kMsgError, f.seq,
+                   "shard: unexpected frame type " + std::to_string(f.type));
+        return;
+    }
+  }
+}
+
+ShardRouter ShardRouter::SpawnLocal(const Options& options) {
+  if (options.num_shards == 0) {
+    throw std::invalid_argument("ShardRouter: num_shards must be >= 1");
+  }
+  if (options.max_inflight == 0) {
+    throw std::invalid_argument("ShardRouter: max_inflight must be >= 1");
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  ShardRouter router;
+  router.options_ = options;
+  router.shards_.resize(options.num_shards);
+  for (size_t i = 0; i < options.num_shards; ++i) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      router.Shutdown();
+      throw std::runtime_error("ShardRouter: socketpair failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      close(sv[0]);
+      close(sv[1]);
+      router.Shutdown();
+      throw std::runtime_error("ShardRouter: fork failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (pid == 0) {
+      // Shard worker: keep only our own endpoint.
+      close(sv[0]);
+      for (const Shard& sh : router.shards_) {
+        if (sh.fd >= 0) close(sh.fd);
+      }
+      try {
+        RunShardWorker(sv[1], options.model_path, options.mmap);
+        _exit(0);
+      } catch (...) {
+        _exit(1);
+      }
+    }
+    close(sv[1]);
+    router.shards_[i].fd = sv[0];
+    router.shards_[i].pid = pid;
+    router.shards_[i].active = true;
+  }
+  return router;
+}
+
+ShardRouter::ShardRouter(ShardRouter&& other) noexcept
+    : options_(std::move(other.options_)), shards_(std::move(other.shards_)),
+      ready_(std::move(other.ready_)), next_id_(other.next_id_) {
+  other.shards_.clear();
+}
+
+ShardRouter::~ShardRouter() { Shutdown(); }
+
+void ShardRouter::Shutdown() {
+  for (Shard& sh : shards_) {
+    if (sh.fd >= 0) {
+      // Closing the socket EOFs the worker's ReadFrame loop; it exits
+      // cleanly and we reap it. In-flight responses are discarded — use
+      // Drain() for a loss-free removal.
+      close(sh.fd);
+      sh.fd = -1;
+    }
+    if (sh.pid > 0) {
+      int status = 0;
+      waitpid(sh.pid, &status, 0);
+      sh.pid = -1;
+    }
+    sh.active = false;
+  }
+}
+
+size_t ShardRouter::num_active() const {
+  size_t n = 0;
+  for (const Shard& sh : shards_) n += sh.active ? 1 : 0;
+  return n;
+}
+
+size_t ShardRouter::RouteOf(uint64_t id) const {
+  std::vector<size_t> active;
+  active.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].active) active.push_back(i);
+  }
+  if (active.empty()) {
+    throw std::runtime_error("ShardRouter: no active shards");
+  }
+  return active[MixId(id) % active.size()];
+}
+
+void ShardRouter::PumpOne(size_t shard) {
+  Shard& sh = shards_[shard];
+  if (sh.inflight.empty()) {
+    throw std::logic_error("ShardRouter: pump with no in-flight requests");
+  }
+  Frame f;
+  bool ok = false;
+  try {
+    ok = ReadFrame(sh.fd, &f);
+  } catch (const std::exception& e) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " transport error: " + e.what());
+  }
+  if (!ok) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " exited unexpectedly");
+  }
+  if (f.type == kMsgError) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " failed: " + f.payload);
+  }
+  if (f.type != kMsgShardResponse || f.seq != sh.inflight.front()) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " response out of order");
+  }
+  sh.inflight.pop_front();
+  BinaryReader r(f.payload.data(), f.payload.size());
+  ready_[f.seq] = r.ReadI32();
+}
+
+void ShardRouter::FlushShard(size_t shard) {
+  while (!shards_[shard].inflight.empty()) PumpOne(shard);
+}
+
+uint64_t ShardRouter::Submit(const Series& s) {
+  const uint64_t id = next_id_++;
+  const size_t shard = RouteOf(id);
+  Shard& sh = shards_[shard];
+  // Bounded pipelining: collect before submitting once the window is
+  // full, so the request stream can never wedge both socket buffers.
+  while (sh.inflight.size() >= options_.max_inflight) PumpOne(shard);
+  WriteFrame(sh.fd, kMsgShardRequest, id, EncodeSeries(s));
+  sh.inflight.push_back(id);
+  return id;
+}
+
+int ShardRouter::Collect(uint64_t id) {
+  auto it = ready_.find(id);
+  while (it == ready_.end()) {
+    // The response can only be pending on the shard whose FIFO holds the
+    // id (drained shards flushed theirs into ready_ already).
+    bool pumped = false;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const auto& q = shards_[i].inflight;
+      if (std::find(q.begin(), q.end(), id) != q.end()) {
+        PumpOne(i);
+        pumped = true;
+        break;
+      }
+    }
+    if (!pumped) {
+      throw std::runtime_error("ShardRouter: unknown request id " +
+                               std::to_string(id));
+    }
+    it = ready_.find(id);
+  }
+  const int label = it->second;
+  ready_.erase(it);
+  return label;
+}
+
+std::vector<int> ShardRouter::PredictBatch(const std::vector<Series>& batch) {
+  std::vector<uint64_t> ids;
+  ids.reserve(batch.size());
+  for (const Series& s : batch) ids.push_back(Submit(s));
+  std::vector<int> out;
+  out.reserve(batch.size());
+  for (uint64_t id : ids) out.push_back(Collect(id));
+  return out;
+}
+
+bool ShardRouter::Ping(size_t shard) {
+  Shard& sh = shards_.at(shard);
+  if (!sh.active) return false;
+  try {
+    FlushShard(shard);
+    const uint64_t seq = next_id_++;
+    WriteFrame(sh.fd, kMsgPing, seq, std::string());
+    Frame f;
+    if (!ReadFrame(sh.fd, &f)) return false;
+    return f.type == kMsgPong && f.seq == seq;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<ShardRouter::ShardStats> ShardRouter::Stats() {
+  std::vector<ShardStats> out(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = shards_[i];
+    out[i].active = sh.active;
+    out[i].pid = sh.pid;
+    if (sh.active) {
+      FlushShard(i);
+      const uint64_t seq = next_id_++;
+      WriteFrame(sh.fd, kMsgStatsReq, seq, std::string());
+      Frame f;
+      if (!ReadFrame(sh.fd, &f) || f.type != kMsgStatsResp || f.seq != seq) {
+        throw std::runtime_error("ShardRouter: shard " + std::to_string(i) +
+                                 " stats probe failed");
+      }
+      sh.served = DecodeU64(f.payload);
+    }
+    out[i].served = sh.served;
+  }
+  return out;
+}
+
+void ShardRouter::Drain(size_t shard) {
+  Shard& sh = shards_.at(shard);
+  if (!sh.active) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " is already drained");
+  }
+  if (num_active() == 1) {
+    throw std::runtime_error(
+        "ShardRouter: cannot drain the last active shard");
+  }
+  // 1. Collect everything still in flight — those responses stay
+  //    available to Collect() after the worker is gone.
+  FlushShard(shard);
+  // 2. Ask the worker to finish and exit; FIFO processing means the ack
+  //    could only follow fully answered traffic.
+  const uint64_t seq = next_id_++;
+  WriteFrame(sh.fd, kMsgDrain, seq, std::string());
+  Frame f;
+  if (!ReadFrame(sh.fd, &f) || f.type != kMsgDrained || f.seq != seq) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " drain handshake failed");
+  }
+  sh.served = DecodeU64(f.payload);
+  // 3. Reap and remove from the routing set; future ids rehash over the
+  //    remaining active shards.
+  close(sh.fd);
+  sh.fd = -1;
+  int status = 0;
+  waitpid(sh.pid, &status, 0);
+  sh.pid = -1;
+  sh.active = false;
+}
+
+}  // namespace mvg

@@ -1,0 +1,117 @@
+#ifndef MVG_DIST_SHARD_ROUTER_H_
+#define MVG_DIST_SHARD_ROUTER_H_
+
+// Sharded serving: hash-partition a prediction request stream across N
+// forked `mvg_serve` worker processes, each wrapping a ServingSession
+// over the same model file, connected by the util/framing.h wire
+// protocol (spec: docs/FORMATS.md; runbook: docs/OPERATIONS.md).
+//
+// The router pipelines up to Options::max_inflight requests per shard
+// (bounded, so neither side's socket buffer can deadlock) and supports
+// per-shard health checks (Ping), aggregate stats, and graceful drain:
+// Drain(shard) collects that shard's in-flight responses, tells the
+// worker to finish and exit, waits for the acknowledgement, and reroutes
+// all future traffic over the remaining shards — no request is dropped.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <sys/types.h>
+#include <unordered_map>
+#include <vector>
+
+#include "ts/dataset.h"
+
+namespace mvg {
+
+class ShardRouter {
+ public:
+  struct Options {
+    std::string model_path;
+    size_t num_shards = 1;
+    /// Load the model zero-copy (ServingSession::FromFileMapped) in each
+    /// shard — N shards then share one physical copy of the model pages.
+    bool mmap = false;
+    /// Max pipelined (submitted, not yet collected) requests per shard.
+    size_t max_inflight = 16;
+  };
+
+  /// Forks `num_shards` local worker processes, each loading the model
+  /// and serving the frame protocol over its socketpair. Fork-safety:
+  /// the children never touch the parent's executor pool (per-request
+  /// prediction is single-threaded by design — parallelism comes from
+  /// shard count), so spawning from a process with live pool threads is
+  /// safe.
+  static ShardRouter SpawnLocal(const Options& options);
+
+  ~ShardRouter();
+  ShardRouter(ShardRouter&& other) noexcept;
+  ShardRouter& operator=(ShardRouter&&) = delete;
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Pipelined submit: routes the series to a shard by request-id hash
+  /// over the currently active shards and returns the request id.
+  /// Blocks only when that shard's in-flight window is full.
+  uint64_t Submit(const Series& s);
+
+  /// Blocks until the response for `id` has arrived (responses arriving
+  /// for other ids meanwhile are buffered).
+  int Collect(uint64_t id);
+
+  /// Submit + Collect.
+  int Predict(const Series& s) { return Collect(Submit(s)); }
+
+  /// Convenience: pipelined predictions for a whole batch, in order.
+  std::vector<int> PredictBatch(const std::vector<Series>& batch);
+
+  /// Health check: true iff the shard is active and answers a ping.
+  bool Ping(size_t shard);
+
+  struct ShardStats {
+    bool active = false;
+    pid_t pid = -1;
+    uint64_t served = 0;  ///< requests answered, as counted by the worker.
+  };
+  /// Per-shard stats (served counts queried live from active workers).
+  std::vector<ShardStats> Stats();
+
+  /// Gracefully drains one shard: flushes its in-flight responses into
+  /// the router's buffer (they remain collectable), instructs the worker
+  /// to exit, reaps it, and removes it from the routing set. Throws if
+  /// the shard is already inactive or if it is the last active shard.
+  void Drain(size_t shard);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_active() const;
+
+ private:
+  struct Shard {
+    int fd = -1;
+    pid_t pid = -1;
+    bool active = false;
+    uint64_t served = 0;              ///< last stats reading.
+    std::deque<uint64_t> inflight;    ///< FIFO of submitted request ids.
+  };
+
+  ShardRouter() = default;
+
+  size_t RouteOf(uint64_t id) const;
+  void PumpOne(size_t shard);   ///< read one response frame from a shard.
+  void FlushShard(size_t shard);
+  void Shutdown();
+
+  Options options_;
+  std::vector<Shard> shards_;
+  std::unordered_map<uint64_t, int> ready_;  ///< collected responses.
+  uint64_t next_id_ = 0;
+};
+
+/// Shard worker main loop (runs in the forked child): serves
+/// kMsgShardRequest/kMsgPing/kMsgStatsReq until EOF or kMsgDrain.
+/// Exposed for tests that run a worker on an in-process socketpair.
+void RunShardWorker(int fd, const std::string& model_path, bool use_mmap);
+
+}  // namespace mvg
+
+#endif  // MVG_DIST_SHARD_ROUTER_H_

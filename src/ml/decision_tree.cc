@@ -6,8 +6,10 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <stdexcept>
 #include <utility>
 
+#include "ml/histogram_reducer.h"
 #include "util/binary_io.h"
 #include "util/random.h"
 
@@ -88,6 +90,16 @@ struct DecisionTreeClassifier::HistBuilder {
   std::vector<double> totals;       ///< per-node class counts (k).
   std::vector<double> left, right;  ///< split-sweep scratch (k each).
 
+  /// Distributed mode (red != nullptr): this rank accumulates class
+  /// counts only for compact rows in [own_begin, own_end), in exact
+  /// int64, and the group sums them before any split decision. Counts
+  /// are integers, so int64 accumulation is lossless and associative —
+  /// the reduced histogram is bit-identical for any worker count.
+  HistogramReducer* red = nullptr;
+  size_t own_begin = 0, own_end = 0;
+  std::vector<int64_t> ibuf;     ///< int64 histogram staging.
+  std::vector<int64_t> itotals;  ///< int64 per-node class counts (k).
+
   HistBuilder(const FeatureTable& ft_in, const std::vector<size_t>& y_in,
               size_t k_in, const Params& params_in, std::vector<Node>* nodes_in,
               std::vector<double>* leaf_proba_in, Rng* rng_in)
@@ -107,11 +119,23 @@ struct DecisionTreeClassifier::HistBuilder {
     totals.resize(k);
     left.resize(k);
     right.resize(k);
+    red = params.reducer;
+    if (red != nullptr) {
+      own_begin = OwnedRowsBegin(ft.num_rows(), red->rank(), red->world_size());
+      own_end = OwnedRowsEnd(ft.num_rows(), red->rank(), red->world_size());
+      ibuf.resize(sampled ? params.max_features * fbuf.size()
+                          : hpool->hist_size());
+      itotals.resize(k);
+    }
   }
 
   /// Accumulates the class histogram of rows[begin, end) into buffer
   /// `buf` (all-zero by the pool invariant), recording the dirty spans.
   void Scan(size_t begin, size_t end, size_t buf) {
+    if (red != nullptr) {
+      ScanReduced(begin, end, buf);
+      return;
+    }
     double* h = hpool->hist(buf);
     uint16_t* plo = hpool->lo(buf);
     uint16_t* phi = hpool->hi(buf);
@@ -128,6 +152,38 @@ struct DecisionTreeClassifier::HistBuilder {
       }
       plo[f] = lo;
       phi[f] = hi;
+    }
+  }
+
+  /// Distributed Scan: accumulate this rank's owned rows in int64, sum
+  /// across the group, descale into the pool buffer. Spans are set to
+  /// the full bin range instead of being allreduced — sweeps skip empty
+  /// bins anyway, and it keeps the reducer interface to a single
+  /// AllreduceSum. The collective makes Scan order-sensitive: every
+  /// rank must reach the same Scan calls in the same order (the engine
+  /// is forced single-threaded in distributed mode for exactly that).
+  void ScanReduced(size_t begin, size_t end, size_t buf) {
+    std::fill(ibuf.begin(), ibuf.end(), int64_t{0});
+    for (size_t f = 0; f < d; ++f) {
+      const uint8_t* col = ft.column(f);
+      int64_t* base = ibuf.data() + hpool->slot_offset(f);
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        if (r < own_begin || r >= own_end) continue;
+        base[static_cast<size_t>(col[r]) * k + y[r]] += 1;
+      }
+    }
+    red->AllreduceSum(ibuf.data(), ibuf.size());
+    double* h = hpool->hist(buf);
+    uint16_t* plo = hpool->lo(buf);
+    uint16_t* phi = hpool->hi(buf);
+    for (size_t f = 0; f < d; ++f) {
+      const int64_t* src = ibuf.data() + hpool->slot_offset(f);
+      double* base = h + hpool->slot_offset(f);
+      const size_t cells = ft.num_bins(f) * k;
+      for (size_t c = 0; c < cells; ++c) base[c] = static_cast<double>(src[c]);
+      plo[f] = 0;
+      phi[f] = static_cast<uint16_t>(ft.num_bins(f) - 1);
     }
   }
 
@@ -187,8 +243,22 @@ struct DecisionTreeClassifier::HistBuilder {
     }
   }
 
-  /// Class totals of rows[begin, end) into the `totals` scratch.
+  /// Class totals of rows[begin, end) into the `totals` scratch. In
+  /// distributed mode the totals are themselves a (small) collective, so
+  /// stopping rules and leaf distributions are global decisions too.
   void ComputeTotals(size_t begin, size_t end) {
+    if (red != nullptr) {
+      std::fill(itotals.begin(), itotals.end(), int64_t{0});
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        if (r >= own_begin && r < own_end) ++itotals[y[r]];
+      }
+      red->AllreduceSum(itotals.data(), k);
+      for (size_t c = 0; c < k; ++c) {
+        totals[c] = static_cast<double>(itotals[c]);
+      }
+      return;
+    }
     std::fill(totals.begin(), totals.end(), 0.0);
     for (size_t i = begin; i < end; ++i) totals[y[rows[i]]] += 1.0;
   }
@@ -228,24 +298,58 @@ struct DecisionTreeClassifier::HistBuilder {
     int best_feature = -1;
     size_t best_bin = 0;
     double best_threshold = 0.0;
-    // fbuf is kept all-zero between features: accumulate, sweep, then
-    // clear just the dirty span.
-    for (size_t f : features) {
-      const size_t nb = ft.num_bins(f);
-      if (nb < 2) continue;
-      const uint8_t* col = ft.column(f);
-      uint16_t lo = 0xffff, hi = 0;
-      for (size_t i = begin; i < end; ++i) {
-        const size_t r = rows[i];
-        const uint16_t b = col[r];
-        lo = std::min(lo, b);
-        hi = std::max(hi, b);
-        fbuf[static_cast<size_t>(b) * k + y[r]] += 1.0;
+    if (red != nullptr) {
+      // Distributed: batch all of this node's sampled features into one
+      // int64 allreduce (feature sampling is seeded identically on every
+      // rank, so the batch lines up), then sweep the reduced histograms.
+      const size_t stride = fbuf.size();
+      const size_t used = features.size() * stride;
+      std::fill(ibuf.begin(), ibuf.begin() + static_cast<std::ptrdiff_t>(used),
+                int64_t{0});
+      for (size_t j = 0; j < features.size(); ++j) {
+        const uint8_t* col = ft.column(features[j]);
+        int64_t* base = ibuf.data() + j * stride;
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = rows[i];
+          if (r < own_begin || r >= own_end) continue;
+          base[static_cast<size_t>(col[r]) * k + y[r]] += 1;
+        }
       }
-      SweepFeature(f, fbuf.data(), n, parent_imp, lo, hi, &best_gain,
-                   &best_feature, &best_bin, &best_threshold);
-      std::fill(fbuf.begin() + static_cast<std::ptrdiff_t>(lo * k),
-                fbuf.begin() + static_cast<std::ptrdiff_t>((hi + 1) * k), 0.0);
+      red->AllreduceSum(ibuf.data(), used);
+      for (size_t j = 0; j < features.size(); ++j) {
+        const size_t f = features[j];
+        const size_t nb = ft.num_bins(f);
+        if (nb < 2) continue;
+        const int64_t* src = ibuf.data() + j * stride;
+        for (size_t c = 0; c < nb * k; ++c) {
+          fbuf[c] = static_cast<double>(src[c]);
+        }
+        SweepFeature(f, fbuf.data(), n, parent_imp, 0, nb - 1, &best_gain,
+                     &best_feature, &best_bin, &best_threshold);
+        std::fill(fbuf.begin(),
+                  fbuf.begin() + static_cast<std::ptrdiff_t>(nb * k), 0.0);
+      }
+    } else {
+      // fbuf is kept all-zero between features: accumulate, sweep, then
+      // clear just the dirty span.
+      for (size_t f : features) {
+        const size_t nb = ft.num_bins(f);
+        if (nb < 2) continue;
+        const uint8_t* col = ft.column(f);
+        uint16_t lo = 0xffff, hi = 0;
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = rows[i];
+          const uint16_t b = col[r];
+          lo = std::min(lo, b);
+          hi = std::max(hi, b);
+          fbuf[static_cast<size_t>(b) * k + y[r]] += 1.0;
+        }
+        SweepFeature(f, fbuf.data(), n, parent_imp, lo, hi, &best_gain,
+                     &best_feature, &best_bin, &best_threshold);
+        std::fill(fbuf.begin() + static_cast<std::ptrdiff_t>(lo * k),
+                  fbuf.begin() + static_cast<std::ptrdiff_t>((hi + 1) * k),
+                  0.0);
+      }
     }
 
     if (best_feature < 0) return MakeLeaf(n);
@@ -353,6 +457,10 @@ void DecisionTreeClassifier::FitView(const Matrix& x,
                                      size_t num_classes) {
   std::vector<size_t> rows(src.size());
   std::iota(rows.begin(), rows.end(), size_t{0});
+  if (params_.reducer != nullptr && params_.split != SplitMode::kHistogram) {
+    throw std::invalid_argument(
+        "DecisionTree: distributed training requires histogram split mode");
+  }
   if (params_.split == SplitMode::kHistogram) {
     FeatureTable ft;
     ft.Build(x, src, params_.max_bins);

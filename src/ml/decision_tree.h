@@ -11,6 +11,8 @@
 
 namespace mvg {
 
+class HistogramReducer;
+
 /// CART classification tree: greedy binary splits on axis-aligned
 /// thresholds minimising Gini impurity (or entropy). Supports per-node
 /// random feature subsampling (`max_features`) so it doubles as the
@@ -38,6 +40,12 @@ class DecisionTreeClassifier : public Classifier {
     SplitMode split = SplitMode::kHistogram;
     /// Histogram resolution (clamped to [2, 256]); ignored in exact mode.
     size_t max_bins = FeatureTable::kMaxBins;
+    /// Distributed histogram-merge seam (runtime-only, never serialized).
+    /// When set, this rank scans only its owned slice of the rows and
+    /// node histograms/totals are allreduced in exact int64 arithmetic
+    /// before split finding, so the tree is bit-identical for any worker
+    /// count. Requires kHistogram split mode. Not owned.
+    HistogramReducer* reducer = nullptr;
   };
 
   DecisionTreeClassifier() = default;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstring>
 #include <numeric>
+#include <stdexcept>
 
+#include "ml/histogram_reducer.h"
 #include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -56,17 +58,45 @@ struct GradientBoostingClassifier::HistBuilder {
   /// bin (grad, hess).
   NodeHistogramPool hpool;
 
+  /// Distributed mode (red != nullptr): per-row gradients/hessians are
+  /// quantized ONCE to int64 fixed point (scale kGradHessScale), all
+  /// accumulation happens in int64 — exact and associative, so global
+  /// sums are independent of the worker count and reduction order — and
+  /// the reduced sums are descaled to double exactly once. Each rank
+  /// accumulates only compact rows in [own_begin, own_end).
+  HistogramReducer* red = nullptr;
+  size_t own_begin = 0, own_end = 0;
+  std::vector<int64_t> gq, hq;  ///< quantized per-row grad/hess.
+  std::vector<int64_t> ibuf;    ///< int64 histogram staging.
+
   HistBuilder(const FeatureTable& ft_in, const std::vector<double>& grad_in,
               const std::vector<double>& hess_in, const Params& params_in,
               const std::vector<size_t>& cols_in, Tree* tree_in,
               std::vector<double>* gains_in)
       : ft(ft_in), grad(grad_in), hess(hess_in), params(params_in),
         cols(cols_in), tree(tree_in), gains(gains_in),
-        hpool(ft_in, cols_in, 2) {}
+        hpool(ft_in, cols_in, 2) {
+    red = params.reducer;
+    if (red != nullptr) {
+      own_begin = OwnedRowsBegin(ft.num_rows(), red->rank(), red->world_size());
+      own_end = OwnedRowsEnd(ft.num_rows(), red->rank(), red->world_size());
+      gq.resize(grad.size());
+      hq.resize(hess.size());
+      for (size_t r = 0; r < grad.size(); ++r) {
+        gq[r] = QuantizeGradHess(grad[r]);
+        hq[r] = QuantizeGradHess(hess[r]);
+      }
+      ibuf.resize(hpool.hist_size());
+    }
+  }
 
   /// Accumulates (grad, hess) sums of rows[begin, end) into buffer `buf`
   /// (all-zero by the pool invariant), recording the dirty spans.
   void Scan(size_t begin, size_t end, size_t buf) {
+    if (red != nullptr) {
+      ScanReduced(begin, end, buf);
+      return;
+    }
     double* h = hpool.hist(buf);
     uint16_t* plo = hpool.lo(buf);
     uint16_t* phi = hpool.hi(buf);
@@ -88,6 +118,39 @@ struct GradientBoostingClassifier::HistBuilder {
     }
   }
 
+  /// Distributed Scan: accumulate owned rows in int64, allreduce, descale
+  /// into the pool buffer with full-range dirty spans (empty bins sweep
+  /// as zero; this keeps the reducer interface to one AllreduceSum). The
+  /// collective makes Scan order-sensitive: every rank must issue the
+  /// same Scans in the same order, which is why distributed fits run the
+  /// tree loop single-threaded.
+  void ScanReduced(size_t begin, size_t end, size_t buf) {
+    std::fill(ibuf.begin(), ibuf.end(), int64_t{0});
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const uint8_t* col = ft.column(cols[j]);
+      int64_t* base = ibuf.data() + hpool.slot_offset(j);
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        if (r < own_begin || r >= own_end) continue;
+        int64_t* cell = base + static_cast<size_t>(col[r]) * 2;
+        cell[0] += gq[r];
+        cell[1] += hq[r];
+      }
+    }
+    red->AllreduceSum(ibuf.data(), ibuf.size());
+    double* h = hpool.hist(buf);
+    uint16_t* plo = hpool.lo(buf);
+    uint16_t* phi = hpool.hi(buf);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      const int64_t* src = ibuf.data() + hpool.slot_offset(j);
+      double* base = h + hpool.slot_offset(j);
+      const size_t cells = ft.num_bins(cols[j]) * 2;
+      for (size_t c = 0; c < cells; ++c) base[c] = DequantizeGradHess(src[c]);
+      plo[j] = 0;
+      phi[j] = static_cast<uint16_t>(ft.num_bins(cols[j]) - 1);
+    }
+  }
+
   /// Sentinel for "no histogram yet": Build computes one lazily, and only
   /// after the cheap leaf checks — children that terminate never pay for a
   /// histogram at all.
@@ -103,9 +166,24 @@ struct GradientBoostingClassifier::HistBuilder {
     const size_t n = end - begin;
 
     double g_sum = 0.0, h_sum = 0.0;
-    for (size_t i = begin; i < end; ++i) {
-      g_sum += grad[rows[i]];
-      h_sum += hess[rows[i]];
+    if (red != nullptr) {
+      // Node totals are a (small) collective too, so leaf weights and
+      // stopping decisions are global and identical on every rank.
+      int64_t acc[2] = {0, 0};
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = rows[i];
+        if (r < own_begin || r >= own_end) continue;
+        acc[0] += gq[r];
+        acc[1] += hq[r];
+      }
+      red->AllreduceSum(acc, 2);
+      g_sum = DequantizeGradHess(acc[0]);
+      h_sum = DequantizeGradHess(acc[1]);
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        g_sum += grad[rows[i]];
+        h_sum += hess[rows[i]];
+      }
     }
 
     auto make_leaf = [&]() {
@@ -229,6 +307,17 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
   const size_t num_outputs = binary ? 1 : k;
   trees_per_round_ = num_outputs;
   const bool hist = params_.split == SplitMode::kHistogram;
+  if (params_.reducer != nullptr && !hist) {
+    throw std::invalid_argument(
+        "GradientBoosting: distributed training requires histogram split "
+        "mode");
+  }
+  // Distributed fits run the per-output tree loop sequentially: every
+  // tree issues allreduce rounds, and all ranks must reach them in the
+  // same order. The per-sample loss/logit loops stay parallel — they
+  // are collective-free.
+  const size_t tree_threads =
+      params_.reducer != nullptr ? 1 : params_.num_threads;
 
   // Base score: log-odds (binary) / log-prior (softmax).
   base_score_.assign(num_outputs, 0.0);
@@ -302,7 +391,7 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
     // One tree per output, fitted concurrently; gains are accumulated
     // per output and merged in output order below.
     std::vector<Tree> round_trees(num_outputs);
-    ParallelFor(num_outputs, params_.num_threads, [&](size_t out) {
+    ParallelFor(num_outputs, tree_threads, [&](size_t out) {
       std::vector<double>& grad = grads[out];
       std::vector<double>& hess = hesses[out];
       for (size_t i = 0; i < n; ++i) {

@@ -12,6 +12,8 @@
 
 namespace mvg {
 
+class HistogramReducer;
+
 /// Second-order gradient-boosted trees in the style of XGBoost (paper
 /// ref. [8]) — the paper's primary classifier.
 ///
@@ -49,6 +51,14 @@ class GradientBoostingClassifier : public Classifier {
     /// loops); results are identical for every value. Runtime knob only —
     /// not serialized.
     size_t num_threads = 1;
+    /// Distributed histogram-merge seam (runtime-only, never serialized).
+    /// When set, gradients/hessians are quantized per row to int64 fixed
+    /// point, each rank accumulates its owned row slice, and histograms
+    /// and node totals are allreduced before split finding — the fitted
+    /// model is bit-identical for any worker count. Requires kHistogram
+    /// split mode; forces the per-class tree loop sequential so the
+    /// collectives issue in the same order on every rank. Not owned.
+    HistogramReducer* reducer = nullptr;
   };
 
   GradientBoostingClassifier() = default;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
+#include "ml/histogram_reducer.h"
 #include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -59,8 +61,17 @@ void RandomForestClassifier::FitView(const Matrix& x,
     ft.Build(x, src, params_.max_bins);
   }
 
+  if (params_.reducer != nullptr && params_.split != SplitMode::kHistogram) {
+    throw std::invalid_argument(
+        "RandomForest: distributed training requires histogram split mode");
+  }
+
+  // Distributed fits run the tree loop sequentially: every tree issues
+  // allreduce rounds, and all ranks must reach them in the same order.
+  const size_t tree_threads =
+      params_.reducer != nullptr ? 1 : params_.num_threads;
   trees_.assign(params_.num_trees, DecisionTreeClassifier());
-  ParallelFor(params_.num_trees, params_.num_threads, [&](size_t t) {
+  ParallelFor(params_.num_trees, tree_threads, [&](size_t t) {
     DecisionTreeClassifier::Params tp;
     tp.max_depth = params_.max_depth;
     tp.min_samples_leaf = params_.min_samples_leaf;
@@ -68,6 +79,7 @@ void RandomForestClassifier::FitView(const Matrix& x,
     tp.seed = tree_seeds[t];
     tp.split = params_.split;
     tp.max_bins = params_.max_bins;
+    tp.reducer = params_.reducer;
     trees_[t] = DecisionTreeClassifier(tp);
     if (params_.split == SplitMode::kHistogram) {
       trees_[t].FitBinned(ft, y_compact, num_classes, tree_rows[t]);

@@ -36,6 +36,12 @@ class RandomForestClassifier : public Classifier {
     /// Worker threads for tree fitting; results are identical for every
     /// value. Runtime knob only — not serialized.
     size_t num_threads = 1;
+    /// Distributed histogram-merge seam (runtime-only, never serialized),
+    /// forwarded to every tree. Forces the tree loop sequential so the
+    /// allreduce rounds issue in the same order on every rank; the forest
+    /// is bit-identical for any worker count. Requires kHistogram split
+    /// mode. Not owned.
+    HistogramReducer* reducer = nullptr;
   };
 
   RandomForestClassifier() = default;

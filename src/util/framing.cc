@@ -1,0 +1,131 @@
+#include "util/framing.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace mvg {
+namespace {
+
+// Full-buffer write: loops over short writes and EINTR. A failed write
+// (most commonly EPIPE once the peer process died) is a transport error,
+// not a format error, so it throws runtime_error rather than
+// SerializationError.
+void WriteAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("framing: write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    p += static_cast<size_t>(n);
+    left -= static_cast<size_t>(n);
+  }
+}
+
+// Full-buffer read. Returns the number of bytes actually read, which is
+// `size` unless EOF interrupts: 0 for EOF-before-first-byte, a short
+// count for a torn tail.
+size_t ReadUpTo(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("framing: read failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    if (n == 0) break;  // EOF
+    got += static_cast<size_t>(n);
+  }
+  return got;
+}
+
+// binary_io has no 16-bit accessors; the two u16 header fields are
+// encoded as explicit little-endian byte pairs.
+void WriteU16le(BinaryWriter* w, uint16_t v) {
+  w->WriteU8(static_cast<uint8_t>(v & 0xFF));
+  w->WriteU8(static_cast<uint8_t>(v >> 8));
+}
+
+uint16_t ReadU16le(BinaryReader* r) {
+  const uint16_t lo = r->ReadU8();
+  const uint16_t hi = r->ReadU8();
+  return static_cast<uint16_t>(lo | (hi << 8));
+}
+
+}  // namespace
+
+std::string EncodeFrameHeader(uint16_t type, uint64_t seq,
+                              const void* payload, size_t size) {
+  BinaryWriter w;
+  w.WriteU32(kFrameMagic);
+  WriteU16le(&w, kWireVersion);
+  WriteU16le(&w, type);
+  w.WriteU64(seq);
+  w.WriteU32(static_cast<uint32_t>(size));
+  w.WriteU32(size == 0 ? 0 : Crc32(payload, size));
+  return w.data();
+}
+
+void WriteFrame(int fd, uint16_t type, uint64_t seq, const void* payload,
+                size_t size) {
+  if (size > kMaxFramePayload) {
+    throw SerializationError("framing: payload exceeds kMaxFramePayload");
+  }
+  const std::string header = EncodeFrameHeader(type, seq, payload, size);
+  WriteAll(fd, header.data(), header.size());
+  if (size > 0) WriteAll(fd, payload, size);
+}
+
+bool ReadFrame(int fd, Frame* out) {
+  uint8_t header[kFrameHeaderBytes];
+  const size_t got = ReadUpTo(fd, header, sizeof(header));
+  if (got == 0) return false;  // clean EOF at a frame boundary
+  if (got < sizeof(header)) {
+    throw SerializationError("framing: truncated frame header");
+  }
+
+  BinaryReader r(header, sizeof(header));
+  const uint32_t magic = r.ReadU32();
+  if (magic != kFrameMagic) {
+    throw SerializationError("framing: bad frame magic");
+  }
+  const uint16_t version = ReadU16le(&r);
+  if (version != kWireVersion) {
+    throw SerializationError("framing: wire version mismatch (got " +
+                             std::to_string(version) + ", want " +
+                             std::to_string(kWireVersion) + ")");
+  }
+  out->type = ReadU16le(&r);
+  out->seq = r.ReadU64();
+  const uint32_t payload_size = r.ReadU32();
+  const uint32_t expect_crc = r.ReadU32();
+  if (payload_size > kMaxFramePayload) {
+    throw SerializationError("framing: oversized frame payload");
+  }
+
+  out->payload.resize(payload_size);
+  if (payload_size > 0) {
+    const size_t body = ReadUpTo(fd, &out->payload[0], payload_size);
+    if (body < payload_size) {
+      throw SerializationError("framing: truncated frame payload");
+    }
+    if (Crc32(out->payload.data(), payload_size) != expect_crc) {
+      throw SerializationError("framing: frame payload CRC mismatch");
+    }
+  } else if (expect_crc != 0) {
+    throw SerializationError("framing: nonzero CRC on empty payload");
+  }
+  return true;
+}
+
+}  // namespace mvg

@@ -1,0 +1,88 @@
+#ifndef MVG_UTIL_FRAMING_H_
+#define MVG_UTIL_FRAMING_H_
+
+// Length-prefixed, CRC-checked message framing over a byte-stream file
+// descriptor (socketpair or pipe). This is the single transport used by
+// both distributed-training collectives (dist/coordinator) and the shard
+// serving router (dist/shard_router); the frame layout is specified
+// normatively in docs/FORMATS.md.
+//
+// Frame = 24-byte little-endian header followed by `payload_size` bytes:
+//
+//   offset  size  field
+//   0       4     magic 0x4647564D ("MVGF")
+//   4       2     wire version (kWireVersion)
+//   6       2     message type (WireMsg)
+//   8       8     sequence number (sender-defined; echoed in replies)
+//   16      4     payload size in bytes (<= kMaxFramePayload)
+//   20      4     CRC-32 of the payload bytes
+//
+// ReadFrame returns false on a clean EOF at a frame boundary (peer closed
+// the stream between messages) and throws SerializationError on anything
+// torn: truncated header or payload, bad magic, wire-version mismatch,
+// oversized payload, or CRC mismatch.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mvg {
+
+inline constexpr uint32_t kFrameMagic = 0x4647564Du;  // "MVGF" little-endian
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+inline constexpr uint32_t kMaxFramePayload = 1u << 28;  // 256 MiB
+
+/// Message types carried in the frame header. Values < 16 belong to the
+/// training collective protocol, values >= 16 to the shard serving
+/// protocol; both ride the same frame layout and version.
+enum WireMsg : uint16_t {
+  // Training collectives (worker <-> coordinator).
+  kMsgAllreduceI64 = 1,    // worker -> coordinator: int64[] partial sums
+  kMsgAllreduceResult = 2,  // coordinator -> worker: int64[] global sums
+  kMsgModelBytes = 3,       // worker -> coordinator: serialized .mvg bytes
+  kMsgError = 4,            // either direction: UTF-8 error message
+
+  // Shard serving (router <-> shard worker).
+  kMsgShardRequest = 16,   // router -> shard: one series (u64 count + f64[])
+  kMsgShardResponse = 17,  // shard -> router: predicted label (i32)
+  kMsgPing = 18,           // router -> shard: health probe, empty payload
+  kMsgPong = 19,           // shard -> router: health ack, empty payload
+  kMsgStatsReq = 20,       // router -> shard: stats probe, empty payload
+  kMsgStatsResp = 21,      // shard -> router: u64 requests served
+  kMsgDrain = 22,          // router -> shard: finish in-flight work and exit
+  kMsgDrained = 23,        // shard -> router: drain ack, u64 requests served
+};
+
+struct Frame {
+  uint16_t type = 0;
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Writes one complete frame (header + payload) to `fd`, looping over
+/// short writes and EINTR. Throws SerializationError when the payload
+/// exceeds kMaxFramePayload and std::runtime_error on write failure
+/// (e.g. EPIPE after the peer died).
+void WriteFrame(int fd, uint16_t type, uint64_t seq, const void* payload,
+                size_t size);
+
+inline void WriteFrame(int fd, uint16_t type, uint64_t seq,
+                       const std::string& payload) {
+  WriteFrame(fd, type, seq, payload.data(), payload.size());
+}
+
+/// Reads one complete frame from `fd`. Returns true with `*out` filled on
+/// success, false on a clean EOF before any header byte. Throws
+/// SerializationError on a torn or invalid frame (see file comment).
+bool ReadFrame(int fd, Frame* out);
+
+/// Encodes just the 24-byte header for a payload of the given bytes.
+/// Exposed so tests can hand-craft corrupt frames (bad magic, wrong
+/// version, mismatched CRC) without duplicating the layout.
+std::string EncodeFrameHeader(uint16_t type, uint64_t seq,
+                              const void* payload, size_t size);
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_FRAMING_H_

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Fail on dead intra-repo links in the repository's Markdown files.
+
+Scans every tracked *.md file for inline links/images ([text](target))
+and reference definitions ([ref]: target), resolves relative targets
+against the linking file's directory, and reports targets that do not
+exist. External links (http/https/mailto), pure in-page anchors
+(#section) and bare URLs are skipped; an anchor suffix on a relative
+link (FILE.md#section) is checked for file existence only.
+
+Usage: python3 tools/check_docs_links.py [repo_root]
+Exit status: 0 = all links resolve, 1 = dead links found.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+# [text](target "title") and ![alt](target) — target ends at the first
+# unescaped ')' or whitespace-before-title; no nested parens in our docs.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)\s>]+)>?[^)]*\)")
+# [ref]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+FENCE = re.compile(r"^(```|~~~)", re.MULTILINE)
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "--cached", "--others", "--exclude-standard",
+         "*.md", "**/*.md"],
+        cwd=root, capture_output=True, text=True, check=True)
+    return sorted(set(line for line in out.stdout.splitlines() if line))
+
+
+def strip_code_blocks(text):
+    """Blank out fenced code blocks so example links aren't checked."""
+    lines = text.split("\n")
+    fenced = False
+    for i, line in enumerate(lines):
+        if FENCE.match(line):
+            fenced = not fenced
+            lines[i] = ""
+        elif fenced:
+            lines[i] = ""
+    return "\n".join(lines)
+
+
+def link_targets(text):
+    text = strip_code_blocks(text)
+    for pattern in (INLINE_LINK, REF_DEF):
+        for match in pattern.finditer(text):
+            yield match.group(1)
+
+
+def is_external(target):
+    return target.startswith(("http://", "https://", "mailto:", "ftp://"))
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    files = tracked_markdown(root)
+    checked = 0
+    for md in files:
+        md_path = os.path.join(root, md)
+        try:
+            with open(md_path, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            dead.append((md, "<file>", str(e)))
+            continue
+        base = os.path.dirname(md_path)
+        for target in link_targets(text):
+            if is_external(target) or target.startswith("#"):
+                continue
+            checked += 1
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (os.path.join(root, path.lstrip("/"))
+                        if path.startswith("/")
+                        else os.path.join(base, path))
+            if not os.path.exists(resolved):
+                dead.append((md, target, "target not found"))
+    if dead:
+        for md, target, why in dead:
+            print(f"DEAD LINK {md}: ({target}) — {why}", file=sys.stderr)
+        print(f"{len(dead)} dead link(s) across {len(files)} markdown "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"docs link check: {checked} intra-repo link(s) across "
+          f"{len(files)} markdown file(s) all resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
