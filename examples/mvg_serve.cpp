@@ -56,6 +56,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -65,6 +66,8 @@
 #include "dist/shard_router.h"
 #include "ml/histogram_reducer.h"
 #include "ml/metrics.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "serve/async_serving.h"
 #include "serve/model_io.h"
 #include "serve/serving.h"
@@ -84,13 +87,16 @@ int Usage(const char* argv0) {
       "usage:\n"
       "  %s train <train-ucr-file> --out MODEL [--model xgb|rf|svm|stack]"
       " [--grid none|small|paper] [--threads N] [--workers N]"
-      " [--paged [--page-rows N]] [--eval FILE [--out-preds FILE]]\n"
+      " [--paged [--page-rows N]] [--eval FILE [--out-preds FILE]]"
+      " [--metrics-out FILE]\n"
       "  %s info <MODEL>\n"
       "  %s serve --model MODEL --input <ucr-file> [--mmap] [--threads N]"
-      " [--out-preds FILE] [--async [--batch-max B] [--batch-timeout-ms T]]\n"
+      " [--out-preds FILE] [--async [--batch-max B] [--batch-timeout-ms T]]"
+      " [--metrics-out FILE [--metrics-interval-s S]]\n"
       "  %s serve --model MODEL --stream [--mmap] [--window N] [--hop N]\n"
       "  %s route --model MODEL --input <ucr-file> --shards N [--mmap]"
-      " [--max-inflight W] [--drain K] [--out-preds FILE]\n",
+      " [--max-inflight W] [--drain K] [--out-preds FILE]"
+      " [--metrics-out FILE]\n",
       argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
@@ -174,6 +180,17 @@ const char* ModelName(MvgModel m) {
   return "?";
 }
 
+/// `--metrics-out FILE`: writes the process-wide registry (.json =>
+/// JSON, else Prometheus text). Every subcommand calls this on its way
+/// out; route aggregates the worker ranks' registries in first, serve
+/// additionally runs a periodic MetricsDumper while traffic flows.
+void DumpMetrics(int argc, char** argv, int from) {
+  const std::string path = FlagValue(argc, argv, from, "--metrics-out", "");
+  if (path.empty()) return;
+  obs::WriteRegistryDump(obs::MetricsRegistry::Global(), path);
+  std::fprintf(stderr, "metrics: wrote %s\n", path.c_str());
+}
+
 /// `--eval FILE`: classify a UCR file with the just-trained model and
 /// report the error rate; shared by the local and distributed train
 /// paths.
@@ -255,7 +272,11 @@ int CmdTrain(int argc, char** argv) {
     std::printf("trained %s across %zu workers -> %s (%zu bytes,"
                 " verified bit-identical across ranks)\n",
                 clf.Name().c_str(), workers, out.c_str(), bytes.size());
-    return EvalTrained(clf, argc, argv);
+    // The coordinator has already merged every worker rank's registry
+    // into this process's global one, so the dump covers the fleet.
+    const int rc = EvalTrained(clf, argc, argv);
+    DumpMetrics(argc, argv, 3);
+    return rc;
   }
 
   config.num_threads = ThreadsFlag(argc, argv, 3);  // 0 = hardware
@@ -266,7 +287,9 @@ int CmdTrain(int argc, char** argv) {
               clf.Name().c_str(), trained_on,
               clf.feature_extraction_seconds(), clf.training_seconds(),
               out.c_str());
-  return EvalTrained(clf, argc, argv);
+  const int rc = EvalTrained(clf, argc, argv);
+  DumpMetrics(argc, argv, 3);
+  return rc;
 }
 
 int CmdInfo(const std::string& path) {
@@ -315,6 +338,9 @@ int CmdServeAsync(const std::string& model_path, bool mmap,
   opt.batch_max = batch_max;
   opt.batch_timeout_ms = batch_timeout_ms;
   opt.num_threads = threads;
+  // Fold the session's stats instruments into the process-wide registry
+  // so a --metrics-out dump covers them alongside the pipeline spans.
+  opt.registry = &obs::MetricsRegistry::Global();
   AsyncServingSession session =
       mmap ? AsyncServingSession::FromFileMapped(model_path, opt)
            : AsyncServingSession::FromFile(model_path, opt);
@@ -396,6 +422,24 @@ int CmdServe(int argc, char** argv) {
   const size_t threads_flag = ThreadsFlag(argc, argv, 2);
   const size_t threads = threads_flag == 0 ? DefaultThreads() : threads_flag;
   const bool mmap = HasFlag(argc, argv, 2, "--mmap");
+  // --metrics-out: periodic dumps while serving (every --metrics-interval-s
+  // seconds; 0 = on-exit only) plus a final dump when the dumper leaves
+  // scope — which is after the command finishes, so it sees everything.
+  const std::string metrics_out = FlagValue(argc, argv, 2,
+                                            "--metrics-out", "");
+  std::unique_ptr<obs::MetricsDumper> dumper;
+  if (!metrics_out.empty()) {
+    char* end = nullptr;
+    const std::string raw_interval =
+        FlagValue(argc, argv, 2, "--metrics-interval-s", "0");
+    const double interval = std::strtod(raw_interval.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !(interval >= 0.0)) {
+      std::fprintf(stderr, "--metrics-interval-s expects a number >= 0\n");
+      return 2;
+    }
+    dumper.reset(new obs::MetricsDumper(&obs::MetricsRegistry::Global(),
+                                        metrics_out, interval));
+  }
   const auto open_session = [&]() {
     return mmap ? ServingSession::FromFileMapped(model_path)
                 : ServingSession::FromFile(model_path);
@@ -451,6 +495,9 @@ int CmdRoute(int argc, char** argv) {
   opt.mmap = HasFlag(argc, argv, 2, "--mmap");
   opt.max_inflight =
       CountFlag(argc, argv, 2, "--max-inflight", "16", 1, 4096);
+  // Router instruments live in the process-wide registry, so the
+  // --metrics-out dump below holds router + worker metrics in one view.
+  opt.registry = &obs::MetricsRegistry::Global();
   // --drain K: drain shard K halfway through the stream, exercising the
   // graceful-removal path (in-flight preserved, traffic rehashed).
   const bool drain_requested = HasFlag(argc, argv, 2, "--drain");
@@ -490,11 +537,28 @@ int CmdRoute(int argc, char** argv) {
   const std::vector<ShardRouter::ShardStats> stats = router.Stats();
   for (size_t i = 0; i < stats.size(); ++i) {
     const bool healthy = stats[i].active && router.Ping(i);
-    std::fprintf(stderr, "shard %zu: %s pid=%ld served=%llu\n", i,
+    std::fprintf(stderr,
+                 "shard %zu: %s pid=%ld served=%llu route p50 %.2fms"
+                 " p99 %.2fms\n",
+                 i,
                  stats[i].active ? (healthy ? "healthy" : "UNRESPONSIVE")
                                  : "drained",
                  static_cast<long>(stats[i].pid),
-                 static_cast<unsigned long long>(stats[i].served));
+                 static_cast<unsigned long long>(stats[i].served),
+                 stats[i].p50_ms, stats[i].p99_ms);
+  }
+  const ShardRouter::LatencySummary agg = router.AggregateLatency();
+  std::fprintf(stderr,
+               "route latency (all shards): %llu requests, p50 %.2fms"
+               " p99 %.2fms\n",
+               static_cast<unsigned long long>(agg.count), agg.p50_ms,
+               agg.p99_ms);
+  if (!FlagValue(argc, argv, 2, "--metrics-out", "").empty()) {
+    // Pull every worker rank's registry over the wire (plus any state
+    // captured at Drain()) into the global registry, then dump the
+    // fleet-wide view. Must run while the workers are still alive.
+    router.AggregateMetricsInto(&obs::MetricsRegistry::Global());
+    DumpMetrics(argc, argv, 2);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "graph/graph_stats.h"
 #include "motif/motif_counts.h"
+#include "obs/obs.h"
 #include "ts/transforms.h"
 #include "util/parallel.h"
 #include "vg/weighted_visibility_graph.h"
@@ -217,6 +218,7 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s) const {
 std::vector<double> MvgFeatureExtractor::Extract(const Series& s,
                                                  VgWorkspace* ws) const {
   if (s.empty()) throw std::invalid_argument("Extract: empty series");
+  obs::ObsSpan span(obs::PipelineMetrics::Get().feature_extract_seconds);
   const std::optional<Series> sanitized = SanitizeNonFinite(s);
   const Series& finite = sanitized ? *sanitized : s;
   std::vector<Series> scales;

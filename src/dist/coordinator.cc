@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.h"
 #include "util/binary_io.h"
 #include "util/framing.h"
 
@@ -67,6 +68,7 @@ struct Fleet {
 }  // namespace
 
 void SocketReducer::AllreduceSum(int64_t* data, size_t count) {
+  obs::ObsSpan span(obs::PipelineMetrics::Get().hist_reduce_seconds);
   WriteFrame(fd_, kMsgAllreduceI64, seq_, data, count * sizeof(int64_t));
   Frame resp;
   if (!ReadFrame(fd_, &resp)) {
@@ -118,10 +120,15 @@ std::string RunDistributedTraining(
       for (int fd : fleet.fds) {
         if (fd >= 0) close(fd);
       }
+      // The forked registry inherits whatever the parent accumulated
+      // before the fork; zero it so this rank reports only its own work.
+      obs::MetricsRegistry::Global().ZeroAllValues();
       SocketReducer reducer(sv[1], w, workers);
       try {
         const std::string model = fit(&reducer);
         WriteFrame(sv[1], kMsgModelBytes, 0, model);
+        WriteFrame(sv[1], kMsgMetricsResp, 0,
+                   obs::MetricsRegistry::Global().SerializeState());
         _exit(0);
       } catch (const std::exception& e) {
         try {
@@ -215,6 +222,24 @@ std::string RunDistributedTraining(
           throw std::runtime_error(
               "dist: determinism violation — worker " + std::to_string(w) +
               " produced different model bytes than worker 0");
+        }
+      }
+      // Final protocol step: every rank ships its registry state, merged
+      // into this process's global registry so one dump covers the fleet.
+      for (size_t w = 0; w < workers; ++w) {
+        const Frame fm = read_from(w);
+        if (fm.type == kMsgError) worker_error(w, fm.payload);
+        if (fm.type != kMsgMetricsResp) {
+          fleet.KillAll();
+          throw std::runtime_error("dist: unexpected frame from worker " +
+                                   std::to_string(w) + " at metrics exchange");
+        }
+        try {
+          obs::MetricsRegistry::Global().MergeSerialized(fm.payload);
+        } catch (const std::exception& e) {
+          fleet.KillAll();
+          throw std::runtime_error("dist: worker " + std::to_string(w) +
+                                   " sent malformed metrics: " + e.what());
         }
       }
       fleet.Reap();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace mvg {
 
 // Two-phase barrier with separate accumulate/result buffers and a
@@ -32,6 +34,7 @@ class LocalReducerGroup::Member : public HistogramReducer {
   size_t world_size() const override { return shared_->world; }
 
   void AllreduceSum(int64_t* data, size_t count) override {
+    obs::ObsSpan span(obs::PipelineMetrics::Get().hist_reduce_seconds);
     Shared& s = *shared_;
     std::unique_lock<std::mutex> lock(s.mu);
     if (s.arrived == 0) {

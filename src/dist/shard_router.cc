@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "serve/serving.h"
 #include "util/binary_io.h"
 #include "util/framing.h"
@@ -58,10 +59,14 @@ uint64_t MixId(uint64_t x) {
 
 }  // namespace
 
-void RunShardWorker(int fd, const std::string& model_path, bool use_mmap) {
+void RunShardWorker(int fd, const std::string& model_path, bool use_mmap,
+                    size_t shard_index) {
   signal(SIGPIPE, SIG_IGN);
   ServingSession session = use_mmap ? ServingSession::FromFileMapped(model_path)
                                     : ServingSession::FromFile(model_path);
+  obs::Counter* served_metric = obs::MetricsRegistry::Global().RegisterCounter(
+      "mvg_shard_served_total", "Requests answered by this shard worker",
+      "shard=\"" + std::to_string(shard_index) + "\"");
   uint64_t served = 0;
   Frame f;
   while (ReadFrame(fd, &f)) {
@@ -71,6 +76,7 @@ void RunShardWorker(int fd, const std::string& model_path, bool use_mmap) {
           const Series s = DecodeSeries(f.payload);
           const int label = session.Predict(s);
           ++served;
+          served_metric->Inc();
           WriteFrame(fd, kMsgShardResponse, f.seq, EncodeI32(label));
         } catch (const std::exception& e) {
           WriteFrame(fd, kMsgError, f.seq, std::string(e.what()));
@@ -83,6 +89,10 @@ void RunShardWorker(int fd, const std::string& model_path, bool use_mmap) {
         break;
       case kMsgStatsReq:
         WriteFrame(fd, kMsgStatsResp, f.seq, EncodeU64(served));
+        break;
+      case kMsgMetricsReq:
+        WriteFrame(fd, kMsgMetricsResp, f.seq,
+                   obs::MetricsRegistry::Global().SerializeState());
         break;
       case kMsgDrain:
         // FIFO frame processing guarantees every in-flight request was
@@ -109,6 +119,7 @@ ShardRouter ShardRouter::SpawnLocal(const Options& options) {
   ShardRouter router;
   router.options_ = options;
   router.shards_.resize(options.num_shards);
+  router.InitMetrics();
   for (size_t i = 0; i < options.num_shards; ++i) {
     int sv[2];
     if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
@@ -125,13 +136,16 @@ ShardRouter ShardRouter::SpawnLocal(const Options& options) {
                                std::string(std::strerror(errno)));
     }
     if (pid == 0) {
-      // Shard worker: keep only our own endpoint.
+      // Shard worker: keep only our own endpoint. The forked global
+      // registry inherits the parent's values; zero it so this rank's
+      // aggregated state counts only its own post-fork work.
       close(sv[0]);
       for (const Shard& sh : router.shards_) {
         if (sh.fd >= 0) close(sh.fd);
       }
+      obs::MetricsRegistry::Global().ZeroAllValues();
       try {
-        RunShardWorker(sv[1], options.model_path, options.mmap);
+        RunShardWorker(sv[1], options.model_path, options.mmap, i);
         _exit(0);
       } catch (...) {
         _exit(1);
@@ -147,11 +161,40 @@ ShardRouter ShardRouter::SpawnLocal(const Options& options) {
 
 ShardRouter::ShardRouter(ShardRouter&& other) noexcept
     : options_(std::move(other.options_)), shards_(std::move(other.shards_)),
-      ready_(std::move(other.ready_)), next_id_(other.next_id_) {
+      ready_(std::move(other.ready_)),
+      submit_time_(std::move(other.submit_time_)), next_id_(other.next_id_),
+      own_registry_(std::move(other.own_registry_)),
+      registry_(other.registry_), m_requests_(other.m_requests_),
+      m_latency_all_(other.m_latency_all_) {
+  // Instrument pointers stay valid: they live in the registry, which
+  // either moved with us (own_registry_) or is external.
   other.shards_.clear();
+  other.registry_ = nullptr;
 }
 
 ShardRouter::~ShardRouter() { Shutdown(); }
+
+void ShardRouter::InitMetrics() {
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    own_registry_.reset(new obs::MetricsRegistry());
+    registry_ = own_registry_.get();
+  }
+  m_requests_ = registry_->RegisterCounter("mvg_route_requests_total",
+                                           "Requests routed to shards");
+  const std::vector<double> bounds = obs::LatencyBucketsSeconds();
+  m_latency_all_ = registry_->RegisterHistogram(
+      "mvg_route_latency_seconds",
+      "Submit-to-response route latency observed by the router", bounds,
+      "shard=\"all\"");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].latency = registry_->RegisterHistogram(
+        "mvg_route_latency_seconds",
+        "Submit-to-response route latency observed by the router", bounds,
+        "shard=\"" + std::to_string(i) + "\"");
+  }
+}
 
 void ShardRouter::Shutdown() {
   for (Shard& sh : shards_) {
@@ -217,6 +260,15 @@ void ShardRouter::PumpOne(size_t shard) {
   sh.inflight.pop_front();
   BinaryReader r(f.payload.data(), f.payload.size());
   ready_[f.seq] = r.ReadI32();
+  auto ts = submit_time_.find(f.seq);
+  if (ts != submit_time_.end()) {
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - ts->second)
+                               .count();
+    submit_time_.erase(ts);
+    sh.latency->Observe(seconds);
+    m_latency_all_->Observe(seconds);
+  }
 }
 
 void ShardRouter::FlushShard(size_t shard) {
@@ -230,6 +282,8 @@ uint64_t ShardRouter::Submit(const Series& s) {
   // Bounded pipelining: collect before submitting once the window is
   // full, so the request stream can never wedge both socket buffers.
   while (sh.inflight.size() >= options_.max_inflight) PumpOne(shard);
+  m_requests_->Inc();
+  submit_time_[id] = std::chrono::steady_clock::now();
   WriteFrame(sh.fd, kMsgShardRequest, id, EncodeSeries(s));
   sh.inflight.push_back(id);
   return id;
@@ -303,8 +357,46 @@ std::vector<ShardRouter::ShardStats> ShardRouter::Stats() {
       sh.served = DecodeU64(f.payload);
     }
     out[i].served = sh.served;
+    if (sh.latency->Count() > 0) {
+      out[i].p50_ms = sh.latency->Quantile(0.50) * 1e3;
+      out[i].p99_ms = sh.latency->Quantile(0.99) * 1e3;
+    }
   }
   return out;
+}
+
+ShardRouter::LatencySummary ShardRouter::AggregateLatency() const {
+  LatencySummary summary;
+  summary.count = m_latency_all_->Count();
+  if (summary.count > 0) {
+    summary.p50_ms = m_latency_all_->Quantile(0.50) * 1e3;
+    summary.p99_ms = m_latency_all_->Quantile(0.99) * 1e3;
+  }
+  return summary;
+}
+
+std::string ShardRouter::FetchWorkerMetrics(size_t shard) {
+  Shard& sh = shards_[shard];
+  FlushShard(shard);
+  const uint64_t seq = next_id_++;
+  WriteFrame(sh.fd, kMsgMetricsReq, seq, std::string());
+  Frame f;
+  if (!ReadFrame(sh.fd, &f) || f.type != kMsgMetricsResp || f.seq != seq) {
+    throw std::runtime_error("ShardRouter: shard " + std::to_string(shard) +
+                             " metrics probe failed");
+  }
+  return f.payload;
+}
+
+void ShardRouter::AggregateMetricsInto(obs::MetricsRegistry* into) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].active) {
+      into->MergeSerialized(FetchWorkerMetrics(i));
+    } else if (!shards_[i].drained_metrics.empty()) {
+      into->MergeSerialized(shards_[i].drained_metrics);
+    }
+  }
+  if (into != registry_) into->MergeFrom(*registry_);
 }
 
 void ShardRouter::Drain(size_t shard) {
@@ -318,8 +410,11 @@ void ShardRouter::Drain(size_t shard) {
         "ShardRouter: cannot drain the last active shard");
   }
   // 1. Collect everything still in flight — those responses stay
-  //    available to Collect() after the worker is gone.
+  //    available to Collect() after the worker is gone — and capture the
+  //    worker's registry state so fleet aggregation still covers this
+  //    rank after it exits.
   FlushShard(shard);
+  sh.drained_metrics = FetchWorkerMetrics(shard);
   // 2. Ask the worker to finish and exit; FIFO processing means the ack
   //    could only follow fully answered traffic.
   const uint64_t seq = next_id_++;

@@ -13,13 +13,16 @@
 // worker to finish and exit, waits for the acknowledgement, and reroutes
 // all future traffic over the remaining shards — no request is dropped.
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <sys/types.h>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "ts/dataset.h"
 
 namespace mvg {
@@ -34,6 +37,10 @@ class ShardRouter {
     bool mmap = false;
     /// Max pipelined (submitted, not yet collected) requests per shard.
     size_t max_inflight = 16;
+    /// Registry for the router's instruments (request counter, per-shard
+    /// and aggregate route-latency histograms). nullptr = a private
+    /// registry owned by the router.
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   /// Forks `num_shards` local worker processes, each loading the model
@@ -72,9 +79,33 @@ class ShardRouter {
     bool active = false;
     pid_t pid = -1;
     uint64_t served = 0;  ///< requests answered, as counted by the worker.
+    /// Submit-to-response route latency as observed by the router
+    /// (includes pipeline queueing), histogram-interpolated percentiles
+    /// over every request this shard has answered. 0 when none.
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
   };
   /// Per-shard stats (served counts queried live from active workers).
   std::vector<ShardStats> Stats();
+
+  /// Route latency over ALL shards combined (same observation stream as
+  /// the per-shard histograms, one `shard="all"` aggregate instrument).
+  struct LatencySummary {
+    uint64_t count = 0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+  LatencySummary AggregateLatency() const;
+
+  /// Cross-process aggregation: flushes in-flight traffic, asks every
+  /// active worker for its serialized MetricsRegistry state over the
+  /// wire (kMsgMetricsReq/kMsgMetricsResp), and merges those states —
+  /// plus the states captured from shards removed by Drain(), plus the
+  /// router's own instruments when `into` is a different registry —
+  /// into `into`. One call yields one fleet-wide view; calling it twice
+  /// double-counts the drained and router-side contributions, so treat
+  /// it as an end-of-run export.
+  void AggregateMetricsInto(obs::MetricsRegistry* into);
 
   /// Gracefully drains one shard: flushes its in-flight responses into
   /// the router's buffer (they remain collectable), instructs the worker
@@ -92,9 +123,17 @@ class ShardRouter {
     bool active = false;
     uint64_t served = 0;              ///< last stats reading.
     std::deque<uint64_t> inflight;    ///< FIFO of submitted request ids.
+    obs::Histogram* latency = nullptr;  ///< route latency, shard="i".
+    std::string drained_metrics;  ///< registry state captured at Drain().
   };
 
   ShardRouter() = default;
+
+  /// Registers the router's instruments in Options::registry (or a
+  /// fresh private registry).
+  void InitMetrics();
+  /// Wire round trip: worker's serialized registry state.
+  std::string FetchWorkerMetrics(size_t shard);
 
   size_t RouteOf(uint64_t id) const;
   void PumpOne(size_t shard);   ///< read one response frame from a shard.
@@ -104,13 +143,24 @@ class ShardRouter {
   Options options_;
   std::vector<Shard> shards_;
   std::unordered_map<uint64_t, int> ready_;  ///< collected responses.
+  /// Submit timestamps of in-flight ids, consumed by PumpOne.
+  std::unordered_map<uint64_t, std::chrono::steady_clock::time_point>
+      submit_time_;
   uint64_t next_id_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* m_requests_ = nullptr;      ///< mvg_route_requests_total.
+  obs::Histogram* m_latency_all_ = nullptr; ///< shard="all" aggregate.
 };
 
 /// Shard worker main loop (runs in the forked child): serves
-/// kMsgShardRequest/kMsgPing/kMsgStatsReq until EOF or kMsgDrain.
-/// Exposed for tests that run a worker on an in-process socketpair.
-void RunShardWorker(int fd, const std::string& model_path, bool use_mmap);
+/// kMsgShardRequest/kMsgPing/kMsgStatsReq/kMsgMetricsReq until EOF or
+/// kMsgDrain. `shard_index` labels the worker's global-registry served
+/// counter (mvg_shard_served_total{shard="i"}). Exposed for tests that
+/// run a worker on an in-process socketpair.
+void RunShardWorker(int fd, const std::string& model_path, bool use_mmap,
+                    size_t shard_index = 0);
 
 }  // namespace mvg
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "ml/histogram_reducer.h"
+#include "obs/obs.h"
 #include "util/binary_io.h"
 #include "util/random.h"
 
@@ -132,6 +133,7 @@ struct DecisionTreeClassifier::HistBuilder {
   /// Accumulates the class histogram of rows[begin, end) into buffer
   /// `buf` (all-zero by the pool invariant), recording the dirty spans.
   void Scan(size_t begin, size_t end, size_t buf) {
+    obs::Count(obs::PipelineMetrics::Get().train_hist_node_builds);
     if (red != nullptr) {
       ScanReduced(begin, end, buf);
       return;
@@ -298,6 +300,7 @@ struct DecisionTreeClassifier::HistBuilder {
     int best_feature = -1;
     size_t best_bin = 0;
     double best_threshold = 0.0;
+    obs::Count(obs::PipelineMetrics::Get().train_split_searches);
     if (red != nullptr) {
       // Distributed: batch all of this node's sampled features into one
       // int64 allreduce (feature sampling is seeded identically on every
@@ -401,6 +404,7 @@ struct DecisionTreeClassifier::HistBuilder {
     int best_feature = -1;
     size_t best_bin = 0;
     double best_threshold = 0.0;
+    obs::Count(obs::PipelineMetrics::Get().train_split_searches);
     for (size_t f = 0; f < d; ++f) {
       SweepFeature(f, hist + hpool->slot_offset(f), n, parent_imp,
                    hpool->lo(buf)[f], hpool->hi(buf)[f], &best_gain,

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "ml/histogram_reducer.h"
+#include "obs/obs.h"
 #include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -93,6 +94,7 @@ struct GradientBoostingClassifier::HistBuilder {
   /// Accumulates (grad, hess) sums of rows[begin, end) into buffer `buf`
   /// (all-zero by the pool invariant), recording the dirty spans.
   void Scan(size_t begin, size_t end, size_t buf) {
+    obs::Count(obs::PipelineMetrics::Get().train_hist_node_builds);
     if (red != nullptr) {
       ScanReduced(begin, end, buf);
       return;
@@ -207,6 +209,7 @@ struct GradientBoostingClassifier::HistBuilder {
     int best_feature = -1;
     size_t best_bin = 0;
     double best_threshold = 0.0;
+    obs::Count(obs::PipelineMetrics::Get().train_split_searches);
 
     for (size_t j = 0; j < cols.size(); ++j) {
       const size_t f = cols[j];
@@ -350,6 +353,7 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
 
   Rng rng(params_.seed);
   for (size_t round = 0; round < params_.num_rounds; ++round) {
+    obs::ObsSpan round_span(obs::PipelineMetrics::Get().gbt_round_seconds);
     // Row subsample (shared across the round's trees).
     std::vector<size_t> rows;
     if (params_.subsample < 1.0) {

@@ -1,0 +1,599 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace mvg {
+namespace obs {
+
+namespace {
+
+// Serialized registry snapshot framing: magic + version guard so a
+// foreign payload routed onto the metrics channel fails loudly.
+constexpr uint32_t kStateMagic = 0x4D56474Fu;  // "MVGO"
+constexpr uint32_t kStateVersion = 1;
+
+void AddToDoubleBits(std::atomic<uint64_t>* bits, double d) {
+  uint64_t old = bits->load(std::memory_order_relaxed);
+  for (;;) {
+    double cur;
+    std::memcpy(&cur, &old, sizeof cur);
+    cur += d;
+    uint64_t next;
+    std::memcpy(&next, &cur, sizeof next);
+    if (bits->compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double LoadDoubleBits(const std::atomic<uint64_t>* bits) {
+  uint64_t raw = bits->load(std::memory_order_relaxed);
+  double d;
+  std::memcpy(&d, &raw, sizeof d);
+  return d;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+const char* TypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+// `labels` is the raw inner label string; `extra` an optional extra
+// label (the histogram `le`). Renders `{a="1",le="0.5"}` or "".
+std::string LabelBlock(const std::string& labels, const std::string& extra) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+size_t ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  static thread_local size_t id =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+Counter::Counter() = default;
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (size_t s = 0; s < kMetricShards; ++s) {
+    total += shards_[s].v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Zero() {
+  for (size_t s = 0; s < kMetricShards; ++s) {
+    shards_[s].v.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+void Gauge::SetMax(int64_t v) {
+  int64_t cur = v_.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (!std::isfinite(bounds_[i]) ||
+        (i > 0 && !(bounds_[i - 1] < bounds_[i]))) {
+      throw std::invalid_argument(
+          "Histogram: bounds must be finite and strictly increasing");
+    }
+  }
+  size_t cells = bounds_.size() + 1;  // + implicit +Inf bucket
+  stride_ = (cells + 7) / 8 * 8;      // pad shards apart (64B lines)
+  cells_ = std::vector<std::atomic<uint64_t>>(stride_ * kMetricShards);
+}
+
+void Histogram::Observe(double v) {
+  if (std::isnan(v)) return;  // NaN belongs to no bucket and poisons sum
+  // First boundary >= v owns the observation (cumulative le semantics).
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  size_t shard = ThisThreadShard();
+  cells_[shard * stride_ + idx].fetch_add(1, std::memory_order_relaxed);
+  AddToDoubleBits(&sums_[shard].bits, v);
+}
+
+uint64_t Histogram::Snapshot(std::vector<uint64_t>* buckets,
+                             double* sum) const {
+  size_t nb = bounds_.size() + 1;
+  buckets->assign(nb, 0);
+  uint64_t total = 0;
+  for (size_t s = 0; s < kMetricShards; ++s) {
+    for (size_t i = 0; i < nb; ++i) {
+      uint64_t c = cells_[s * stride_ + i].load(std::memory_order_relaxed);
+      (*buckets)[i] += c;
+      total += c;
+    }
+  }
+  if (sum) {
+    double acc = 0.0;
+    for (size_t s = 0; s < kMetricShards; ++s) {
+      acc += LoadDoubleBits(&sums_[s].bits);
+    }
+    *sum = acc;
+  }
+  return total;
+}
+
+uint64_t Histogram::Count() const {
+  std::vector<uint64_t> buckets;
+  return Snapshot(&buckets, nullptr);
+}
+
+double Histogram::Sum() const {
+  std::vector<uint64_t> buckets;
+  double sum = 0.0;
+  Snapshot(&buckets, &sum);
+  return sum;
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<uint64_t> buckets;
+  uint64_t count = Snapshot(&buckets, nullptr);
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * double(count)));
+  if (rank < 1) rank = 1;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    uint64_t prev = cum;
+    cum += buckets[i];
+    if (cum >= rank) {
+      if (i == bounds_.size()) return bounds_.back();  // +Inf bucket: clamp
+      double hi = bounds_[i];
+      double lo = (i == 0) ? std::min(0.0, hi) : bounds_[i - 1];
+      double frac = double(rank - prev) / double(buckets[i]);
+      return lo + (hi - lo) * frac;
+    }
+  }
+  return bounds_.back();
+}
+
+void Histogram::Zero() {
+  for (auto& c : cells_) c.store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s < kMetricShards; ++s) {
+    sums_[s].bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  std::vector<uint64_t> buckets;
+  double sum = 0.0;
+  other.Snapshot(&buckets, &sum);
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("Histogram::MergeFrom: boundary mismatch");
+  }
+  AddBuckets(buckets, sum);
+}
+
+void Histogram::AddBuckets(const std::vector<uint64_t>& buckets, double sum) {
+  if (buckets.size() != bounds_.size() + 1) {
+    throw std::invalid_argument("Histogram::AddBuckets: size mismatch");
+  }
+  // All merged weight lands in shard 0; merge is off the hot path.
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    cells_[i].fetch_add(buckets[i], std::memory_order_relaxed);
+  }
+  AddToDoubleBits(&sums_[0].bits, sum);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* g = new MetricsRegistry();  // leaked on purpose:
+  return *g;  // instruments may be touched by threads during shutdown
+}
+
+const MetricsRegistry::Entry* MetricsRegistry::FindLocked(
+    const std::string& name, const std::string& labels) const {
+  auto it = entries_.find(Key(name, labels));
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+MetricsRegistry::Entry* MetricsRegistry::RegisterLocked(
+    MetricType type, const std::string& name, const std::string& help,
+    const std::string& labels, const std::vector<double>* bounds) {
+  if (!ValidMetricName(name)) {
+    throw std::invalid_argument("MetricsRegistry: invalid metric name '" +
+                                name + "'");
+  }
+  auto it = entries_.find(Key(name, labels));
+  if (it != entries_.end()) {
+    Entry* e = it->second.get();
+    if (e->type != type) {
+      throw std::invalid_argument("MetricsRegistry: '" + name +
+                                  "' re-registered as a different type (" +
+                                  TypeName(e->type) + " vs " + TypeName(type) +
+                                  ")");
+    }
+    if (type == MetricType::kHistogram && bounds &&
+        e->histogram->bounds() != *bounds) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+    }
+    return e;
+  }
+  // All label sets of one family must agree on type; check siblings.
+  auto lo = entries_.lower_bound(Key(name, std::string()));
+  if (lo != entries_.end() && lo->first.first == name &&
+      lo->second->type != type) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as " +
+                                TypeName(lo->second->type));
+  }
+  auto entry = std::unique_ptr<Entry>(new Entry());
+  entry->type = type;
+  entry->name = name;
+  entry->help = help;
+  entry->labels = labels;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter.reset(new Counter());
+      break;
+    case MetricType::kGauge:
+      entry->gauge.reset(new Gauge());
+      break;
+    case MetricType::kHistogram:
+      entry->histogram.reset(new Histogram(*bounds));
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_[Key(name, labels)] = std::move(entry);
+  return raw;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help,
+                                          const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(MetricType::kCounter, name, help, labels, nullptr)
+      ->counter.get();
+}
+
+Gauge* MetricsRegistry::RegisterGauge(const std::string& name,
+                                      const std::string& help,
+                                      const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(MetricType::kGauge, name, help, labels, nullptr)
+      ->gauge.get();
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(const std::string& name,
+                                              const std::string& help,
+                                              const std::vector<double>& bounds,
+                                              const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return RegisterLocked(MetricType::kHistogram, name, help, labels, &bounds)
+      ->histogram.get();
+}
+
+Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                      const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindLocked(name, labels);
+  return (e && e->type == MetricType::kCounter) ? e->counter.get() : nullptr;
+}
+
+Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                  const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindLocked(name, labels);
+  return (e && e->type == MetricType::kGauge) ? e->gauge.get() : nullptr;
+}
+
+Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                          const std::string& labels) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Entry* e = FindLocked(name, labels);
+  return (e && e->type == MetricType::kHistogram) ? e->histogram.get()
+                                                  : nullptr;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(entries_.size() * 96);
+  const std::string* prev_name = nullptr;
+  char line[160];
+  for (const auto& kv : entries_) {
+    const Entry& e = *kv.second;
+    if (!prev_name || *prev_name != e.name) {
+      out += "# HELP " + e.name + " " + e.help + "\n";
+      out += "# TYPE " + e.name + " ";
+      out += TypeName(e.type);
+      out += "\n";
+      prev_name = &e.name;
+    }
+    switch (e.type) {
+      case MetricType::kCounter:
+        std::snprintf(line, sizeof line, " %" PRIu64 "\n",
+                      e.counter->Value());
+        out += e.name + LabelBlock(e.labels, "") + line;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(line, sizeof line, " %lld\n",
+                      static_cast<long long>(e.gauge->Value()));
+        out += e.name + LabelBlock(e.labels, "") + line;
+        break;
+      case MetricType::kHistogram: {
+        std::vector<uint64_t> buckets;
+        double sum = 0.0;
+        uint64_t count = e.histogram->Snapshot(&buckets, &sum);
+        const auto& bounds = e.histogram->bounds();
+        uint64_t cum = 0;
+        for (size_t i = 0; i < buckets.size(); ++i) {
+          cum += buckets[i];
+          std::string le =
+              (i == bounds.size())
+                  ? std::string("le=\"+Inf\"")
+                  : "le=\"" + FormatMetricDouble(bounds[i]) + "\"";
+          std::snprintf(line, sizeof line, " %" PRIu64 "\n", cum);
+          out += e.name + "_bucket" + LabelBlock(e.labels, le) + line;
+        }
+        out += e.name + "_sum" + LabelBlock(e.labels, "") + " " +
+               FormatMetricDouble(sum) + "\n";
+        std::snprintf(line, sizeof line, " %" PRIu64 "\n", count);
+        out += e.name + "_count" + LabelBlock(e.labels, "") + line;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"metrics\": [\n";
+  char num[64];
+  bool first = true;
+  for (const auto& kv : entries_) {
+    const Entry& e = *kv.second;
+    if (!first) out += ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    AppendJsonString(&out, e.name);
+    out += ", \"type\": \"";
+    out += TypeName(e.type);
+    out += "\", \"labels\": ";
+    AppendJsonString(&out, e.labels);
+    switch (e.type) {
+      case MetricType::kCounter:
+        std::snprintf(num, sizeof num, "%" PRIu64, e.counter->Value());
+        out += ", \"value\": ";
+        out += num;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(num, sizeof num, "%lld",
+                      static_cast<long long>(e.gauge->Value()));
+        out += ", \"value\": ";
+        out += num;
+        break;
+      case MetricType::kHistogram: {
+        std::vector<uint64_t> buckets;
+        double sum = 0.0;
+        uint64_t count = e.histogram->Snapshot(&buckets, &sum);
+        const auto& bounds = e.histogram->bounds();
+        out += ", \"count\": ";
+        std::snprintf(num, sizeof num, "%" PRIu64, count);
+        out += num;
+        out += ", \"sum\": " + FormatMetricDouble(sum);
+        out += ", \"bounds\": [";
+        for (size_t i = 0; i < bounds.size(); ++i) {
+          if (i) out += ", ";
+          out += FormatMetricDouble(bounds[i]);
+        }
+        out += "], \"buckets\": [";
+        for (size_t i = 0; i < buckets.size(); ++i) {
+          if (i) out += ", ";
+          std::snprintf(num, sizeof num, "%" PRIu64, buckets[i]);
+          out += num;
+        }
+        out += "]";
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string MetricsRegistry::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter w;
+  w.WriteU32(kStateMagic);
+  w.WriteU32(kStateVersion);
+  w.WriteSize(entries_.size());
+  for (const auto& kv : entries_) {
+    const Entry& e = *kv.second;
+    w.WriteU8(static_cast<uint8_t>(e.type));
+    w.WriteString(e.name);
+    w.WriteString(e.help);
+    w.WriteString(e.labels);
+    switch (e.type) {
+      case MetricType::kCounter:
+        w.WriteU64(e.counter->Value());
+        break;
+      case MetricType::kGauge:
+        w.WriteU64(static_cast<uint64_t>(e.gauge->Value()));
+        break;
+      case MetricType::kHistogram: {
+        std::vector<uint64_t> buckets;
+        double sum = 0.0;
+        e.histogram->Snapshot(&buckets, &sum);
+        w.WriteDoubleVec(e.histogram->bounds());
+        w.WriteSize(buckets.size());
+        for (uint64_t b : buckets) w.WriteU64(b);
+        w.WriteDouble(sum);
+        break;
+      }
+    }
+  }
+  return w.data();
+}
+
+void MetricsRegistry::MergeSerialized(const std::string& bytes) {
+  BinaryReader r(bytes);
+  if (r.ReadU32() != kStateMagic) {
+    throw SerializationError("metrics state: bad magic");
+  }
+  if (r.ReadU32() != kStateVersion) {
+    throw SerializationError("metrics state: unsupported version");
+  }
+  size_t n = r.ReadSize();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t raw_type = r.ReadU8();
+    if (raw_type > static_cast<uint8_t>(MetricType::kHistogram)) {
+      throw SerializationError("metrics state: bad metric type");
+    }
+    MetricType type = static_cast<MetricType>(raw_type);
+    std::string name = r.ReadString();
+    std::string help = r.ReadString();
+    std::string labels = r.ReadString();
+    switch (type) {
+      case MetricType::kCounter: {
+        uint64_t v = r.ReadU64();
+        Entry* e = RegisterLocked(type, name, help, labels, nullptr);
+        e->counter->Inc(v);
+        break;
+      }
+      case MetricType::kGauge: {
+        int64_t v = static_cast<int64_t>(r.ReadU64());
+        Entry* e = RegisterLocked(type, name, help, labels, nullptr);
+        e->gauge->Add(v);
+        break;
+      }
+      case MetricType::kHistogram: {
+        std::vector<double> bounds = r.ReadDoubleVec();
+        size_t nb = r.ReadSize();
+        if (nb != bounds.size() + 1 || nb > r.remaining() / 8 + 1) {
+          throw SerializationError("metrics state: bad histogram buckets");
+        }
+        std::vector<uint64_t> buckets(nb);
+        for (size_t b = 0; b < nb; ++b) buckets[b] = r.ReadU64();
+        double sum = r.ReadDouble();
+        Entry* e = RegisterLocked(type, name, help, labels, &bounds);
+        e->histogram->AddBuckets(buckets, sum);
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Serialize-then-merge keeps one lock held at a time (no ordering
+  // deadlock when two registries merge into each other concurrently).
+  MergeSerialized(other.SerializeState());
+}
+
+void MetricsRegistry::ZeroAllValues() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : entries_) {
+    Entry& e = *kv.second;
+    switch (e.type) {
+      case MetricType::kCounter:
+        e.counter->Zero();
+        break;
+      case MetricType::kGauge:
+        e.gauge->Zero();
+        break;
+      case MetricType::kHistogram:
+        e.histogram->Zero();
+        break;
+    }
+  }
+}
+
+std::string FormatMetricDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace mvg

@@ -1,0 +1,209 @@
+// Process-wide metrics primitives: counters, gauges and fixed-boundary
+// histograms with per-thread sharded atomics on the hot path (no locks,
+// no allocation after registration), plus a MetricsRegistry that owns
+// them and exposes Prometheus-text / JSON views and a binary state
+// serialization whose merge is additive — and therefore associative —
+// so registries can be aggregated across process boundaries.
+//
+// Thread-safety model:
+//   - Inc/Add/Set/Observe are lock-free (relaxed atomics) and safe from
+//     any thread concurrently with reads.
+//   - Registration, exposition, serialization and merge take the
+//     registry mutex; they are expected off the hot path.
+//   - Reads (Value/Snapshot/Quantile) are monotone snapshots: they can
+//     race with writers but never tear an individual atomic cell.
+#ifndef MVG_OBS_METRICS_H_
+#define MVG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mvg {
+namespace obs {
+
+// Number of independent atomic shards per instrument. Threads pick a
+// shard by a cheap thread-local id, so concurrent writers on different
+// shards never contend on the same cache line.
+inline constexpr size_t kMetricShards = 16;
+
+size_t ThisThreadShard();  // stable per thread, in [0, kMetricShards)
+
+// Monotone counter. Value() is exact once all writers have quiesced
+// (relaxed adds are atomic per shard; the sum never loses increments).
+class Counter {
+ public:
+  Counter();
+
+  void Inc(uint64_t n = 1) {
+    shards_[ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const;
+  void Zero();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+// Last-writer-wins signed gauge (queue depths, high-water marks).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  // Raise-only update; loops until the stored value is >= v.
+  void SetMax(int64_t v);
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Zero() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Fixed-boundary histogram in the Prometheus cumulative-bucket model:
+// bucket i counts observations v <= bounds[i]; an implicit +Inf bucket
+// catches the rest. Boundaries are fixed at construction — Observe()
+// does a branch-free-ish binary search plus one relaxed add, no locks,
+// no allocation.
+class Histogram {
+ public:
+  // `bounds` must be non-empty and strictly increasing (finite).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  // Totals across shards. `buckets` gets bounds().size()+1 entries, the
+  // last being the +Inf bucket. Returns total observation count.
+  uint64_t Snapshot(std::vector<uint64_t>* buckets, double* sum) const;
+
+  uint64_t Count() const;
+  double Sum() const;
+
+  // Nearest-rank quantile with linear interpolation inside the bucket,
+  // i.e. the value histogram_quantile() would estimate. q in [0,1].
+  // Returns 0 for an empty histogram; observations in the +Inf bucket
+  // clamp to the last finite boundary.
+  double Quantile(double q) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Zero();
+
+  // Adds another histogram's bucket totals and sum into this one.
+  // Boundaries must match exactly.
+  void MergeFrom(const Histogram& other);
+  void AddBuckets(const std::vector<uint64_t>& buckets, double sum);
+
+ private:
+  std::vector<double> bounds_;
+  size_t stride_;  // cells per shard, padded to a cache-line multiple
+  // Layout: shard s owns cells [s*stride_, s*stride_ + bounds+1).
+  std::vector<std::atomic<uint64_t>> cells_;
+  struct alignas(64) SumShard {
+    std::atomic<uint64_t> bits{0};  // IEEE-754 bit pattern of a double
+  };
+  SumShard sums_[kMetricShards];
+};
+
+enum class MetricType : uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+// Owns instruments keyed by (name, labels). `labels` is the raw inner
+// Prometheus label string (e.g. `shard="0"` or `kind="vg"`), or empty.
+// Registration is idempotent: re-registering the same (name, labels)
+// returns the existing instrument (type and histogram bounds must
+// match, else std::invalid_argument). Instrument pointers stay valid
+// for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Lazily-built process-wide registry. Library instrumentation writes
+  // here; tests use private instances.
+  static MetricsRegistry& Global();
+
+  Counter* RegisterCounter(const std::string& name, const std::string& help,
+                           const std::string& labels = "");
+  Gauge* RegisterGauge(const std::string& name, const std::string& help,
+                       const std::string& labels = "");
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& help,
+                               const std::vector<double>& bounds,
+                               const std::string& labels = "");
+
+  // nullptr when absent or of a different type.
+  Counter* FindCounter(const std::string& name,
+                       const std::string& labels = "") const;
+  Gauge* FindGauge(const std::string& name,
+                   const std::string& labels = "") const;
+  Histogram* FindHistogram(const std::string& name,
+                           const std::string& labels = "") const;
+
+  size_t size() const;
+
+  // Prometheus text exposition format (v0.0.4). Families are emitted in
+  // lexical (name, labels) order and numbers are formatted with a
+  // shortest-roundtrip printer, so the output is byte-stable for a
+  // given metric state.
+  std::string PrometheusText() const;
+
+  // Machine-readable JSON dump of the same state (stable key order).
+  std::string JsonText() const;
+
+  // Binary snapshot of all instrument values (with enough metadata to
+  // recreate them on the receiving side). MergeSerialized adds the
+  // snapshot's values into this registry, registering any instruments
+  // it doesn't have yet. Addition makes merge associative and
+  // commutative: merge(A, merge(B, C)) == merge(merge(A, B), C) —
+  // exactly for all integer state (counters, gauges, bucket counts);
+  // histogram double sums associate only up to FP rounding.
+  std::string SerializeState() const;
+  void MergeSerialized(const std::string& bytes);
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Resets every instrument to zero without unregistering. Used by
+  // forked workers so inherited parent values don't double-count in
+  // aggregated views.
+  void ZeroAllValues();
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    std::string labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  const Entry* FindLocked(const std::string& name,
+                          const std::string& labels) const;
+  Entry* RegisterLocked(MetricType type, const std::string& name,
+                        const std::string& help, const std::string& labels,
+                        const std::vector<double>* bounds);
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Entry>> entries_;
+};
+
+// Shortest round-trip decimal formatting ("%.15g", upgraded to "%.17g"
+// when lossy); infinities render as "+Inf"/"-Inf" per Prometheus.
+std::string FormatMetricDouble(double v);
+
+}  // namespace obs
+}  // namespace mvg
+
+#endif  // MVG_OBS_METRICS_H_

@@ -2,18 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "serve/model_io.h"
 #include "util/parallel.h"
 
 namespace mvg {
-
-namespace {
-constexpr size_t kLatencyWindow = 4096;  ///< recent requests kept for p50/p99.
-}  // namespace
 
 AsyncServingSession::AsyncServingSession(MvgClassifier model, Options options)
     : AsyncServingSession(ServingSession(std::move(model)), options) {}
@@ -23,8 +19,7 @@ AsyncServingSession::AsyncServingSession(ServingSession session,
     : session_(std::move(session)),
       options_(options),
       batch_threads_(options.num_threads == 0 ? DefaultThreads()
-                                              : options.num_threads),
-      latency_ring_ms_(kLatencyWindow, 0.0) {
+                                              : options.num_threads) {
   if (options_.queue_capacity == 0) {
     throw std::invalid_argument("AsyncServingSession: queue_capacity 0");
   }
@@ -34,6 +29,28 @@ AsyncServingSession::AsyncServingSession(ServingSession session,
   if (options_.batch_timeout_ms < 0.0) {
     throw std::invalid_argument("AsyncServingSession: negative batch timeout");
   }
+  if (options_.registry != nullptr) {
+    registry_ = options_.registry;
+  } else {
+    own_registry_.reset(new obs::MetricsRegistry());
+    registry_ = own_registry_.get();
+  }
+  m_submitted_ = registry_->RegisterCounter(
+      "mvg_serve_async_submitted_total", "Requests accepted by Submit()");
+  m_completed_ = registry_->RegisterCounter(
+      "mvg_serve_async_completed_total", "Futures resolved with a label");
+  m_failed_ = registry_->RegisterCounter(
+      "mvg_serve_async_failed_total", "Futures resolved with an exception");
+  m_batches_ = registry_->RegisterCounter(
+      "mvg_serve_async_batches_total", "Micro-batches dispatched");
+  m_queue_depth_ = registry_->RegisterGauge(
+      "mvg_serve_async_queue_depth", "Requests queued, not yet dispatched");
+  m_max_queue_depth_ = registry_->RegisterGauge(
+      "mvg_serve_async_queue_depth_max", "High-water mark of the queue");
+  m_latency_seconds_ = registry_->RegisterHistogram(
+      "mvg_serve_async_request_latency_seconds",
+      "Enqueue-to-completion latency per request",
+      obs::LatencyBucketsSeconds());
   dispatcher_ = std::thread([this]() { DispatcherMain(); });
 }
 
@@ -72,8 +89,9 @@ std::future<int> AsyncServingSession::Submit(Series series) {
       throw std::runtime_error("AsyncServingSession: Submit after Shutdown");
     }
     queue_.push_back(std::move(request));
-    ++submitted_;
-    max_queue_depth_ = std::max(max_queue_depth_, queue_.size());
+    m_submitted_->Inc();
+    m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
+    m_max_queue_depth_->SetMax(static_cast<int64_t>(queue_.size()));
   }
   queue_nonempty_.notify_one();
   return future;
@@ -117,6 +135,7 @@ void AsyncServingSession::DispatcherMain() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      m_queue_depth_->Set(static_cast<int64_t>(queue_.size()));
     }
     queue_has_room_.notify_all();
     RunBatch(&batch);
@@ -134,30 +153,20 @@ void AsyncServingSession::RunBatch(std::vector<Request>* batch) {
                                    batch_threads_);
   } catch (...) {
     const std::exception_ptr error = std::current_exception();
-    {
-      // Count before resolving, mirroring the success path: a caller
-      // observing its future ready also observes the failure counted.
-      std::lock_guard<std::mutex> lock(mu_);
-      ++batches_;
-      failed_ += batch->size();
-    }
+    // Count before resolving, mirroring the success path: a caller
+    // observing its future ready also observes the failure counted.
+    m_batches_->Inc();
+    m_failed_->Inc(batch->size());
     for (Request& request : *batch) request.promise.set_exception(error);
     return;
   }
 
   const auto done = std::chrono::steady_clock::now();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++batches_;
-    completed_ += batch->size();
-    for (const Request& request : *batch) {
-      const double ms =
-          std::chrono::duration<double, std::milli>(done - request.enqueued)
-              .count();
-      latency_ring_ms_[latency_next_] = ms;
-      latency_next_ = (latency_next_ + 1) % latency_ring_ms_.size();
-      latency_count_ = std::min(latency_count_ + 1, latency_ring_ms_.size());
-    }
+  m_batches_->Inc();
+  m_completed_->Inc(batch->size());
+  for (const Request& request : *batch) {
+    m_latency_seconds_->Observe(
+        std::chrono::duration<double>(done - request.enqueued).count());
   }
   // Resolve futures after bookkeeping so a caller observing its future
   // ready also observes the request counted in stats().
@@ -168,37 +177,25 @@ void AsyncServingSession::RunBatch(std::vector<Request>* batch) {
 
 AsyncServingSession::Stats AsyncServingSession::stats() const {
   Stats stats;
-  std::vector<double> latencies;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stats.submitted = submitted_;
-    stats.completed = completed_;
-    stats.failed = failed_;
-    stats.batches = batches_;
     stats.queue_depth = queue_.size();
-    stats.max_queue_depth = max_queue_depth_;
-    stats.mean_batch_size =
-        batches_ == 0 ? 0.0
-                      : static_cast<double>(completed_ + failed_) /
-                            static_cast<double>(batches_);
-    latencies.assign(latency_ring_ms_.begin(),
-                     latency_ring_ms_.begin() +
-                         static_cast<std::ptrdiff_t>(latency_count_));
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    // Nearest-rank percentile: the smallest value with at least q*n
-    // samples at or below it (ceil(q*n) - 1 as a 0-based index).
-    const auto at = [&](double q) {
-      const double rank =
-          std::ceil(q * static_cast<double>(latencies.size()));
-      const size_t idx = rank <= 1.0 ? 0
-                                     : std::min(latencies.size() - 1,
-                                                static_cast<size_t>(rank) - 1);
-      return latencies[idx];
-    };
-    stats.p50_latency_ms = at(0.50);
-    stats.p99_latency_ms = at(0.99);
+  // The struct is a thin view over the registry instruments; everything
+  // below reads atomics without taking mu_.
+  stats.submitted = m_submitted_->Value();
+  stats.completed = m_completed_->Value();
+  stats.failed = m_failed_->Value();
+  stats.batches = m_batches_->Value();
+  stats.max_queue_depth = static_cast<size_t>(m_max_queue_depth_->Value());
+  stats.mean_batch_size =
+      stats.batches == 0
+          ? 0.0
+          : static_cast<double>(stats.completed + stats.failed) /
+                static_cast<double>(stats.batches);
+  if (m_latency_seconds_->Count() > 0) {
+    stats.p50_latency_ms = m_latency_seconds_->Quantile(0.50) * 1e3;
+    stats.p99_latency_ms = m_latency_seconds_->Quantile(0.99) * 1e3;
   }
   return stats;
 }

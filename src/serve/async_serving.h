@@ -6,11 +6,13 @@
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/serving.h"
 #include "ts/dataset.h"
 
@@ -49,10 +51,17 @@ class AsyncServingSession {
     double batch_timeout_ms = 2.0;
     /// Pool fan-out per dispatched batch (0 = hardware concurrency).
     size_t num_threads = 0;
+    /// Registry the session's stats instruments live in. nullptr (the
+    /// default) gives the session a private registry, so per-session
+    /// stats stay exact; pass &obs::MetricsRegistry::Global() to fold
+    /// this session into the process-wide metrics dump. Sessions sharing
+    /// a registry share instruments (their counts combine).
+    obs::MetricsRegistry* registry = nullptr;
   };
 
-  /// Aggregate counters plus an enqueue-to-completion latency
-  /// distribution over a sliding window of recent requests.
+  /// Aggregate counters plus the enqueue-to-completion latency
+  /// distribution, read from the session's metrics registry. p50/p99 are
+  /// histogram-interpolated over all requests since construction.
   struct Stats {
     size_t submitted = 0;
     size_t completed = 0;  ///< futures resolved with a label.
@@ -99,6 +108,11 @@ class AsyncServingSession {
 
   Stats stats() const;
 
+  /// The registry holding this session's instruments (the private one
+  /// unless Options::registry pointed elsewhere). Metric names are
+  /// documented in docs/OBSERVABILITY.md.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
+
   const MvgClassifier& model() const { return session_.model(); }
 
  private:
@@ -125,16 +139,19 @@ class AsyncServingSession {
   std::deque<Request> queue_;
   bool shutdown_ = false;
 
-  // Stats (guarded by mu_): counters plus a fixed ring of recent
-  // latencies the percentiles are computed from.
-  size_t submitted_ = 0;
-  size_t completed_ = 0;
-  size_t failed_ = 0;
-  size_t batches_ = 0;
-  size_t max_queue_depth_ = 0;
-  std::vector<double> latency_ring_ms_;
-  size_t latency_next_ = 0;
-  size_t latency_count_ = 0;
+  // Stats live as registry instruments (histogram-backed percentiles
+  // replaced the old fixed latency ring). Counter updates keep the
+  // ordering contract: a caller observing its future resolved also
+  // observes the request counted.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_;
+  obs::Counter* m_submitted_;
+  obs::Counter* m_completed_;
+  obs::Counter* m_failed_;
+  obs::Counter* m_batches_;
+  obs::Gauge* m_queue_depth_;
+  obs::Gauge* m_max_queue_depth_;  ///< high-water mark, raise-only.
+  obs::Histogram* m_latency_seconds_;
 
   std::thread dispatcher_;  ///< last member: started once state is ready.
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
 #include "serve/model_io.h"
 #include "serve/model_mmap.h"
 #include "util/parallel.h"
@@ -36,6 +37,8 @@ int ServingSession::Predict(const Series& s) {
 std::vector<int> ServingSession::PredictBatch(const Series* series,
                                               size_t count,
                                               size_t num_threads) {
+  obs::ObsSpan span(obs::PipelineMetrics::Get().serve_predict_batch_seconds);
+  obs::Count(obs::PipelineMetrics::Get().serve_predictions, count);
   std::vector<int> out(count);
   const size_t workers = MaxWorkers(count, num_threads);
   // Grow-only: a workspace pool warmed by earlier batches stays warm even

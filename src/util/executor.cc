@@ -97,6 +97,9 @@ void Executor::Participate(internal::ParallelTask* task, size_t slot) {
     for (size_t offset = 1; offset < task->max_slots; ++offset) {
       const size_t victim = (slot + offset) % task->max_slots;
       if (task->ranges[victim].StealBack(task->chunk, &begin, &end)) {
+        if (obs::Enabled()) {
+          obs::PipelineMetrics::Get().executor_chunks_stolen->Inc();
+        }
         InvokeChunk(task, slot, begin, end);
         stole = true;
         break;
@@ -120,6 +123,10 @@ void Executor::Run(internal::ParallelTask* task, size_t n, size_t max_par,
   task->ranges = ranges;
   task->max_slots = slots;
   task->chunk = std::max(grain, block / kChunksPerSlot);
+
+  if (obs::Enabled()) {
+    obs::PipelineMetrics::Get().executor_loops_dispatched->Inc();
+  }
 
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -169,6 +176,8 @@ void Executor::WorkerMain() {
     if (!jobs_.empty()) {
       std::function<void()> job = std::move(jobs_.front());
       jobs_.pop_front();
+      obs::SetGauge(obs::PipelineMetrics::Get().executor_job_queue_depth,
+                    static_cast<int64_t>(jobs_.size()));
       lock.unlock();
       job();
       lock.lock();

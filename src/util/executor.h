@@ -17,6 +17,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mvg {
 
 namespace internal {
@@ -209,6 +211,9 @@ class Executor {
     if (n == 0) return;
     const size_t g = std::max<size_t>(1, grain);
     if (max_par <= 1 || n <= g || workers_.empty()) {
+      if (obs::Enabled()) {
+        obs::PipelineMetrics::Get().executor_loops_inline->Inc();
+      }
       for (size_t i = 0; i < n; ++i) body(0, i);
       return;
     }
@@ -244,6 +249,9 @@ class Executor {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
+    if (obs::Enabled()) {
+      obs::PipelineMetrics::Get().executor_jobs_submitted->Inc();
+    }
     if (workers_.empty()) {
       (*task)();
       return future;
@@ -254,6 +262,8 @@ class Executor {
         throw std::runtime_error("Executor: Submit after shutdown");
       }
       jobs_.emplace_back([task]() { (*task)(); });
+      obs::SetGauge(obs::PipelineMetrics::Get().executor_job_queue_depth,
+                    static_cast<int64_t>(jobs_.size()));
     }
     work_cv_.notify_one();
     return future;

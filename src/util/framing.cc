@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "util/binary_io.h"
 
 namespace mvg {
@@ -84,6 +85,11 @@ void WriteFrame(int fd, uint16_t type, uint64_t seq, const void* payload,
   const std::string header = EncodeFrameHeader(type, seq, payload, size);
   WriteAll(fd, header.data(), header.size());
   if (size > 0) WriteAll(fd, payload, size);
+  if (obs::Enabled()) {
+    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+    pm.wire_frames_sent->Inc();
+    pm.wire_bytes_sent->Inc(kFrameHeaderBytes + size);
+  }
 }
 
 bool ReadFrame(int fd, Frame* out) {
@@ -124,6 +130,11 @@ bool ReadFrame(int fd, Frame* out) {
     }
   } else if (expect_crc != 0) {
     throw SerializationError("framing: nonzero CRC on empty payload");
+  }
+  if (obs::Enabled()) {
+    obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+    pm.wire_frames_recv->Inc();
+    pm.wire_bytes_recv->Inc(kFrameHeaderBytes + payload_size);
   }
   return true;
 }

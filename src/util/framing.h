@@ -52,6 +52,10 @@ enum WireMsg : uint16_t {
   kMsgStatsResp = 21,      // shard -> router: u64 requests served
   kMsgDrain = 22,          // router -> shard: finish in-flight work and exit
   kMsgDrained = 23,        // shard -> router: drain ack, u64 requests served
+
+  // Observability (either protocol; see docs/OBSERVABILITY.md).
+  kMsgMetricsReq = 24,   // parent -> child: metrics probe, empty payload
+  kMsgMetricsResp = 25,  // child -> parent: serialized MetricsRegistry state
 };
 
 struct Frame {

@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace mvg {
 
 namespace {
@@ -82,6 +84,7 @@ void BuildVgDivideConquer(const Series& s,
 
 const Graph& BuildVisibilityGraph(const Series& s, VgWorkspace* ws,
                                   VgAlgorithm algorithm) {
+  obs::ObsSpan span(obs::PipelineMetrics::Get().vg_build_seconds);
   ws->builder.Reset(s.size());
   switch (algorithm) {
     case VgAlgorithm::kNaive:
@@ -102,6 +105,7 @@ Graph BuildVisibilityGraph(const Series& s, VgAlgorithm algorithm) {
 }
 
 const Graph& BuildHorizontalVisibilityGraph(const Series& s, VgWorkspace* ws) {
+  obs::ObsSpan span(obs::PipelineMetrics::Get().hvg_build_seconds);
   // O(n) monotone stack: the stack holds indices whose values strictly
   // decrease from bottom to top; each new point connects to every popped
   // smaller value plus the first value >= its own (Def. 2.4 with strict

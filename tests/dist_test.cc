@@ -23,6 +23,7 @@
 #include "ml/gradient_boosting.h"
 #include "ml/histogram_reducer.h"
 #include "ml/random_forest.h"
+#include "obs/metrics.h"
 #include "serve/model_io.h"
 #include "serve/serving.h"
 #include "tests/test_util.h"
@@ -579,6 +580,99 @@ TEST_F(ShardRouterTest, InvalidOptionsRejected) {
   opt.num_shards = 1;
   opt.max_inflight = 0;
   EXPECT_THROW(ShardRouter::SpawnLocal(opt), std::invalid_argument);
+}
+
+TEST_F(ShardRouterTest, AggregateMetricsCoverEveryWorkerRank) {
+  obs::MetricsRegistry reg;
+  ShardRouter::Options opt;
+  opt.model_path = *model_path_;
+  opt.num_shards = 2;
+  opt.registry = &reg;
+  ShardRouter router = ShardRouter::SpawnLocal(opt);
+  router.PredictBatch(test_set_->all_series());
+
+  // Router-observed latency: per-shard percentiles and the shard="all"
+  // aggregate come from the same observation stream.
+  for (const ShardRouter::ShardStats& s : router.Stats()) {
+    EXPECT_GE(s.p99_ms, s.p50_ms);
+  }
+  const ShardRouter::LatencySummary agg = router.AggregateLatency();
+  EXPECT_EQ(agg.count, test_set_->size());
+  EXPECT_GE(agg.p99_ms, agg.p50_ms);
+  EXPECT_GT(agg.p99_ms, 0.0);
+
+  // Cross-process aggregation: each worker rank's registry arrives over
+  // the wire; the per-shard served counters must account for every
+  // request exactly once.
+  router.AggregateMetricsInto(&reg);
+  uint64_t served = 0;
+  for (size_t i = 0; i < router.num_shards(); ++i) {
+    obs::Counter* c = reg.FindCounter(
+        "mvg_shard_served_total", "shard=\"" + std::to_string(i) + "\"");
+    ASSERT_NE(c, nullptr) << "shard " << i;
+    served += c->Value();
+  }
+  EXPECT_EQ(served, test_set_->size());
+  ASSERT_NE(reg.FindCounter("mvg_route_requests_total"), nullptr);
+  EXPECT_EQ(reg.FindCounter("mvg_route_requests_total")->Value(),
+            test_set_->size());
+  obs::Histogram* all =
+      reg.FindHistogram("mvg_route_latency_seconds", "shard=\"all\"");
+  ASSERT_NE(all, nullptr);
+  EXPECT_EQ(all->Count(), test_set_->size());
+}
+
+TEST_F(ShardRouterTest, AggregateMetricsIncludeDrainedShards) {
+  obs::MetricsRegistry reg;
+  ShardRouter::Options opt;
+  opt.model_path = *model_path_;
+  opt.num_shards = 3;
+  opt.registry = &reg;
+  ShardRouter router = ShardRouter::SpawnLocal(opt);
+
+  // Route half the stream, drain a shard (its registry state is
+  // captured before the worker exits), route the rest over the
+  // survivors: the fleet view must still account for every request.
+  const size_t half = test_set_->size() / 2;
+  std::vector<uint64_t> ids;
+  for (size_t i = 0; i < half; ++i) {
+    ids.push_back(router.Submit(test_set_->series(i)));
+  }
+  router.Drain(1);
+  for (size_t i = half; i < test_set_->size(); ++i) {
+    ids.push_back(router.Submit(test_set_->series(i)));
+  }
+  for (uint64_t id : ids) router.Collect(id);
+
+  router.AggregateMetricsInto(&reg);
+  uint64_t served = 0;
+  for (size_t i = 0; i < router.num_shards(); ++i) {
+    obs::Counter* c = reg.FindCounter(
+        "mvg_shard_served_total", "shard=\"" + std::to_string(i) + "\"");
+    if (c != nullptr) served += c->Value();
+  }
+  EXPECT_EQ(served, test_set_->size());
+}
+
+TEST(Coordinator, WorkerMetricsAggregateIntoParentRegistry) {
+  // The final protocol step after the model exchange ships each rank's
+  // registry to the coordinator, which merges them into the parent's
+  // global registry. Each rank leaves a distinct footprint (rank+1), so
+  // the merged sum pins both delivery and additivity. Ranks zero their
+  // inherited registry post-fork, so only post-fork deltas count.
+  obs::Counter* probe = obs::MetricsRegistry::Global().RegisterCounter(
+      "dist_probe_total", "per-rank metrics-exchange probe");
+  const uint64_t before = probe->Value();
+  RunDistributedTraining(2, [](HistogramReducer* red) -> std::string {
+    obs::MetricsRegistry::Global()
+        .RegisterCounter("dist_probe_total",
+                         "per-rank metrics-exchange probe")
+        ->Inc(static_cast<uint64_t>(red->rank()) + 1);
+    int64_t v[1] = {1};
+    red->AllreduceSum(v, 1);
+    return "model";
+  });
+  EXPECT_EQ(probe->Value() - before, 3u);  // rank 0 sent 1, rank 1 sent 2
 }
 
 }  // namespace

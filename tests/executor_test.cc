@@ -24,6 +24,7 @@
 #include "ml/model_selection.h"
 #include "ml/random_forest.h"
 #include "ts/generators.h"
+#include "obs/obs.h"
 #include "util/executor.h"
 #include "util/parallel.h"
 
@@ -369,6 +370,101 @@ TEST_F(ExecutorInvarianceTest, EndToEndPipelineInvariantAcrossPoolSizes) {
     predictions.push_back(clf.PredictAll(split.test));
   }
   EXPECT_EQ(predictions[1], predictions[0]);
+}
+
+// --- Observability counters (src/obs wired into the executor) ---------
+
+/// RAII: force obs on for the scope, restore on exit.
+class ObsOnScope {
+ public:
+  ObsOnScope() : was_(obs::Enabled()) { obs::SetEnabled(true); }
+  ~ObsOnScope() { obs::SetEnabled(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(ExecutorObsTest, InlineLoopAndSubmitCountsAreExact) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with MVG_OBS_OFF";
+  ObsOnScope on;
+  obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+  Executor ex(1);  // no workers: every loop inlines, nothing dispatched
+  const uint64_t inline0 = pm.executor_loops_inline->Value();
+  const uint64_t dispatched0 = pm.executor_loops_dispatched->Value();
+  const uint64_t submitted0 = pm.executor_jobs_submitted->Value();
+  const uint64_t stolen0 = pm.executor_chunks_stolen->Value();
+  for (int rep = 0; rep < 5; ++rep) {
+    ex.ParallelFor(64, 4, [](size_t) {});
+  }
+  std::future<int> f = ex.Submit([]() { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  EXPECT_EQ(pm.executor_loops_inline->Value() - inline0, 5u);
+  EXPECT_EQ(pm.executor_loops_dispatched->Value() - dispatched0, 0u);
+  EXPECT_EQ(pm.executor_jobs_submitted->Value() - submitted0, 1u);
+  EXPECT_EQ(pm.executor_chunks_stolen->Value() - stolen0, 0u);
+}
+
+TEST(ExecutorObsTest, GrainInlinedAndDispatchedLoopsAreCounted) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with MVG_OBS_OFF";
+  ObsOnScope on;
+  obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+  Executor ex(4);
+  const uint64_t inline0 = pm.executor_loops_inline->Value();
+  const uint64_t dispatched0 = pm.executor_loops_dispatched->Value();
+  // n <= grain: inline even with workers available.
+  ex.ParallelFor(100, 4, [](size_t) {}, /*grain=*/512);
+  // n > grain, max_par > 1: dispatched as one parallel region each.
+  for (int rep = 0; rep < 3; ++rep) {
+    ex.ParallelFor(256, 4, [](size_t) {});
+  }
+  EXPECT_EQ(pm.executor_loops_inline->Value() - inline0, 1u);
+  EXPECT_EQ(pm.executor_loops_dispatched->Value() - dispatched0, 3u);
+}
+
+TEST(ExecutorObsTest, QueueDepthGaugeTracksBlockedSubmissions) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with MVG_OBS_OFF";
+  ObsOnScope on;
+  obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+  Executor ex(2);  // concurrency 2 = one background worker
+  // Park the worker on a job that blocks until released, then queue 3
+  // more: the gauge must read exactly the queued (unpopped) jobs.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  std::atomic<int> running{0};
+  std::future<void> parked = ex.Submit([gate, &running]() {
+    running.fetch_add(1);
+    gate.wait();
+  });
+  while (running.load() < 1) std::this_thread::yield();
+  std::vector<std::future<void>> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(ex.Submit([]() {}));
+  }
+  EXPECT_EQ(pm.executor_job_queue_depth->Value(), 3);
+  release.set_value();
+  parked.get();
+  for (auto& f : queued) f.get();
+  EXPECT_EQ(pm.executor_job_queue_depth->Value(), 0);
+}
+
+TEST(ExecutorObsTest, ProvokedStealsAreCounted) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "built with MVG_OBS_OFF";
+  ObsOnScope on;
+  obs::PipelineMetrics& pm = obs::PipelineMetrics::Get();
+  Executor ex(4);
+  const uint64_t stolen0 = pm.executor_chunks_stolen->Value();
+  // Imbalanced bodies make fast participants run dry and steal from the
+  // slow claimant's remaining range. Scheduling-dependent, so retry a
+  // few rounds — across them at least one steal is effectively certain.
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    ex.ParallelForWorker(512, 8, [&](size_t, size_t i) {
+      if (i % 129 == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(300));
+      }
+    });
+    if (pm.executor_chunks_stolen->Value() > stolen0) break;
+  }
+  EXPECT_GT(pm.executor_chunks_stolen->Value(), stolen0);
 }
 
 }  // namespace

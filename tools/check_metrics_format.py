@@ -1,0 +1,222 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-format metrics dump (exposition format v0.0.4).
+
+Validates the dumps `mvg_serve --metrics-out FILE` writes (and any other
+registry exposition): every sample line must parse, every series must be
+preceded by # HELP / # TYPE for its family, histogram families must have
+cumulative non-decreasing buckets ending in an le="+Inf" bucket whose
+count equals the _count sample, and counter/gauge values must be finite
+numbers (counters additionally non-negative).
+
+--require NAME takes either a family name (`mvg_route_requests_total`)
+or a fully-labelled series (`mvg_shard_served_total{shard="0"}`) and
+fails unless it is present; repeatable. --require-nonzero is the same
+but additionally demands a value > 0 (for histograms: _count > 0).
+
+Usage:
+  python3 tools/check_metrics_format.py FILE \
+      [--require NAME]... [--require-nonzero NAME]...
+Exit status: 0 = clean, 1 = lint errors or missing required metrics.
+"""
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# name{labels} value  |  name value
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$")
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(raw):
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    return float(raw)  # raises ValueError on garbage
+
+
+def family_of(name):
+    """Histogram sample names map back to their family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint(text):
+    """Returns (errors, families, series) for a metrics dump.
+
+    families: {family: type}; series: {(name, labels): value} with
+    labels exactly as written (sorted label order is the writer's job).
+    """
+    errors = []
+    helped, typed = {}, {}
+    series = {}
+    order = []  # (family, labels, le, cumulative) per bucket line
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if not parts or not NAME_RE.match(parts[0]):
+                errors.append(f"line {lineno}: malformed HELP: {line!r}")
+                continue
+            helped[parts[0]] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or not NAME_RE.match(parts[0]):
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            name, mtype = parts
+            if mtype not in VALID_TYPES:
+                errors.append(f"line {lineno}: unknown type {mtype!r}")
+            if name in typed:
+                errors.append(f"line {lineno}: duplicate TYPE for {name}")
+            typed[name] = mtype
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal and ignored
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labels, raw = m.group("name"), m.group("labels"), m.group("value")
+        if labels:
+            for lab in re.split(r",(?=[a-zA-Z_])", labels):
+                if not LABEL_RE.match(lab):
+                    errors.append(
+                        f"line {lineno}: malformed label {lab!r}")
+        try:
+            value = parse_value(raw)
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {raw!r}")
+            continue
+
+        family = family_of(name)
+        if family not in typed:
+            errors.append(
+                f"line {lineno}: sample {name} before its # TYPE")
+        if family not in helped:
+            errors.append(
+                f"line {lineno}: sample {name} before its # HELP")
+        mtype = typed.get(family)
+        if mtype == "counter" and not (value >= 0):
+            errors.append(
+                f"line {lineno}: counter {name} negative or NaN: {raw}")
+        if mtype != "histogram" and not math.isfinite(value):
+            errors.append(f"line {lineno}: non-finite value for {name}")
+        series[(name, labels or "")] = value
+
+        if name.endswith("_bucket"):
+            labs = labels or ""
+            le = None
+            rest = []
+            for lab in re.split(r",(?=[a-zA-Z_])", labs):
+                if lab.startswith('le="'):
+                    le = lab[len('le="'):-1]
+                else:
+                    rest.append(lab)
+            if le is None:
+                errors.append(f"line {lineno}: bucket without le label")
+            else:
+                order.append((family, ",".join(rest), le, value))
+
+    # Histogram shape: per (family, labels) buckets must be cumulative
+    # (non-decreasing in file order), end with +Inf, and match _count.
+    groups = {}
+    for family, labs, le, value in order:
+        groups.setdefault((family, labs), []).append((le, value))
+    for (family, labs), buckets in groups.items():
+        counts = [v for _, v in buckets]
+        if counts != sorted(counts):
+            errors.append(
+                f"{family}{{{labs}}}: buckets not cumulative: {counts}")
+        if buckets[-1][0] != "+Inf":
+            errors.append(f"{family}{{{labs}}}: last bucket is not +Inf")
+        else:
+            count = series.get((family + "_count", labs))
+            if count is not None and count != buckets[-1][1]:
+                errors.append(
+                    f"{family}{{{labs}}}: +Inf bucket {buckets[-1][1]:g} "
+                    f"!= _count {count:g}")
+    return errors, typed, series
+
+
+def find_required(req, typed, series):
+    """A family name, or a fully-labelled series. Returns value or None.
+
+    For a histogram family the representative value is its total _count
+    (summed over label sets), so --require-nonzero means 'observed
+    something'.
+    """
+    if "{" in req:
+        name, labels = req.split("{", 1)
+        labels = labels.rstrip("}")
+        key = (name, labels)
+        if key in series:
+            return series[key]
+        # histogram family with labels: fall back to its _count series
+        return series.get((name + "_count", labels))
+    if typed.get(req) == "histogram":
+        total = [v for (n, _), v in series.items() if n == req + "_count"]
+        return sum(total) if total else None
+    matches = [v for (n, _), v in series.items() if n == req]
+    return sum(matches) if matches else None
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Prometheus text-format lint for mvg metrics dumps")
+    ap.add_argument("file", help="metrics dump to validate")
+    ap.add_argument("--require", action="append", default=[],
+                    metavar="NAME", help="metric that must be present")
+    ap.add_argument("--require-nonzero", action="append", default=[],
+                    metavar="NAME",
+                    help="metric that must be present with value > 0")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_metrics_format: {e}", file=sys.stderr)
+        return 1
+    if not text.strip():
+        print("check_metrics_format: dump is empty", file=sys.stderr)
+        return 1
+
+    errors, typed, series = lint(text)
+    for req in args.require:
+        if find_required(req, typed, series) is None:
+            errors.append(f"required metric missing: {req}")
+    for req in args.require_nonzero:
+        value = find_required(req, typed, series)
+        if value is None:
+            errors.append(f"required metric missing: {req}")
+        elif not value > 0:
+            errors.append(f"required metric is zero: {req} = {value:g}")
+
+    if errors:
+        for err in errors:
+            print(f"check_metrics_format: {err}", file=sys.stderr)
+        print(f"{len(errors)} error(s) in {args.file}", file=sys.stderr)
+        return 1
+    print(f"check_metrics_format: {args.file} ok — "
+          f"{len(typed)} families, {len(series)} series")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
