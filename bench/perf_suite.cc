@@ -36,13 +36,16 @@
 #include <thread>
 #include <vector>
 
+#include "bench/legacy_kernels.h"
 #include "bench/legacy_parallel.h"
 #include "bench/legacy_vg.h"
 #include "core/feature_extractor.h"
 #include "core/mvg_classifier.h"
 #include "dist/reducer.h"
 #include "dist/shard_router.h"
+#include "ml/feature_table.h"
 #include "ml/gradient_boosting.h"
+#include "ml/hist_kernels.h"
 #include "ml/metrics.h"
 #include "motif/motif_counts.h"
 #include "obs/metrics.h"
@@ -54,10 +57,13 @@
 #include "ts/generators.h"
 #include "ts/paged_ucr_reader.h"
 #include "ts/ucr_io.h"
+#include "util/aligned_buffer.h"
 #include "util/binary_io.h"
 #include "util/parallel.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/timer.h"
+#include "vg/vg_kernels.h"
 #include "vg/visibility_graph.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -195,6 +201,11 @@ void WriteJson(const std::string& path, const std::vector<BenchResult>& results,
 #else
   out << "  \"build_type\": \"Debug\",\n";
 #endif
+  // Which vector backend the kernels were compiled with — reading a run's
+  // artifact without this is ambiguous (an MVG_SIMD_OFF build reports
+  // "scalar" and its kernel rows are the parity reference, not the fast
+  // path).
+  out << "  \"simd_backend\": \"" << mvg::simd::kBackendName << "\",\n";
   out << "  \"benchmarks\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -289,6 +300,198 @@ int main(int argc, char** argv) {
 
   std::vector<BenchResult> results;
   std::map<std::string, double> metrics;
+
+  // --- Vector kernels: per-stage ns/element vs the frozen scalar loops ---
+  // Each hot kernel is timed against its pre-SIMD spelling preserved in
+  // bench/legacy_kernels.h; the simd_*_speedup gates compare the two, so
+  // they measure the vectorization + cache-layout win in isolation (not
+  // end-to-end effects). ns/element = ns/iter divided by elements
+  // processed per call, printed alongside the raw rows. The gates are
+  // calibrated for vectorized builds — an MVG_SIMD_OFF build measures
+  // ~1.0 here and must not run --check (its role is the bit-parity lane).
+  std::printf("Kernels (simd backend: %s):\n", simd::kBackendName);
+  {
+    const auto ns_per_element = [](const BenchResult& r) {
+      return r.ns_per_iter / static_cast<double>(r.n);
+    };
+    const auto print_per_element = [&](const char* name,
+                                       const BenchResult& r) {
+      std::printf("  %-34s %10.3f ns/element\n", name, ns_per_element(r));
+    };
+
+    // Histogram accumulation: a mid-size training fold's FeatureTable,
+    // every feature column scanned into a per-node class histogram.
+    const size_t hist_rows = opt.quick ? 2048 : 16384;
+    const size_t hist_feats = 32;
+    const size_t num_classes = 3;
+    Rng rng(123);
+    Matrix hx(hist_rows, std::vector<double>(hist_feats));
+    std::vector<size_t> hy(hist_rows);
+    for (size_t i = 0; i < hist_rows; ++i) {
+      for (size_t f = 0; f < hist_feats; ++f) {
+        hx[i][f] = rng.Gaussian(0.0, 1.0);
+      }
+      hy[i] = i % num_classes;
+    }
+    FeatureTable ft;
+    ft.Build(hx);
+    std::vector<size_t> hrows(hist_rows);
+    for (size_t i = 0; i < hist_rows; ++i) hrows[i] = i;
+    RowStage stage;
+    stage.Stage(hrows, hy, 0, hist_rows);
+    AlignedBuffer<double> hist(FeatureTable::kMaxBins * num_classes);
+    uint16_t lo = 0, hi = 0;
+    const auto clear_span = [&] {
+      if (lo <= hi) {
+        std::fill(hist.data() + lo * num_classes,
+                  hist.data() + (hi + 1) * num_classes, 0.0);
+      }
+    };
+    const size_t hist_elems = hist_rows * hist_feats;
+    const BenchResult hist_simd =
+        TimeIt("kernel_hist_class_scan", hist_elems, opt, [&] {
+          for (size_t f = 0; f < hist_feats; ++f) {
+            ClassScan(ft.column(f), stage, num_classes, hist.data(), &lo, &hi);
+            clear_span();
+          }
+        });
+    const BenchResult hist_legacy =
+        TimeIt("kernel_hist_legacy_scalar", hist_elems, opt, [&] {
+          for (size_t f = 0; f < hist_feats; ++f) {
+            bench::LegacyClassScan(ft.column(f), hrows, hy, 0, hist_rows,
+                                   num_classes, hist.data(), &lo, &hi);
+            clear_span();
+          }
+        });
+    print_per_element("kernel_hist_class_scan", hist_simd);
+    print_per_element("kernel_hist_legacy_scalar", hist_legacy);
+    results.push_back(hist_simd);
+    results.push_back(hist_legacy);
+    if (hist_simd.ns_per_iter > 0.0) {
+      metrics["simd_hist_build_speedup"] =
+          hist_legacy.ns_per_iter / hist_simd.ns_per_iter;
+    }
+
+    // Visibility scans: one range's stage of the divide & conquer build —
+    // range argmax plus both slope scans — on the full top-level range,
+    // where the vector blocks (empty-mask skip, 4-lane max fold) actually
+    // engage. A counting sink stands in for the CSR builder so no shared
+    // representation cost dilutes the ratio; deeper recursion levels run
+    // the same code on geometrically shorter ranges, where the scalar
+    // tails take over (the end-to-end build is gated separately by
+    // vg_csr_speedup_vs_legacy_* below).
+    const size_t vg_n = opt.quick ? 1024 : 4096;
+    const Series vg_s = GaussianNoise(vg_n, 19);
+    size_t vg_sink = 0;
+    const BenchResult vg_simd =
+        TimeIt("kernel_vg_scan_stage", vg_n, opt, [&] {
+          size_t edges = 0;
+          const size_t k = RangeArgMax(vg_s.data(), 0, vg_n - 1);
+          if (k < vg_n - 1) {
+            VisibleRight(vg_s.data(), k, vg_n - 1, [&](size_t) { ++edges; });
+          }
+          if (k > 0) {
+            VisibleLeft(vg_s.data(), 0, k, [&](size_t) { ++edges; });
+          }
+          vg_sink += edges + k;
+        });
+    const BenchResult vg_legacy =
+        TimeIt("kernel_vg_scan_scalar", vg_n, opt, [&] {
+          vg_sink += bench::LegacyVisibilityScanStage(vg_s.data(), 0, vg_n - 1);
+        });
+    if (vg_sink == static_cast<size_t>(-1)) std::puts("");  // defeat DCE
+    print_per_element("kernel_vg_scan_stage", vg_simd);
+    print_per_element("kernel_vg_scan_scalar", vg_legacy);
+    results.push_back(vg_simd);
+    results.push_back(vg_legacy);
+    if (vg_simd.ns_per_iter > 0.0) {
+      metrics["simd_vg_build_speedup"] =
+          vg_legacy.ns_per_iter / vg_simd.ns_per_iter;
+    }
+
+    // GBT histogram update: the grad/hess pair scan over the staged rows —
+    // row-interleaved gh array + paired two-lane cell add vs the legacy
+    // separate grad/hess arrays with two strided stores per row. (The
+    // other per-round GBT loop, the logit update, ships as a plain
+    // per-row descent: a four-row lockstep variant was benchmarked here
+    // and lost above ~4k rows, so there is nothing to gate.)
+    std::vector<double> ggh(2 * hist_rows);
+    std::vector<double> ggrad(hist_rows), ghess(hist_rows);
+    {
+      Rng grng(321);
+      for (size_t i = 0; i < hist_rows; ++i) {
+        ggrad[i] = grng.Gaussian(0.0, 1.0);
+        ghess[i] = grng.Uniform(0.1, 1.0);
+        ggh[2 * i] = ggrad[i];
+        ggh[2 * i + 1] = ghess[i];
+      }
+    }
+    AlignedBuffer<double> pair_hist(FeatureTable::kMaxBins * 2);
+    const auto clear_pair_span = [&] {
+      if (lo <= hi) {
+        std::fill(pair_hist.data() + lo * 2, pair_hist.data() + (hi + 1) * 2,
+                  0.0);
+      }
+    };
+    const BenchResult gbt_simd =
+        TimeIt("kernel_gbt_pair_scan", hist_elems, opt, [&] {
+          for (size_t f = 0; f < hist_feats; ++f) {
+            PairScan(ft.column(f), stage, ggh.data(), pair_hist.data(), &lo,
+                     &hi);
+            clear_pair_span();
+          }
+        });
+    const BenchResult gbt_legacy =
+        TimeIt("kernel_gbt_pair_legacy", hist_elems, opt, [&] {
+          for (size_t f = 0; f < hist_feats; ++f) {
+            bench::LegacyPairScan(ft.column(f), hrows, ggrad, ghess, 0,
+                                  hist_rows, pair_hist.data(), &lo, &hi);
+            clear_pair_span();
+          }
+        });
+    print_per_element("kernel_gbt_pair_scan", gbt_simd);
+    print_per_element("kernel_gbt_pair_legacy", gbt_legacy);
+    results.push_back(gbt_simd);
+    results.push_back(gbt_legacy);
+    if (gbt_simd.ns_per_iter > 0.0) {
+      metrics["simd_gbt_update_speedup"] =
+          gbt_legacy.ns_per_iter / gbt_simd.ns_per_iter;
+    }
+
+    // Single-series predict tail latency through the full kernel stack
+    // (extraction -> features -> trees) — the row the per-stage numbers
+    // roll up into.
+    const size_t series_len = 128;
+    const size_t train_n = opt.quick ? 16 : 24;
+    Dataset ktrain("kernel_train");
+    for (size_t i = 0; i < train_n; ++i) {
+      ktrain.Add(GaussianNoise(series_len, 11500 + i),
+                 static_cast<int>(i % 2));
+    }
+    MvgClassifier::Config kconfig;
+    kconfig.grid = GridPreset::kNone;
+    MvgClassifier kclf(kconfig);
+    kclf.Fit(ktrain);
+    ServingSession ksession{std::move(kclf)};
+    const Series kprobe = GaussianNoise(series_len, 11900);
+    ksession.Predict(kprobe);  // warm the workspace pool
+    const size_t kcalls = opt.quick ? 16 : 64;
+    std::vector<double> kseconds(kcalls);
+    for (size_t c = 0; c < kcalls; ++c) {
+      WallTimer timer;
+      ksession.Predict(kprobe);
+      kseconds[c] = timer.Seconds();
+    }
+    std::sort(kseconds.begin(), kseconds.end());
+    const size_t p99_idx =
+        std::min(kcalls - 1,
+                 static_cast<size_t>(0.99 * static_cast<double>(kcalls)));
+    BenchResult kp99{"kernel_predict_single_p99", series_len, kcalls,
+                     kseconds[p99_idx] * 1e9};
+    std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
+                kp99.name.c_str(), kp99.n, kp99.ns_per_iter, kp99.iters);
+    results.push_back(kp99);
+  }
 
   // --- Visibility-graph construction: pooled CSR vs legacy baseline ---
   // Quick mode shrinks the time budget, never the size sweep, so every

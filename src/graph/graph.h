@@ -54,6 +54,11 @@ class Graph {
     return NeighborSpan(neighbors_.data() + offsets_[v], Degree(v));
   }
 
+  /// Flat CSR offset array, size num_vertices()+1 — the vectorized degree
+  /// kernels in graph_stats read all degrees as one adjacent-difference
+  /// sweep instead of |V| Degree() calls.
+  const size_t* offset_data() const { return offsets_.data(); }
+
   /// Binary search on the shorter of the two adjacency lists.
   bool HasEdge(VertexId u, VertexId v) const;
 

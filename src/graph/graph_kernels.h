@@ -1,0 +1,78 @@
+#ifndef MVG_GRAPH_GRAPH_KERNELS_H_
+#define MVG_GRAPH_GRAPH_KERNELS_H_
+
+// Shared inner-loop kernels of the graph-statistics and motif-count
+// features, written on util/simd.h. Everything here is integer-exact —
+// intersection sizes and degree folds are whole numbers — so the vector
+// paths return bit-identical results to a scalar rewrite by construction,
+// on every backend.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/simd.h"
+
+namespace mvg {
+
+/// |a ∩ b| for two sorted, duplicate-free vertex lists (CSR adjacency
+/// slices). Block-based merge: while both lists have a full 4-lane block
+/// left, the 16 cross-lane pairs are compared with four rotations of one
+/// block (each a-lane matches at most one b value, so OR-ing the masks and
+/// popcounting is exact), then the block with the smaller last element
+/// advances — every match is seen in exactly one block pairing. Scalar
+/// merge finishes the tails.
+inline int64_t CountSortedIntersection(const Graph::VertexId* a, size_t na,
+                                       const Graph::VertexId* b, size_t nb) {
+  int64_t cnt = 0;
+  size_t ia = 0, ib = 0;
+  while (ia + 4 <= na && ib + 4 <= nb) {
+    const simd::I32x4 va = simd::I32x4::Load(a + ia);
+    simd::I32x4 vb = simd::I32x4::Load(b + ib);
+    int m = EqMask(va, vb);
+    vb = RotateLanes1(vb);
+    m |= EqMask(va, vb);
+    vb = RotateLanes1(vb);
+    m |= EqMask(va, vb);
+    vb = RotateLanes1(vb);
+    m |= EqMask(va, vb);
+    cnt += simd::CountLanes(m);
+    const Graph::VertexId amax = a[ia + 3];
+    const Graph::VertexId bmax = b[ib + 3];
+    if (amax <= bmax) ia += 4;
+    if (bmax <= amax) ib += 4;
+  }
+  while (ia < na && ib < nb) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      ++cnt;
+      ++ia;
+      ++ib;
+    }
+  }
+  return cnt;
+}
+
+/// Index of the first element of the sorted list `a` strictly greater than
+/// `x` (== n when none is). The ">v" suffix split used by the per-edge
+/// scans that visit each undirected edge once.
+inline size_t FirstGreater(const Graph::VertexId* a, size_t n,
+                           Graph::VertexId x) {
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (a[mid] <= x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace mvg
+
+#endif  // MVG_GRAPH_GRAPH_KERNELS_H_

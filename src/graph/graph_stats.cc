@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <map>
 #include <queue>
+#include <vector>
+
+#include "graph/graph_kernels.h"
+#include "util/simd.h"
 
 namespace mvg {
 
@@ -15,20 +18,37 @@ double Density(const Graph& g) {
 }
 
 DegreeStats ComputeDegreeStats(const Graph& g) {
+  // Degrees are adjacent differences of the CSR offset array; one 4-lane
+  // sweep folds min and max (the degree sum is 2|E| by the handshake
+  // lemma). Integer min/max folds are order-insensitive, so the vector
+  // pass is exactly the scalar scan.
   DegreeStats st;
   const size_t n = g.num_vertices();
   if (n == 0) return st;
-  size_t mn = g.Degree(0), mx = g.Degree(0);
-  size_t sum = 0;
-  for (Graph::VertexId v = 0; v < n; ++v) {
-    const size_t d = g.Degree(v);
+  const size_t* off = g.offset_data();
+  int64_t mn = static_cast<int64_t>(g.Degree(0));
+  int64_t mx = mn;
+  size_t v = 0;
+  if (n >= 4) {
+    simd::I64x4 vmn = simd::I64x4::Broadcast(mn);
+    simd::I64x4 vmx = vmn;
+    for (; v + 4 <= n; v += 4) {
+      const simd::I64x4 d =
+          simd::I64x4::Load(off + v + 1) - simd::I64x4::Load(off + v);
+      vmn = MinI64(vmn, d);
+      vmx = MaxI64(vmx, d);
+    }
+    mn = ReduceMinI64(vmn);
+    mx = ReduceMaxI64(vmx);
+  }
+  for (; v < n; ++v) {
+    const int64_t d = static_cast<int64_t>(off[v + 1] - off[v]);
     mn = std::min(mn, d);
     mx = std::max(mx, d);
-    sum += d;
   }
   st.min = static_cast<double>(mn);
   st.max = static_cast<double>(mx);
-  st.mean = static_cast<double>(sum) / static_cast<double>(n);
+  st.mean = 2.0 * static_cast<double>(g.num_edges()) / static_cast<double>(n);
   return st;
 }
 
@@ -98,17 +118,44 @@ double DegreeAssortativity(const Graph& g) {
   // over all edges, j/k being endpoint degrees.
   const size_t m = g.num_edges();
   if (m == 0) return 0.0;
-  double s_jk = 0.0, s_half = 0.0, s_sq = 0.0;
-  for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
-    const double dj = static_cast<double>(g.Degree(u));
-    for (Graph::VertexId v : g.Neighbors(u)) {
-      if (v <= u) continue;
-      const double dk = static_cast<double>(g.Degree(v));
+  const size_t n = g.num_vertices();
+  // One pass materializes the degrees (the inner loop reads them per
+  // neighbor); the edge scan then accumulates the three Newman sums in
+  // 4-lane blocks. Every term is an integer or half-integer represented
+  // exactly in a double (degrees <= n < 2^26 for any graph that fits in
+  // memory), so the sums are exact and the lane split cannot change them.
+  std::vector<double> deg(n);
+  for (size_t v = 0; v < n; ++v) deg[v] = static_cast<double>(g.Degree(v));
+  simd::F64x4 v_jk = simd::F64x4::Zero();
+  simd::F64x4 v_sum = simd::F64x4::Zero();   // sum of dj + dk (halved below)
+  simd::F64x4 v_sq2 = simd::F64x4::Zero();   // sum of dj^2 + dk^2
+  double s_jk = 0.0, s_sum = 0.0, s_sq2 = 0.0;
+  for (Graph::VertexId u = 0; u < n; ++u) {
+    const Graph::NeighborSpan nb = g.Neighbors(u);
+    const double dj = deg[u];
+    // Neighbors are sorted: the v > u suffix starts after the first
+    // neighbor greater than u.
+    size_t i = FirstGreater(nb.data(), nb.size(), u);
+    const simd::F64x4 djv = simd::F64x4::Broadcast(dj);
+    const simd::F64x4 dj2v = simd::F64x4::Broadcast(dj * dj);
+    for (; i + 4 <= nb.size(); i += 4) {
+      const simd::F64x4 dk =
+          simd::F64x4::Set(deg[nb[i]], deg[nb[i + 1]], deg[nb[i + 2]],
+                           deg[nb[i + 3]]);
+      v_jk = v_jk + djv * dk;
+      v_sum = v_sum + (djv + dk);
+      v_sq2 = v_sq2 + (dj2v + dk * dk);
+    }
+    for (; i < nb.size(); ++i) {
+      const double dk = deg[nb[i]];
       s_jk += dj * dk;
-      s_half += 0.5 * (dj + dk);
-      s_sq += 0.5 * (dj * dj + dk * dk);
+      s_sum += dj + dk;
+      s_sq2 += dj * dj + dk * dk;
     }
   }
+  const double s_half = 0.5 * (s_sum + ReduceAddOrdered(v_sum));
+  s_jk += ReduceAddOrdered(v_jk);
+  const double s_sq = 0.5 * (s_sq2 + ReduceAddOrdered(v_sq2));
   const double inv_m = 1.0 / static_cast<double>(m);
   const double num = inv_m * s_jk - (inv_m * s_half) * (inv_m * s_half);
   const double den = inv_m * s_sq - (inv_m * s_half) * (inv_m * s_half);
@@ -220,19 +267,34 @@ std::vector<double> NormalizeBetweenness(std::vector<double> centrality,
 }
 
 double DegreeDistributionEntropy(const Graph& g) {
+  // Counting buckets indexed by degree replace the ordered map (one flat
+  // array, no node allocations); iterating the buckets ascending visits
+  // the same (degree, count) pairs in the same order, so the entropy sum
+  // is bit-identical to the map version.
   const size_t n = g.num_vertices();
   if (n == 0) return 0.0;
-  std::map<size_t, double> hist;
-  for (Graph::VertexId v = 0; v < n; ++v) hist[g.Degree(v)] += 1.0;
+  size_t max_degree = 0;
+  for (Graph::VertexId v = 0; v < n; ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  std::vector<int64_t> hist(max_degree + 1, 0);
+  for (Graph::VertexId v = 0; v < n; ++v) ++hist[g.Degree(v)];
   double h = 0.0;
-  for (const auto& [degree, count] : hist) {
-    const double p = count / static_cast<double>(n);
+  for (size_t d = 0; d <= max_degree; ++d) {
+    if (hist[d] == 0) continue;
+    const double p = static_cast<double>(hist[d]) / static_cast<double>(n);
     h -= p * std::log(p);
   }
   return h;
 }
 
 double AverageClustering(const Graph& g) {
+  // links(v) = edges among N(v) = sum over u in N(v) of
+  // |{w in N(v) : w > u} ∩ N(u)| — each adjacent pair counted at its
+  // smaller endpoint. The sorted-intersection kernel replaces the
+  // O(d^2 log d) per-pair HasEdge probes; the link count is an integer
+  // either way, so every per-vertex coefficient (and their sum, taken in
+  // the same v order) is unchanged bit for bit.
   const size_t n = g.num_vertices();
   if (n == 0) return 0.0;
   double acc = 0.0;
@@ -240,11 +302,12 @@ double AverageClustering(const Graph& g) {
     const Graph::NeighborSpan nb = g.Neighbors(v);
     const size_t d = nb.size();
     if (d < 2) continue;
-    size_t links = 0;
-    for (size_t i = 0; i < d; ++i) {
-      for (size_t j = i + 1; j < d; ++j) {
-        if (g.HasEdge(nb[i], nb[j])) ++links;
-      }
+    int64_t links = 0;
+    for (size_t i = 0; i + 1 < d; ++i) {
+      const Graph::NeighborSpan nu = g.Neighbors(nb[i]);
+      const size_t start = FirstGreater(nu.data(), nu.size(), nb[i]);
+      links += CountSortedIntersection(nb.data() + i + 1, d - i - 1,
+                                       nu.data() + start, nu.size() - start);
     }
     acc += 2.0 * static_cast<double>(links) /
            (static_cast<double>(d) * static_cast<double>(d - 1));

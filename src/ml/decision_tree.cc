@@ -9,28 +9,53 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ml/hist_kernels.h"
 #include "ml/histogram_reducer.h"
 #include "obs/obs.h"
 #include "util/binary_io.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace mvg {
 
 namespace {
 
 /// Impurity of a class histogram with `total` samples.
+///
+/// The Gini branch runs 4 classes per iteration: p*p is per-element IEEE,
+/// and the lanes are subtracted from `imp` in class order, so bits match
+/// the scalar spelling exactly — an empty class contributes p*p == 0.0 and
+/// x - 0.0 == x, which is why the scalar path's `c <= 0` skip can be
+/// dropped. Entropy stays scalar: there the skip is semantic
+/// (0 * log2(0) would be NaN).
 double Impurity(const std::vector<double>& hist, double total,
                 bool use_entropy) {
   if (total <= 0.0) return 0.0;
-  double imp = use_entropy ? 0.0 : 1.0;
-  for (double c : hist) {
-    if (c <= 0.0) continue;
-    const double p = c / total;
-    if (use_entropy) {
+  if (use_entropy) {
+    double imp = 0.0;
+    for (double c : hist) {
+      if (c <= 0.0) continue;
+      const double p = c / total;
       imp -= p * std::log2(p);
-    } else {
-      imp -= p * p;
     }
+    return imp;
+  }
+  double imp = 1.0;
+  const size_t k = hist.size();
+  const double* h = hist.data();
+  const simd::F64x4 vt = simd::F64x4::Broadcast(total);
+  size_t c = 0;
+  for (; c + 4 <= k; c += 4) {
+    const simd::F64x4 p = simd::F64x4::Load(h + c) / vt;
+    const simd::F64x4 pp = p * p;
+    imp -= pp.Lane(0);
+    imp -= pp.Lane(1);
+    imp -= pp.Lane(2);
+    imp -= pp.Lane(3);
+  }
+  for (; c < k; ++c) {
+    const double p = h[c] / total;
+    imp -= p * p;
   }
   return imp;
 }
@@ -90,6 +115,7 @@ struct DecisionTreeClassifier::HistBuilder {
   std::vector<double> fbuf;         ///< single-feature histogram (sampled).
   std::vector<double> totals;       ///< per-node class counts (k).
   std::vector<double> left, right;  ///< split-sweep scratch (k each).
+  RowStage stage;                   ///< 32-bit staged rows for the scans.
 
   /// Distributed mode (red != nullptr): this rank accumulates class
   /// counts only for compact rows in [own_begin, own_end), in exact
@@ -141,19 +167,13 @@ struct DecisionTreeClassifier::HistBuilder {
     double* h = hpool->hist(buf);
     uint16_t* plo = hpool->lo(buf);
     uint16_t* phi = hpool->hi(buf);
+    // Stage the rows once (32-bit ids, contiguity detection), then run the
+    // vector scan kernel per feature — see hist_kernels.h for why the
+    // result is bit-identical to the scalar row loop.
+    stage.Stage(rows, y, begin, end);
     for (size_t f = 0; f < d; ++f) {
-      const uint8_t* col = ft.column(f);
-      double* base = h + hpool->slot_offset(f);
-      uint16_t lo = 0xffff, hi = 0;
-      for (size_t i = begin; i < end; ++i) {
-        const size_t r = rows[i];
-        const uint16_t b = col[r];
-        lo = std::min(lo, b);
-        hi = std::max(hi, b);
-        base[static_cast<size_t>(b) * k + y[r]] += 1.0;
-      }
-      plo[f] = lo;
-      phi[f] = hi;
+      ClassScan(ft.column(f), stage, k, h + hpool->slot_offset(f), plo + f,
+                phi + f);
     }
   }
 
@@ -216,10 +236,22 @@ struct DecisionTreeClassifier::HistBuilder {
     const double min_leaf = static_cast<double>(params.min_samples_leaf);
     std::fill(left.begin(), left.end(), 0.0);
     double nl = 0.0;
+    double* lp = left.data();
+    double* rp = right.data();
+    const double* tp = totals.data();
     for (size_t b = lo; b + 1 < nb && b < hi; ++b) {
+      // left/bin_total accumulate integer counts — exact in any order, so
+      // the 4-class-wide body and lane-order bin_total fold are
+      // bit-identical to the scalar class loop.
       double bin_total = 0.0;
-      for (size_t c = 0; c < k; ++c) {
-        left[c] += fh[b * k + c];
+      size_t c = 0;
+      for (; c + 4 <= k; c += 4) {
+        const simd::F64x4 fv = simd::F64x4::Load(fh + b * k + c);
+        (simd::F64x4::Load(lp + c) + fv).Store(lp + c);
+        bin_total += ReduceAddOrdered(fv);
+      }
+      for (; c < k; ++c) {
+        lp[c] += fh[b * k + c];
         bin_total += fh[b * k + c];
       }
       nl += bin_total;
@@ -229,7 +261,10 @@ struct DecisionTreeClassifier::HistBuilder {
       if (nr <= 0.0) break;
       if (bin_total == 0.0) continue;
       if (nl < min_leaf || nr < min_leaf) continue;
-      for (size_t c = 0; c < k; ++c) right[c] = totals[c] - left[c];
+      for (c = 0; c + 4 <= k; c += 4) {
+        (simd::F64x4::Load(tp + c) - simd::F64x4::Load(lp + c)).Store(rp + c);
+      }
+      for (; c < k; ++c) rp[c] = tp[c] - lp[c];
       const double gain =
           parent_imp -
           (nl / static_cast<double>(n)) *
@@ -335,18 +370,12 @@ struct DecisionTreeClassifier::HistBuilder {
     } else {
       // fbuf is kept all-zero between features: accumulate, sweep, then
       // clear just the dirty span.
+      stage.Stage(rows, y, begin, end);
       for (size_t f : features) {
         const size_t nb = ft.num_bins(f);
         if (nb < 2) continue;
-        const uint8_t* col = ft.column(f);
-        uint16_t lo = 0xffff, hi = 0;
-        for (size_t i = begin; i < end; ++i) {
-          const size_t r = rows[i];
-          const uint16_t b = col[r];
-          lo = std::min(lo, b);
-          hi = std::max(hi, b);
-          fbuf[static_cast<size_t>(b) * k + y[r]] += 1.0;
-        }
+        uint16_t lo, hi;
+        ClassScan(ft.column(f), stage, k, fbuf.data(), &lo, &hi);
         SweepFeature(f, fbuf.data(), n, parent_imp, lo, hi, &best_gain,
                      &best_feature, &best_bin, &best_threshold);
         std::fill(fbuf.begin() + static_cast<std::ptrdiff_t>(lo * k),

@@ -53,7 +53,10 @@ void FeatureTableBuilder::Finish(FeatureTable* out) {
   out->num_features_ = num_features_;
   out->src_rows_.resize(num_rows_);
   std::iota(out->src_rows_.begin(), out->src_rows_.end(), size_t{0});
-  out->bins_.assign(num_features_ * num_rows_, 0);
+  // Columns padded to whole cache lines (padding bytes zero) so vector
+  // kernels get split-free, over-read-safe column access.
+  out->row_stride_ = AlignedStride(num_rows_, sizeof(uint8_t));
+  out->bins_.ResetZero(num_features_ * out->row_stride_);
   out->cuts_.clear();
   out->cut_offset_.assign(num_features_ + 1, 0);
 
@@ -95,7 +98,7 @@ void FeatureTableBuilder::Finish(FeatureTable* out) {
     // `value <= threshold(f, b)` — the routing Predict applies later.
     const double* cuts_f = out->cuts_.data() + cuts_begin;
     const size_t num_cuts = out->cuts_.size() - cuts_begin;
-    uint8_t* col = out->bins_.data() + f * num_rows_;
+    uint8_t* col = out->bins_.data() + f * out->row_stride_;
     for (size_t i = 0; i < num_rows_; ++i) {
       col[i] = static_cast<uint8_t>(
           std::lower_bound(cuts_f, cuts_f + num_cuts, column[i]) - cuts_f);

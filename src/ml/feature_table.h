@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "ml/classifier.h"
+#include "util/aligned_buffer.h"
+#include "util/simd.h"
 
 namespace mvg {
 
@@ -61,10 +63,22 @@ class FeatureTable {
   }
 
   /// Bin id of compact row i under feature f.
-  uint8_t bin(size_t f, size_t i) const { return bins_[f * num_rows_ + i]; }
+  uint8_t bin(size_t f, size_t i) const {
+    return bins_[f * row_stride_ + i];
+  }
 
-  /// Contiguous bin-id column of feature f (num_rows() entries).
-  const uint8_t* column(size_t f) const { return bins_.data() + f * num_rows_; }
+  /// Contiguous bin-id column of feature f (num_rows() live entries). Every
+  /// column starts on a cache line and is padded to a whole number of cache
+  /// lines with zero bytes (see row_stride()), so vector loads over a
+  /// column never split a line and tail over-reads stay in-allocation.
+  const uint8_t* column(size_t f) const {
+    return bins_.data() + f * row_stride_;
+  }
+
+  /// Bytes between consecutive columns: num_rows() rounded up to a whole
+  /// number of cache lines. Bytes in [num_rows(), row_stride()) of each
+  /// column are zero.
+  size_t row_stride() const { return row_stride_; }
 
   /// Real-valued threshold realising the split "bin <= b goes left": every
   /// training value in bins 0..b is <= threshold(f, b) and every value in
@@ -82,7 +96,8 @@ class FeatureTable {
 
   size_t num_rows_ = 0;
   size_t num_features_ = 0;
-  std::vector<uint8_t> bins_;       ///< column-major, f * num_rows_ + i.
+  size_t row_stride_ = 0;           ///< padded column stride, in bytes.
+  AlignedBuffer<uint8_t> bins_;     ///< column-major, f * row_stride_ + i.
   std::vector<double> cuts_;        ///< strictly increasing cut points, flat.
   std::vector<size_t> cut_offset_;  ///< per-feature offset into cuts_ (d+1).
   std::vector<size_t> src_rows_;    ///< compact index -> original row.
@@ -168,7 +183,7 @@ class NodeHistogramPool {
 
   size_t Acquire() {
     if (free_list_.empty()) {
-      pool_.emplace_back(hist_size_);
+      pool_.emplace_back(hist_size_);  // AlignedBuffer: 64B slab, zeroed.
       lo_.emplace_back(offsets_.size());
       hi_.emplace_back(offsets_.size());
       free_list_.push_back(pool_.size() - 1);
@@ -196,9 +211,14 @@ class NodeHistogramPool {
     for (size_t j = 0; j < offsets_.size(); ++j) {
       const size_t base = offsets_[j] * width_;
       const size_t lo = lo_[buf][j], hi = hi_[buf][j];
-      for (size_t i = base + lo * width_; i < base + (hi + 1) * width_; ++i) {
-        a[i] -= b[i];
+      // Per-element subtraction: vector and scalar spellings are the same
+      // IEEE op per cell, so a 4-wide body + scalar tail is bit-identical.
+      size_t i = base + lo * width_;
+      const size_t end = base + (hi + 1) * width_;
+      for (; i + 4 <= end; i += 4) {
+        (simd::F64x4::Load(a + i) - simd::F64x4::Load(b + i)).Store(a + i);
       }
+      for (; i < end; ++i) a[i] -= b[i];
     }
   }
 
@@ -240,7 +260,7 @@ class NodeHistogramPool {
   size_t width_ = 0;
   size_t hist_size_ = 0;
   std::vector<size_t> offsets_;  ///< per-slot bin offset.
-  std::vector<std::vector<double>> pool_;
+  std::vector<AlignedBuffer<double>> pool_;
   std::vector<std::vector<uint16_t>> lo_, hi_;
   std::vector<size_t> free_list_;
 };

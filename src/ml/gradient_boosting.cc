@@ -6,6 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/hist_kernels.h"
 #include "ml/histogram_reducer.h"
 #include "obs/obs.h"
 #include "util/binary_io.h"
@@ -16,16 +17,22 @@ namespace mvg {
 
 namespace {
 
-/// Numerically stable softmax over logits.
-std::vector<double> Softmax(const std::vector<double>& logits) {
-  const double mx = *std::max_element(logits.begin(), logits.end());
-  std::vector<double> p(logits.size());
+/// Numerically stable softmax, allocation-free (the fused gradient pass
+/// calls this once per row per round).
+void SoftmaxInto(const double* logits, size_t k, double* p) {
+  double mx = logits[0];
+  for (size_t i = 1; i < k; ++i) mx = std::max(mx, logits[i]);
   double sum = 0.0;
-  for (size_t i = 0; i < logits.size(); ++i) {
+  for (size_t i = 0; i < k; ++i) {
     p[i] = std::exp(logits[i] - mx);
     sum += p[i];
   }
-  for (double& v : p) v /= sum;
+  for (size_t i = 0; i < k; ++i) p[i] /= sum;
+}
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  std::vector<double> p(logits.size());
+  SoftmaxInto(logits.data(), logits.size(), p.data());
   return p;
 }
 
@@ -45,8 +52,10 @@ double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
 
 struct GradientBoostingClassifier::HistBuilder {
   const FeatureTable& ft;
-  const std::vector<double>& grad;
-  const std::vector<double>& hess;
+  /// Row-interleaved per-row gradients/hessians: gh[2r] = grad(r),
+  /// gh[2r+1] = hess(r). One cache line serves both halves of a row, and
+  /// the scan's paired cell update is a single two-lane vector add.
+  const std::vector<double>& gh;
   const Params& params;
   const std::vector<size_t>& cols;
   Tree* tree;
@@ -54,6 +63,7 @@ struct GradientBoostingClassifier::HistBuilder {
 
   std::vector<size_t> rows;
   std::vector<size_t> scratch;
+  RowStage stage;  ///< 32-bit staged rows for the scans.
   /// Shared pool machinery (free list, all-zero invariant, dirty-span
   /// bookkeeping, sibling subtraction); slot j = cols[j], 2 doubles per
   /// bin (grad, hess).
@@ -70,22 +80,21 @@ struct GradientBoostingClassifier::HistBuilder {
   std::vector<int64_t> gq, hq;  ///< quantized per-row grad/hess.
   std::vector<int64_t> ibuf;    ///< int64 histogram staging.
 
-  HistBuilder(const FeatureTable& ft_in, const std::vector<double>& grad_in,
-              const std::vector<double>& hess_in, const Params& params_in,
-              const std::vector<size_t>& cols_in, Tree* tree_in,
-              std::vector<double>* gains_in)
-      : ft(ft_in), grad(grad_in), hess(hess_in), params(params_in),
-        cols(cols_in), tree(tree_in), gains(gains_in),
-        hpool(ft_in, cols_in, 2) {
+  HistBuilder(const FeatureTable& ft_in, const std::vector<double>& gh_in,
+              const Params& params_in, const std::vector<size_t>& cols_in,
+              Tree* tree_in, std::vector<double>* gains_in)
+      : ft(ft_in), gh(gh_in), params(params_in), cols(cols_in), tree(tree_in),
+        gains(gains_in), hpool(ft_in, cols_in, 2) {
     red = params.reducer;
     if (red != nullptr) {
       own_begin = OwnedRowsBegin(ft.num_rows(), red->rank(), red->world_size());
       own_end = OwnedRowsEnd(ft.num_rows(), red->rank(), red->world_size());
-      gq.resize(grad.size());
-      hq.resize(hess.size());
-      for (size_t r = 0; r < grad.size(); ++r) {
-        gq[r] = QuantizeGradHess(grad[r]);
-        hq[r] = QuantizeGradHess(hess[r]);
+      const size_t n = gh.size() / 2;
+      gq.resize(n);
+      hq.resize(n);
+      for (size_t r = 0; r < n; ++r) {
+        gq[r] = QuantizeGradHess(gh[2 * r]);
+        hq[r] = QuantizeGradHess(gh[2 * r + 1]);
       }
       ibuf.resize(hpool.hist_size());
     }
@@ -102,21 +111,14 @@ struct GradientBoostingClassifier::HistBuilder {
     double* h = hpool.hist(buf);
     uint16_t* plo = hpool.lo(buf);
     uint16_t* phi = hpool.hi(buf);
+    // Stage the rows once (32-bit ids, contiguity detection), then run the
+    // vector pair-scan kernel per tracked column — rows accumulate in
+    // staged order, so the FP sums match the scalar loop bit for bit (see
+    // hist_kernels.h).
+    stage.StageRows(rows, begin, end);
     for (size_t j = 0; j < cols.size(); ++j) {
-      const uint8_t* col = ft.column(cols[j]);
-      double* base = h + hpool.slot_offset(j);
-      uint16_t lo = 0xffff, hi = 0;
-      for (size_t i = begin; i < end; ++i) {
-        const size_t r = rows[i];
-        const uint16_t b = col[r];
-        lo = std::min(lo, b);
-        hi = std::max(hi, b);
-        double* cell = base + static_cast<size_t>(b) * 2;
-        cell[0] += grad[r];
-        cell[1] += hess[r];
-      }
-      plo[j] = lo;
-      phi[j] = hi;
+      PairScan(ft.column(cols[j]), stage, gh.data(),
+               h + hpool.slot_offset(j), plo + j, phi + j);
     }
   }
 
@@ -183,8 +185,9 @@ struct GradientBoostingClassifier::HistBuilder {
       h_sum = DequantizeGradHess(acc[1]);
     } else {
       for (size_t i = begin; i < end; ++i) {
-        g_sum += grad[rows[i]];
-        h_sum += hess[rows[i]];
+        const double* cell = gh.data() + 2 * rows[i];
+        g_sum += cell[0];
+        h_sum += cell[1];
       }
     }
 
@@ -336,13 +339,13 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
   if (hist) ft.Build(x, src, params_.max_bins);
 
   // Current logit / probability per sample per output, and per-output
-  // gradient buffers — all hoisted out of the round loop.
+  // row-interleaved gradient/hessian buffers (ghs[out][2i] = grad,
+  // ghs[out][2i+1] = hess — the layout the histogram scans consume) — all
+  // hoisted out of the round loop.
   Matrix logits(n, base_score_);
   Matrix probs(n, std::vector<double>(num_outputs));
-  std::vector<std::vector<double>> grads(num_outputs,
-                                         std::vector<double>(n));
-  std::vector<std::vector<double>> hesses(num_outputs,
-                                          std::vector<double>(n));
+  std::vector<std::vector<double>> ghs(num_outputs,
+                                       std::vector<double>(2 * n));
   std::vector<std::vector<double>> out_gains(num_outputs,
                                              std::vector<double>(d));
 
@@ -379,15 +382,29 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
       }
     }
 
-    // Probabilities once per round (the serial path used to recompute the
-    // softmax for every output).
+    // Fused softmax-gradient pass: one row-parallel sweep computes the
+    // probabilities AND every output's (grad, hess) pair straight into the
+    // interleaved buffers. Each (row, output) cell is a pure function of
+    // that row's logits, so the fusion (and the thread partitioning) is
+    // invisible in the results; the serial path used to recompute the
+    // softmax for every output and fill the gradients tree by tree.
     ParallelFor(
         n, params_.num_threads,
         [&](size_t i) {
+          const double* lg = logits[i].data();
+          double* pr = probs[i].data();
           if (binary) {
-            probs[i][0] = Sigmoid(logits[i][0]);
+            pr[0] = Sigmoid(lg[0]);
           } else {
-            probs[i] = Softmax(logits[i]);
+            SoftmaxInto(lg, num_outputs, pr);
+          }
+          for (size_t out = 0; out < num_outputs; ++out) {
+            const double p = pr[binary ? 0 : out];
+            const double target =
+                (binary ? encoded[i] == 1 : encoded[i] == out) ? 1.0 : 0.0;
+            double* cell = ghs[out].data() + 2 * i;
+            cell[0] = p - target;
+            cell[1] = std::max(1e-12, p * (1.0 - p));
           }
         },
         kRowGrain);
@@ -396,25 +413,16 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
     // per output and merged in output order below.
     std::vector<Tree> round_trees(num_outputs);
     ParallelFor(num_outputs, tree_threads, [&](size_t out) {
-      std::vector<double>& grad = grads[out];
-      std::vector<double>& hess = hesses[out];
-      for (size_t i = 0; i < n; ++i) {
-        const double p = probs[i][binary ? 0 : out];
-        const double target =
-            (binary ? encoded[i] == 1 : encoded[i] == out) ? 1.0 : 0.0;
-        grad[i] = p - target;
-        hess[i] = std::max(1e-12, p * (1.0 - p));
-      }
       std::fill(out_gains[out].begin(), out_gains[out].end(), 0.0);
       if (hist) {
         Tree tree;
-        HistBuilder builder(ft, grad, hess, params_, cols[out], &tree,
+        HistBuilder builder(ft, ghs[out], params_, cols[out], &tree,
                             &out_gains[out]);
         builder.Run(rows);
         round_trees[out] = std::move(tree);
       } else {
         round_trees[out] =
-            BuildTreeExact(x, src, grad, hess, rows, cols[out],
+            BuildTreeExact(x, src, ghs[out], rows, cols[out],
                            &out_gains[out]);
       }
     });
@@ -422,16 +430,12 @@ void GradientBoostingClassifier::FitView(const Matrix& x,
       for (size_t f = 0; f < d; ++f) feature_gain_[f] += out_gains[out][f];
     }
 
-    // Update logits with shrinkage.
-    ParallelFor(
-        n, params_.num_threads,
-        [&](size_t i) {
-          for (size_t out = 0; out < num_outputs; ++out) {
-            logits[i][out] += params_.learning_rate *
-                              PredictTree(round_trees[out], x[src[i]]);
-          }
-        },
-        kRowGrain);
+    // Update logits with shrinkage (the interleaved-traversal kernel).
+    for (size_t out = 0; out < num_outputs; ++out) {
+      UpdateLogitsWithTree(round_trees[out].data(), x, src,
+                           params_.learning_rate, out, &logits,
+                           params_.num_threads);
+    }
     for (const Tree& tree : round_trees) AppendTree(tree);
     ++num_rounds_;
   }
@@ -444,24 +448,23 @@ void GradientBoostingClassifier::AppendTree(const Tree& tree) {
 
 GradientBoostingClassifier::Tree GradientBoostingClassifier::BuildTreeExact(
     const Matrix& x, const std::vector<size_t>& src,
-    const std::vector<double>& grad, const std::vector<double>& hess,
-    const std::vector<size_t>& rows, const std::vector<size_t>& cols,
-    std::vector<double>* gains) {
+    const std::vector<double>& gh, const std::vector<size_t>& rows,
+    const std::vector<size_t>& cols, std::vector<double>* gains) {
   Tree tree;
   std::vector<size_t> mutable_rows = rows;
-  BuildTreeNode(x, src, grad, hess, &mutable_rows, cols, 0, &tree, gains);
+  BuildTreeNode(x, src, gh, &mutable_rows, cols, 0, &tree, gains);
   return tree;
 }
 
 int32_t GradientBoostingClassifier::BuildTreeNode(
     const Matrix& x, const std::vector<size_t>& src,
-    const std::vector<double>& grad, const std::vector<double>& hess,
-    std::vector<size_t>* rows, const std::vector<size_t>& cols, size_t depth,
-    Tree* tree, std::vector<double>* gains) {
+    const std::vector<double>& gh, std::vector<size_t>* rows,
+    const std::vector<size_t>& cols, size_t depth, Tree* tree,
+    std::vector<double>* gains) {
   double g_sum = 0.0, h_sum = 0.0;
   for (size_t r : *rows) {
-    g_sum += grad[r];
-    h_sum += hess[r];
+    g_sum += gh[2 * r];
+    h_sum += gh[2 * r + 1];
   }
 
   auto make_leaf = [&]() {
@@ -486,8 +489,8 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
     std::sort(vals.begin(), vals.end());
     double gl = 0.0, hl = 0.0;
     for (size_t i = 0; i + 1 < vals.size(); ++i) {
-      gl += grad[vals[i].second];
-      hl += hess[vals[i].second];
+      gl += gh[2 * vals[i].second];
+      hl += gh[2 * vals[i].second + 1];
       if (vals[i].first == vals[i + 1].first) continue;
       const double gr = g_sum - gl, hr = h_sum - hl;
       if (hl < params_.min_child_weight || hr < params_.min_child_weight) {
@@ -523,9 +526,9 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
   const int32_t id = static_cast<int32_t>(tree->size() - 1);
   rows->clear();
   rows->shrink_to_fit();
-  const int32_t left = BuildTreeNode(x, src, grad, hess, &left_rows, cols,
+  const int32_t left = BuildTreeNode(x, src, gh, &left_rows, cols,
                                      depth + 1, tree, gains);
-  const int32_t right = BuildTreeNode(x, src, grad, hess, &right_rows, cols,
+  const int32_t right = BuildTreeNode(x, src, gh, &right_rows, cols,
                                       depth + 1, tree, gains);
   (*tree)[id].left = left;
   (*tree)[id].right = right;
@@ -535,6 +538,29 @@ int32_t GradientBoostingClassifier::BuildTreeNode(
 double GradientBoostingClassifier::PredictTree(const Tree& tree,
                                                const std::vector<double>& x) {
   return PredictTreeAt(tree.data(), x);
+}
+
+void GradientBoostingClassifier::UpdateLogitsWithTree(
+    const TreeNode* nodes, const Matrix& x, const std::vector<size_t>& src,
+    double lr, size_t out, Matrix* logits, size_t num_threads) {
+  // Plain per-row descent. A four-row lockstep variant was benchmarked and
+  // lost above ~4k rows (the descent is bound by the row-data loads, which
+  // out-of-order execution already overlaps across loop iterations), so the
+  // simple shape — which is also trivially bit-identical to any reordering —
+  // is the one that ships.
+  ParallelFor(
+      src.size(), num_threads,
+      [&](size_t i) {
+        const std::vector<double>& xr = x[src[i]];
+        int32_t cur = 0;
+        while (nodes[cur].feature >= 0) {
+          const TreeNode& nd = nodes[cur];
+          cur = xr[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                    : nd.right;
+        }
+        (*logits)[i][out] += lr * nodes[cur].weight;
+      },
+      /*grain=*/512);
 }
 
 double GradientBoostingClassifier::PredictTreeAt(const TreeNode* nodes,

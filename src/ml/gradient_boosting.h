@@ -97,6 +97,15 @@ class GradientBoostingClassifier : public Classifier {
 
   const Params& params() const { return params_; }
 
+  /// The per-round boosting update: logits[i][out] += lr * tree(x[src[i]])
+  /// for every compact row i, each row an independent descent (so the
+  /// result is bit-identical for every thread count). Public so the perf
+  /// suite can exercise the kernel in isolation.
+  static void UpdateLogitsWithTree(const TreeNode* nodes, const Matrix& x,
+                                   const std::vector<size_t>& src, double lr,
+                                   size_t out, Matrix* logits,
+                                   size_t num_threads);
+
  private:
   using Tree = std::vector<TreeNode>;
 
@@ -107,18 +116,18 @@ class GradientBoostingClassifier : public Classifier {
   void FitView(const Matrix& x, const std::vector<size_t>& src,
                const std::vector<size_t>& encoded);
 
-  /// Builds one exact-mode regression tree on (grad, hess) restricted to
-  /// `rows` (compact); split gains are accumulated into `gains`.
+  /// Builds one exact-mode regression tree on the row-interleaved
+  /// gradient/hessian array `gh` (gh[2r] = grad, gh[2r+1] = hess — the
+  /// cache layout the histogram engine scans) restricted to `rows`
+  /// (compact); split gains are accumulated into `gains`.
   Tree BuildTreeExact(const Matrix& x, const std::vector<size_t>& src,
-                      const std::vector<double>& grad,
-                      const std::vector<double>& hess,
+                      const std::vector<double>& gh,
                       const std::vector<size_t>& rows,
                       const std::vector<size_t>& cols,
                       std::vector<double>* gains);
 
   int32_t BuildTreeNode(const Matrix& x, const std::vector<size_t>& src,
-                        const std::vector<double>& grad,
-                        const std::vector<double>& hess,
+                        const std::vector<double>& gh,
                         std::vector<size_t>* rows,
                         const std::vector<size_t>& cols, size_t depth,
                         Tree* tree, std::vector<double>* gains);

@@ -1,0 +1,221 @@
+#ifndef MVG_ML_HIST_KERNELS_H_
+#define MVG_ML_HIST_KERNELS_H_
+
+// Histogram-accumulation kernels shared by the decision-tree and GBT
+// engines, written on util/simd.h so the vector and scalar builds are the
+// same code path (and therefore bit-identical — see the determinism notes
+// on each kernel).
+//
+// Layout contract: `col` is a FeatureTable column (cache-line aligned,
+// zero-padded to row_stride()); `base` is the bin-major histogram slot
+// (`width` doubles per bin) inside a 64-byte pool slab. A node's rows are
+// staged once per scan into 32-bit row/class arrays (RowStage), amortising
+// the narrowing over all scanned features; the root node's rows are the
+// identity permutation, which the stage detects and routes to the
+// contiguous kernels (no per-row index load, vectorised bin-span pre-pass,
+// 4 rows per iteration).
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/simd.h"
+
+namespace mvg {
+
+/// Min/max bin id over a contiguous u8 column span — the occupied-bin
+/// bounds [lo, hi] the sweep and Release use. 16 bytes per iteration with
+/// a scalar tail (the tail never reads past n: padding stays untouched, so
+/// zero-padding cannot widen the span). Requires n > 0.
+MVG_NO_AUTOVEC inline void U8Span(const uint8_t* p, size_t n, uint16_t* plo,
+                                  uint16_t* phi) {
+  assert(n > 0);
+  uint8_t mn = 0xff, mx = 0;
+  size_t i = 0;
+  if (n >= 16) {
+    simd::U8x16 vmn = simd::U8x16::Load(p);
+    simd::U8x16 vmx = vmn;
+    for (i = 16; i + 16 <= n; i += 16) {
+      const simd::U8x16 v = simd::U8x16::Load(p + i);
+      vmn = MinU8(vmn, v);
+      vmx = MaxU8(vmx, v);
+    }
+    mn = ReduceMinU8(vmn);
+    mx = ReduceMaxU8(vmx);
+  }
+  for (; i < n; ++i) {
+    mn = std::min(mn, p[i]);
+    mx = std::max(mx, p[i]);
+  }
+  *plo = mn;
+  *phi = mx;
+}
+
+/// One node's rows, staged as 32-bit ids. `contiguous` marks runs
+/// rows[begin+i] == rows[begin] + i (the root node, and any node whose
+/// partition happened to keep a prefix run), which the scan kernels turn
+/// into direct column walks.
+struct RowStage {
+  AlignedBuffer<uint32_t> r32;  ///< compact row ids.
+  AlignedBuffer<uint32_t> y32;  ///< class id per staged row (class scans).
+  size_t n = 0;
+  bool contiguous = false;
+  uint32_t first = 0;
+
+  void Stage(const std::vector<size_t>& rows, const std::vector<size_t>& y,
+             size_t begin, size_t end) {
+    StageRows(rows, begin, end);
+    y32.ResetUninit(n);
+    uint32_t* yp = y32.data();
+    for (size_t i = 0; i < n; ++i) {
+      yp[i] = static_cast<uint32_t>(y[rows[begin + i]]);
+    }
+  }
+
+  /// Row ids only (the GBT pair scans index grad/hess by row directly).
+  void StageRows(const std::vector<size_t>& rows, size_t begin, size_t end) {
+    n = end - begin;
+    r32.ResetUninit(n);
+    uint32_t* rp = r32.data();
+    const size_t f0 = rows[begin];
+    assert(f0 <= UINT32_MAX);
+    bool contig = true;
+    for (size_t i = 0; i < n; ++i) {
+      const size_t r = rows[begin + i];
+      contig = contig && r == f0 + i;
+      rp[i] = static_cast<uint32_t>(r);
+    }
+    contiguous = contig;
+    first = static_cast<uint32_t>(f0);
+  }
+};
+
+/// Class-count scan of one feature column: base[col[r]*k + y[r]] += 1.0
+/// over the staged rows, occupied span into *plo/*phi. Counts are integers
+/// held in doubles, so the accumulation is exact and order-free — any
+/// schedule produces the bit-identical histogram. That freedom is spent
+/// twice on the contiguous path: the vector work is the index computation
+/// (gather-free u8 widening, 4 rows per iteration), and the per-row
+/// increment lands in u32 counters (1-cycle increments, short
+/// store-forward chains) converted to doubles once per occupied bin at the
+/// end — exact for any node size, since RowStage row ids are 32-bit.
+MVG_NO_AUTOVEC inline void ClassScan(const uint8_t* col, const RowStage& st,
+                                     size_t k, double* base, uint16_t* plo,
+                                     uint16_t* phi) {
+  const size_t n = st.n;
+  if (n == 0) {
+    *plo = 0xffff;
+    *phi = 0;
+    return;
+  }
+  const uint32_t* y32 = st.y32.data();
+  if (st.contiguous) {
+    const uint8_t* c = col + st.first;
+    U8Span(c, n, plo, phi);
+    const size_t span_begin = static_cast<size_t>(*plo) * k;
+    const size_t span_end = (static_cast<size_t>(*phi) + 1) * k;
+    thread_local std::vector<uint32_t> counts;
+    if (counts.size() < span_end) counts.resize(span_end);
+    std::fill(counts.begin() + static_cast<std::ptrdiff_t>(span_begin),
+              counts.begin() + static_cast<std::ptrdiff_t>(span_end), 0u);
+    uint32_t* cnt = counts.data();
+    const simd::I32x4 vk = simd::I32x4::Broadcast(static_cast<int32_t>(k));
+    alignas(16) int32_t idx[4];
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      (simd::I32x4::WidenU8x4(c + i) * vk + simd::I32x4::Load(y32 + i))
+          .Store(idx);
+      ++cnt[idx[0]];
+      ++cnt[idx[1]];
+      ++cnt[idx[2]];
+      ++cnt[idx[3]];
+    }
+    for (; i < n; ++i) {
+      ++cnt[static_cast<size_t>(c[i]) * k + y32[i]];
+    }
+    for (size_t j = span_begin; j < span_end; ++j) {
+      base[j] += static_cast<double>(cnt[j]);
+    }
+    return;
+  }
+  const uint32_t* r32 = st.r32.data();
+  uint32_t mn = 0xffff, mx = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32_t b0 = col[r32[i]], b1 = col[r32[i + 1]];
+    const uint32_t b2 = col[r32[i + 2]], b3 = col[r32[i + 3]];
+    mn = std::min(std::min(mn, b0), std::min(b1, std::min(b2, b3)));
+    mx = std::max(std::max(mx, b0), std::max(b1, std::max(b2, b3)));
+    base[b0 * k + y32[i]] += 1.0;
+    base[b1 * k + y32[i + 1]] += 1.0;
+    base[b2 * k + y32[i + 2]] += 1.0;
+    base[b3 * k + y32[i + 3]] += 1.0;
+  }
+  for (; i < n; ++i) {
+    const uint32_t b = col[r32[i]];
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+    base[b * k + y32[i]] += 1.0;
+  }
+  *plo = static_cast<uint16_t>(mn);
+  *phi = static_cast<uint16_t>(mx);
+}
+
+/// Grad/hess pair scan of one feature column for the GBT engine:
+/// base[col[r]*2] += gh[2r], base[col[r]*2 + 1] += gh[2r+1] (gh is the
+/// row-interleaved grad/hess array — one cache line serves both halves).
+/// FP sums ARE order-sensitive here, so rows are accumulated strictly in
+/// staged order — the vector work is the index computation and the paired
+/// two-lane cell update, both per-element exact, so bits match the scalar
+/// spelling.
+MVG_NO_AUTOVEC inline void PairScan(const uint8_t* col, const RowStage& st,
+                                    const double* gh, double* base,
+                                    uint16_t* plo, uint16_t* phi) {
+  const size_t n = st.n;
+  if (n == 0) {
+    *plo = 0xffff;
+    *phi = 0;
+    return;
+  }
+  if (st.contiguous) {
+    const uint8_t* c = col + st.first;
+    U8Span(c, n, plo, phi);
+    const double* g = gh + 2 * static_cast<size_t>(st.first);
+    const simd::I32x4 two = simd::I32x4::Broadcast(2);
+    alignas(16) int32_t idx[4];
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      (simd::I32x4::WidenU8x4(c + i) * two).Store(idx);
+      for (size_t j = 0; j < 4; ++j) {
+        double* cell = base + idx[j];
+        (simd::F64x2::Load(cell) + simd::F64x2::Load(g + 2 * (i + j)))
+            .Store(cell);
+      }
+    }
+    for (; i < n; ++i) {
+      double* cell = base + static_cast<size_t>(c[i]) * 2;
+      (simd::F64x2::Load(cell) + simd::F64x2::Load(g + 2 * i)).Store(cell);
+    }
+    return;
+  }
+  const uint32_t* r32 = st.r32.data();
+  uint32_t mn = 0xffff, mx = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t r = r32[i];
+    const uint32_t b = col[r];
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+    double* cell = base + static_cast<size_t>(b) * 2;
+    (simd::F64x2::Load(cell) + simd::F64x2::Load(gh + 2 * static_cast<size_t>(r)))
+        .Store(cell);
+  }
+  *plo = static_cast<uint16_t>(mn);
+  *phi = static_cast<uint16_t>(mx);
+}
+
+}  // namespace mvg
+
+#endif  // MVG_ML_HIST_KERNELS_H_

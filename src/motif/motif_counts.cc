@@ -1,8 +1,9 @@
 #include "motif/motif_counts.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
+
+#include "graph/graph_kernels.h"
 
 namespace mvg {
 
@@ -71,22 +72,25 @@ MotifCounts CountMotifs(const Graph& g) {
       CommonNeighbors(nu, nv, &common);
       const int64_t te = static_cast<int64_t>(common.size());
       sum_tri_choose2 += Choose2(te);
-      // Enumerate each triangle exactly once with w > v > u.
-      for (Graph::VertexId w : common) {
-        if (w > v) {
-          ++triangles;
-          tailed_raw += du + dv + static_cast<int64_t>(g.Degree(w)) - 6;
-        }
+      // Enumerate each triangle exactly once with w > v > u (the suffix of
+      // the sorted common list past v).
+      const size_t wstart = FirstGreater(common.data(), common.size(), v);
+      triangles += static_cast<int64_t>(common.size() - wstart);
+      for (size_t wi = wstart; wi < common.size(); ++wi) {
+        tailed_raw +=
+            du + dv + static_cast<int64_t>(g.Degree(common[wi])) - 6;
       }
       // K4: adjacent pairs inside the common neighborhood; counted once
-      // per edge of the K4 (6 times total).
-      for (size_t i = 0; i < common.size(); ++i) {
+      // per edge of the K4 (6 times total). The vectorized sorted-
+      // intersection replaces per-pair binary searches: pairs with the
+      // later element adjacent to the earlier are exactly the elements of
+      // common[i+1..] found in N(common[i]).
+      for (size_t i = 0; i + 1 < common.size(); ++i) {
         const auto& nw = g.Neighbors(common[i]);
-        for (size_t j = i + 1; j < common.size(); ++j) {
-          if (std::binary_search(nw.begin(), nw.end(), common[j])) {
-            ++cliques4_times6;
-          }
-        }
+        const size_t start = FirstGreater(nw.data(), nw.size(), common[i]);
+        cliques4_times6 +=
+            CountSortedIntersection(common.data() + i + 1, common.size() - i - 1,
+                                    nw.data() + start, nw.size() - start);
       }
     }
   }
@@ -100,17 +104,27 @@ MotifCounts CountMotifs(const Graph& g) {
   // Non-induced 4-cycles: for every vertex u, count 2-walks u -> x -> w per
   // far endpoint w; C(cnt,2) picks two parallel walks. Every cycle is seen
   // from each of its 4 vertices once.
+  // Walk counts live in a flat array indexed by far endpoint (zeroed via a
+  // touched list, so each source costs O(walks), not O(n)) instead of a
+  // hash map: no rehashing in the inner loop, and the Choose2 sum is over
+  // integers, so the changed visit order cannot change the total.
   int64_t cycle_walks = 0;
   {
-    std::unordered_map<Graph::VertexId, int64_t> cnt;
+    std::vector<int64_t> cnt(g.num_vertices(), 0);
+    std::vector<Graph::VertexId> touched;
     for (Graph::VertexId u = 0; u < g.num_vertices(); ++u) {
-      cnt.clear();
+      touched.clear();
       for (Graph::VertexId x : g.Neighbors(u)) {
         for (Graph::VertexId w : g.Neighbors(x)) {
-          if (w != u) ++cnt[w];
+          if (w != u) {
+            if (cnt[w]++ == 0) touched.push_back(w);
+          }
         }
       }
-      for (const auto& [w, c] : cnt) cycle_walks += Choose2(c);
+      for (const Graph::VertexId w : touched) {
+        cycle_walks += Choose2(cnt[w]);
+        cnt[w] = 0;
+      }
     }
   }
   const int64_t noninduced_c4 = cycle_walks / 4;

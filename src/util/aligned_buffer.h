@@ -1,0 +1,139 @@
+#ifndef MVG_UTIL_ALIGNED_BUFFER_H_
+#define MVG_UTIL_ALIGNED_BUFFER_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvg {
+
+/// Cache-line alignment used by every vector kernel: a 64-byte-aligned,
+/// 64-byte-padded column never splits a vector load across cache lines
+/// (or pages, since 64 divides the page size).
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Rounds a count of `elem_size`-byte elements up so the span is a whole
+/// number of cache lines — the padded column stride of FeatureTable and
+/// the slab granularity of NodeHistogramPool.
+inline constexpr size_t AlignedStride(size_t n, size_t elem_size) {
+  const size_t bytes = n * elem_size;
+  const size_t padded = (bytes + kCacheLineBytes - 1) / kCacheLineBytes *
+                        kCacheLineBytes;
+  return padded / elem_size;
+}
+
+/// Minimal 64-byte-aligned array of a trivially-copyable element type.
+///
+/// Unlike std::vector this guarantees cache-line alignment of data() (a
+/// vector's allocator only promises alignof(T)), which the simd.h kernels
+/// rely on for split-free loads. Growth discards contents — the two users
+/// (FeatureTable columns, histogram pool slabs) always rebuild or zero
+/// after sizing — so there is no relocation copy to pay for.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw POD storage only");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t n) { ResetZero(n); }
+
+  AlignedBuffer(const AlignedBuffer& other) {
+    Reallocate(other.size_);
+    if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+  }
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this != &other) {
+      Reallocate(other.size_);
+      if (size_ > 0) std::memcpy(data_, other.data_, size_ * sizeof(T));
+    }
+    return *this;
+  }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  ~AlignedBuffer() { std::free(data_); }
+
+  /// Sizes the buffer to n elements, all zero. Shrinks reuse the existing
+  /// allocation, so steady-state callers (the histogram staging buffers)
+  /// stop allocating once grown.
+  void ResetZero(size_t n) {
+    if (n > capacity_) Reallocate(n);
+    size_ = n;
+    if (n > 0) std::memset(data_, 0, n * sizeof(T));
+  }
+
+  /// Sizes without clearing (contents indeterminate where not written).
+  void ResetUninit(size_t n) {
+    if (n > capacity_) Reallocate(n);
+    size_ = n;
+  }
+
+  T* data() {
+    assert(data_ == nullptr ||
+           reinterpret_cast<uintptr_t>(data_) % kCacheLineBytes == 0);
+    return data_;
+  }
+  const T* data() const {
+    assert(data_ == nullptr ||
+           reinterpret_cast<uintptr_t>(data_) % kCacheLineBytes == 0);
+    return data_;
+  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) {
+    assert(i < size_);
+    return data_[i];
+  }
+  const T& operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+ private:
+  void Reallocate(size_t n) {
+    std::free(data_);
+    data_ = nullptr;
+    capacity_ = 0;
+    if (n == 0) {
+      size_ = 0;
+      return;
+    }
+    // aligned_alloc requires the size to be a multiple of the alignment.
+    const size_t bytes =
+        AlignedStride(n, sizeof(T)) * sizeof(T);
+    data_ = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+    if (data_ == nullptr) throw std::bad_alloc();
+    capacity_ = bytes / sizeof(T);
+    size_ = n;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace mvg
+
+#endif  // MVG_UTIL_ALIGNED_BUFFER_H_

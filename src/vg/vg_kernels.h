@@ -1,0 +1,128 @@
+#ifndef MVG_VG_VG_KERNELS_H_
+#define MVG_VG_VG_KERNELS_H_
+
+// Inner-loop kernels of the natural-visibility-graph builders, written on
+// util/simd.h. Both builders (naive and divide & conquer) run their slope
+// scans through VisibleRight/VisibleLeft, so they agree bit for bit with
+// each other and across vector backends.
+//
+// The vector trick in the slope scans: a point j is emitted iff its slope
+// strictly exceeds the running maximum, and the running maximum only
+// changes on exactly those points — so a 4-lane block whose compare mask
+// is empty can be skipped whole (no emits, maximum unchanged). Non-empty
+// blocks replay their four lanes in scan order with the scalar update
+// rule, using the lane values themselves, so the emitted edge set and the
+// running maximum stay bit-identical to the scalar loop (NaN lanes
+// compare false in both paths; the distance vector advances by +4.0 per
+// block, exact for every representable index).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+
+#include "util/simd.h"
+
+namespace mvg {
+
+/// Scans j in (k, r]: calls emit(j), ascending, for every j whose slope
+/// (s[j]-s[k])/(j-k) strictly exceeds the running maximum over (k, j).
+template <typename EmitFn>
+inline void VisibleRight(const double* s, size_t k, size_t r, EmitFn&& emit) {
+  double run = -std::numeric_limits<double>::infinity();
+  const simd::F64x4 sk = simd::F64x4::Broadcast(s[k]);
+  simd::F64x4 dv = simd::F64x4::Set(1.0, 2.0, 3.0, 4.0);
+  size_t j = k + 1;
+  for (; j + 3 <= r; j += 4) {
+    const simd::F64x4 slopes = (simd::F64x4::Load(s + j) - sk) / dv;
+    if (MoveMask(CmpGT(slopes, simd::F64x4::Broadcast(run))) != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        const double sl = slopes.Lane(lane);
+        if (sl > run) {
+          emit(j + static_cast<size_t>(lane));
+          run = sl;
+        }
+      }
+    }
+    dv = dv + simd::F64x4::Broadcast(4.0);
+  }
+  for (; j <= r; ++j) {
+    const double sl = (s[j] - s[k]) / static_cast<double>(j - k);
+    if (sl > run) {
+      emit(j);
+      run = sl;
+    }
+  }
+}
+
+/// Mirror of VisibleRight for i in [l, k), scanning DOWN from k-1: calls
+/// emit(i), descending, for every i whose slope (s[i]-s[k])/(k-i) strictly
+/// exceeds the running maximum over (i, k).
+template <typename EmitFn>
+inline void VisibleLeft(const double* s, size_t l, size_t k, EmitFn&& emit) {
+  double run = -std::numeric_limits<double>::infinity();
+  const simd::F64x4 sk = simd::F64x4::Broadcast(s[k]);
+  simd::F64x4 dv = simd::F64x4::Set(1.0, 2.0, 3.0, 4.0);
+  size_t i = k;  // next point scanned is i - 1.
+  for (; i >= l + 4; i -= 4) {
+    // Lanes in scan order (descending index): {s[i-1], s[i-2], ...}.
+    const simd::F64x4 sv = Reverse(simd::F64x4::Load(s + i - 4));
+    const simd::F64x4 slopes = (sv - sk) / dv;
+    if (MoveMask(CmpGT(slopes, simd::F64x4::Broadcast(run))) != 0) {
+      for (int lane = 0; lane < 4; ++lane) {
+        const double sl = slopes.Lane(lane);
+        if (sl > run) {
+          emit(i - 1 - static_cast<size_t>(lane));
+          run = sl;
+        }
+      }
+    }
+    dv = dv + simd::F64x4::Broadcast(4.0);
+  }
+  while (i > l) {
+    --i;
+    const double sl = (s[i] - s[k]) / static_cast<double>(k - i);
+    if (sl > run) {
+      emit(i);
+      run = sl;
+    }
+  }
+}
+
+/// Index of the maximum of s[l..r] (inclusive), first occurrence on ties —
+/// the pivot choice of the divide & conquer builder. Equivalent to the
+/// scalar `if (s[i] > s[k]) k = i` scan: that scan lands on the first
+/// index attaining the range maximum (later equal values never strictly
+/// exceed it), NaNs never win a `>`. A NaN at s[l] makes every compare
+/// false (scalar answer: l), handled up front; the vector path max-folds
+/// with std::max semantics (NaN lanes ignored), then finds the first
+/// index equal to the maximum — ±0 ties resolve identically because
+/// -0.0 == 0.0.
+inline size_t RangeArgMax(const double* s, size_t l, size_t r) {
+  if (std::isnan(s[l]) || r - l < 8) {
+    size_t k = l;
+    for (size_t i = l + 1; i <= r; ++i) {
+      if (s[i] > s[k]) k = i;
+    }
+    return k;
+  }
+  simd::F64x4 acc = simd::F64x4::Broadcast(s[l]);
+  size_t i = l;
+  for (; i + 3 <= r; i += 4) {
+    acc = Max(acc, simd::F64x4::Load(s + i));
+  }
+  double m = ReduceMaxOrdered(acc);
+  for (; i <= r; ++i) m = std::max(m, s[i]);
+  for (i = l; i + 3 <= r; i += 4) {
+    const int mask =
+        MoveMask(CmpEQ(simd::F64x4::Load(s + i), simd::F64x4::Broadcast(m)));
+    if (mask != 0) return i + static_cast<size_t>(simd::FirstLane(mask));
+  }
+  for (; i <= r; ++i) {
+    if (s[i] == m) return i;
+  }
+  return l;  // unreachable for non-NaN s[l]; keeps the function total.
+}
+
+}  // namespace mvg
+
+#endif  // MVG_VG_VG_KERNELS_H_

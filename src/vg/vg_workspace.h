@@ -28,6 +28,9 @@ struct VgWorkspace {
   std::vector<std::pair<size_t, size_t>> range_stack;
   /// Monotone index stack of the O(n) HVG builder.
   std::vector<size_t> index_stack;
+  /// Values s[index_stack[t]], kept parallel to index_stack so the HVG
+  /// builder's pop loop can test four stack tops with one vector compare.
+  std::vector<double> value_stack;
   /// Recycled output storage for workspace-based builds.
   Graph graph;
 };

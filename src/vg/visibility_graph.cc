@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "util/simd.h"
+#include "vg/vg_kernels.h"
 
 namespace mvg {
 
@@ -13,46 +15,35 @@ namespace {
 
 /// Naive natural VG: for a fixed left endpoint i, node j > i is visible iff
 /// slope(i, j) strictly exceeds the running maximum slope of the
-/// intermediate points — a direct rewrite of Def. 2.3.
+/// intermediate points — a direct rewrite of Def. 2.3. Runs the same
+/// VisibleRight slope-scan kernel as the divide & conquer builder, so the
+/// two stay bit-identical.
 void BuildVgNaive(const Series& s, GraphBuilder* b) {
   const size_t n = s.size();
+  if (n < 2) return;
   for (size_t i = 0; i < n; ++i) {
-    double max_slope = -std::numeric_limits<double>::infinity();
-    for (size_t j = i + 1; j < n; ++j) {
-      const double slope = (s[j] - s[i]) / static_cast<double>(j - i);
-      if (slope > max_slope) {
-        b->AddEdge(static_cast<Graph::VertexId>(i),
-                   static_cast<Graph::VertexId>(j));
-      }
-      max_slope = std::max(max_slope, slope);
-    }
+    VisibleRight(s.data(), i, n - 1, [&](size_t j) {
+      b->AddEdge(static_cast<Graph::VertexId>(i),
+                 static_cast<Graph::VertexId>(j));
+    });
   }
 }
 
-/// Connects the range maximum `k` to every node of [l, r] visible from it,
-/// using the same slope-scan as the naive builder (mirrored for the left
-/// side) so both algorithms agree bit-for-bit.
+/// Connects the range maximum `k` to every node of [l, r] visible from it —
+/// the naive builder's slope scan, mirrored for the left side.
 void ConnectMaximum(const Series& s, size_t l, size_t r, size_t k,
                     GraphBuilder* b) {
-  // Right side: nodes j in (k, r].
-  double max_slope = -std::numeric_limits<double>::infinity();
-  for (size_t j = k + 1; j <= r; ++j) {
-    const double slope = (s[j] - s[k]) / static_cast<double>(j - k);
-    if (slope > max_slope) {
+  if (k < r) {
+    VisibleRight(s.data(), k, r, [&](size_t j) {
       b->AddEdge(static_cast<Graph::VertexId>(k),
                  static_cast<Graph::VertexId>(j));
-    }
-    max_slope = std::max(max_slope, slope);
+    });
   }
-  // Left side: nodes i in [l, k).
-  max_slope = -std::numeric_limits<double>::infinity();
-  for (size_t i = k; i-- > l;) {
-    const double slope = (s[i] - s[k]) / static_cast<double>(k - i);
-    if (slope > max_slope) {
+  if (k > l) {
+    VisibleLeft(s.data(), l, k, [&](size_t i) {
       b->AddEdge(static_cast<Graph::VertexId>(i),
                  static_cast<Graph::VertexId>(k));
-    }
-    max_slope = std::max(max_slope, slope);
+    });
   }
 }
 
@@ -70,10 +61,7 @@ void BuildVgDivideConquer(const Series& s,
     const auto [l, r] = stack->back();
     stack->pop_back();
     if (l >= r) continue;
-    size_t k = l;
-    for (size_t i = l + 1; i <= r; ++i) {
-      if (s[i] > s[k]) k = i;
-    }
+    const size_t k = RangeArgMax(s.data(), l, r);
     ConnectMaximum(s, l, r, k, b);
     if (k > l) stack->emplace_back(l, k - 1);
     if (k < r) stack->emplace_back(k + 1, r);
@@ -114,19 +102,44 @@ const Graph& BuildHorizontalVisibilityGraph(const Series& s, VgWorkspace* ws) {
   GraphBuilder& b = ws->builder;
   b.Reset(n);
   std::vector<size_t>& stack = ws->index_stack;
+  std::vector<double>& vals = ws->value_stack;
   stack.clear();
+  vals.clear();
   for (size_t j = 0; j < n; ++j) {
-    while (!stack.empty() && s[stack.back()] < s[j]) {
-      b.AddEdge(static_cast<Graph::VertexId>(stack.back()),
+    const double sj = s[j];
+    const simd::F64x4 vj = simd::F64x4::Broadcast(sj);
+    size_t t = stack.size();
+    // Bulk pop: when all four stack tops are below s[j] (one vector
+    // compare on the parallel value stack; NaNs compare false and fall to
+    // the scalar loop), all four are popped, edges emitted top-down — the
+    // exact order of the one-at-a-time loop.
+    while (t >= 4 &&
+           MoveMask(CmpLT(simd::F64x4::Load(vals.data() + t - 4), vj)) ==
+               0xF) {
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 1]),
                 static_cast<Graph::VertexId>(j));
-      stack.pop_back();
-    }
-    if (!stack.empty()) {
-      b.AddEdge(static_cast<Graph::VertexId>(stack.back()),
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 2]),
                 static_cast<Graph::VertexId>(j));
-      if (s[stack.back()] == s[j]) stack.pop_back();
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 3]),
+                static_cast<Graph::VertexId>(j));
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 4]),
+                static_cast<Graph::VertexId>(j));
+      t -= 4;
     }
+    while (t > 0 && vals[t - 1] < sj) {
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 1]),
+                static_cast<Graph::VertexId>(j));
+      --t;
+    }
+    if (t > 0) {
+      b.AddEdge(static_cast<Graph::VertexId>(stack[t - 1]),
+                static_cast<Graph::VertexId>(j));
+      if (vals[t - 1] == sj) --t;
+    }
+    stack.resize(t);
+    vals.resize(t);
     stack.push_back(j);
+    vals.push_back(sj);
   }
   b.BuildInto(&ws->graph);
   return ws->graph;

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Byte-compare two .mvg (v3) model files, ignoring recorded wall times.
+
+The pipeline section of a trained model ends with two doubles of
+feature-extraction and training wall time, which legitimately differ
+between otherwise bit-identical training runs. This tool masks those 16
+bytes, the pipeline section's table CRC, and the header's table CRC, then
+requires the remaining bytes to be identical. Used by the CI SIMD-off
+parity lane to assert that vectorized and scalar builds train the exact
+same model; any other difference — one flipped mantissa bit in one tree
+threshold — fails the diff.
+
+Framing (src/serve/model_io.h): 64-byte header (magic "MVGMODEL", u32
+version, u32 section count, u64 file size, u32 table CRC), then 32-byte
+table entries (u32 id, u32 flags, u64 offset, u64 size, u32 payload CRC,
+u32 pad), all little-endian; section id 1 is the pipeline.
+"""
+
+import struct
+import sys
+
+PIPELINE_SECTION_ID = 1
+HEADER_BYTES = 64
+TABLE_ENTRY_BYTES = 32
+WALL_TIME_BYTES = 16  # two trailing doubles: fe_seconds, train_seconds
+
+
+def masked(path):
+    with open(path, "rb") as f:
+        data = bytearray(f.read())
+    if data[:8] != b"MVGMODEL":
+        sys.exit(f"{path}: not a .mvg model (bad magic)")
+    num_sections = struct.unpack_from("<I", data, 12)[0]
+    struct.pack_into("<I", data, 24, 0)  # header's table CRC
+    for i in range(num_sections):
+        entry = HEADER_BYTES + TABLE_ENTRY_BYTES * i
+        section_id = struct.unpack_from("<I", data, entry)[0]
+        if section_id != PIPELINE_SECTION_ID:
+            continue
+        offset, size = struct.unpack_from("<QQ", data, entry + 8)
+        if size < WALL_TIME_BYTES or offset + size > len(data):
+            sys.exit(f"{path}: malformed pipeline section")
+        data[offset + size - WALL_TIME_BYTES : offset + size] = (
+            b"\0" * WALL_TIME_BYTES
+        )
+        struct.pack_into("<I", data, entry + 24, 0)  # its payload CRC
+    return bytes(data)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: diff_models.py A.mvg B.mvg")
+    a = masked(sys.argv[1])
+    b = masked(sys.argv[2])
+    if a != b:
+        diff = sum(1 for x, y in zip(a, b) if x != y) + abs(len(a) - len(b))
+        sys.exit(
+            f"model mismatch: {diff} byte(s) differ between "
+            f"{sys.argv[1]} ({len(a)}B) and {sys.argv[2]} ({len(b)}B) "
+            "after masking wall times"
+        )
+    print(f"models identical modulo wall times ({len(a)} bytes)")
+
+
+if __name__ == "__main__":
+    main()
