@@ -1,0 +1,103 @@
+#ifndef MVG_BENCH_LEGACY_FE_H_
+#define MVG_BENCH_LEGACY_FE_H_
+
+// The pre-vectorization extraction front-end, preserved verbatim as the
+// performance reference for the fe_assembly_speedup gate: the sequential
+// std::isfinite sanitize scan, the one-pass least-squares detrend with
+// per-iteration index sums and a fresh output Series, and the allocating
+// halve-and-copy multiscale chain. These are the shapes the code had
+// before ts/ts_kernels.h (see bench/legacy_kernels.h for the convention:
+// bench-only frozen copies, so the gate keeps meaning as src/ evolves).
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "ts/dataset.h"
+#include "ts/multiscale.h"
+
+namespace mvg::bench {
+
+/// Pre-SIMD finite scan: per-element std::isfinite, sequential min/max.
+struct LegacyFiniteScan {
+  double lo;
+  double hi;
+  size_t finite;
+};
+inline LegacyFiniteScan LegacyScanFinite(const double* s, size_t n) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t finite = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (std::isfinite(s[i])) {
+      lo = std::min(lo, s[i]);
+      hi = std::max(hi, s[i]);
+      ++finite;
+    }
+  }
+  return {lo, hi, finite};
+}
+
+/// Pre-SIMD DetrendLinear: index sums accumulated in the loop (no closed
+/// forms), a fresh output vector, and a second mean pass for recentering.
+inline Series LegacyDetrendLinear(const Series& s) {
+  const size_t n = s.size();
+  if (n < 3) return s;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i);
+    sx += x;
+    sy += s[i];
+    sxx += x * x;
+    sxy += x * s[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return s;
+  const double a = (dn * sxy - sx * sy) / denom;
+  const double mean = sy / dn;
+  const double mid = (dn - 1.0) / 2.0;
+  Series out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = s[i] - a * (static_cast<double>(i) - mid);
+  }
+  double new_mean = 0.0;
+  for (double v : out) new_mean += v;
+  new_mean /= dn;
+  for (double& v : out) v += mean - new_mean;
+  return out;
+}
+
+/// Pre-SIMD halving PAA: allocates the half-length output every call.
+inline Series LegacyHalveByPaa(const Series& s) {
+  const size_t half = s.size() / 2;
+  if (half == 0) return {};
+  Series out(half);
+  for (size_t i = 0; i < half; ++i) out[i] = 0.5 * (s[2 * i] + s[2 * i + 1]);
+  return out;
+}
+
+/// Pre-SIMD multiscale assembly: materializes every scale into an owning
+/// vector, copying the previous scale each round.
+inline std::vector<Series> LegacyMultiscale(const Series& s, ScaleMode mode,
+                                            size_t tau) {
+  std::vector<Series> scales;
+  if (s.empty()) return scales;
+  if (mode != ScaleMode::kApproximateMultiscale) scales.push_back(s);
+  if (mode == ScaleMode::kUniscale) return scales;
+  Series cur = s;
+  while (true) {
+    Series next = LegacyHalveByPaa(cur);
+    if (next.size() <= tau || next.size() < 2) break;
+    scales.push_back(next);
+    cur = std::move(next);
+  }
+  if (scales.empty()) scales.push_back(s);
+  return scales;
+}
+
+}  // namespace mvg::bench
+
+#endif  // MVG_BENCH_LEGACY_FE_H_

@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/legacy_fe.h"
 #include "bench/legacy_kernels.h"
 #include "bench/legacy_parallel.h"
 #include "bench/legacy_vg.h"
@@ -47,6 +48,7 @@
 #include "ml/gradient_boosting.h"
 #include "ml/hist_kernels.h"
 #include "ml/metrics.h"
+#include "ml/quantile_sketch.h"
 #include "motif/motif_counts.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -55,7 +57,9 @@
 #include "serve/model_mmap.h"
 #include "serve/serving.h"
 #include "ts/generators.h"
+#include "ts/multiscale.h"
 #include "ts/paged_ucr_reader.h"
+#include "ts/ts_kernels.h"
 #include "ts/ucr_io.h"
 #include "util/aligned_buffer.h"
 #include "util/binary_io.h"
@@ -68,6 +72,11 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+#if defined(__unix__)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 // ---------------------------------------------------------------------------
@@ -491,6 +500,143 @@ int main(int argc, char** argv) {
     std::printf("  %-34s n=%-6zu %12.0f ns/iter  (%zu iters)\n",
                 kp99.name.c_str(), kp99.n, kp99.ns_per_iter, kp99.iters);
     results.push_back(kp99);
+  }
+
+  // --- FE pipeline: streaming extraction front-end + sketch binning ---
+  // fe_assembly_speedup gates the vectorized extraction front-end: the
+  // full per-series assembly (finite scan -> detrend -> multiscale
+  // construction) through the pooled ts_kernels scratch vs the frozen
+  // pre-SIMD spelling in bench/legacy_fe.h (sequential isfinite scan,
+  // allocating detrend, halve-and-copy multiscale chain). The ratio
+  // captures the lane kernels plus the zero-steady-state-allocation
+  // incremental construction in one number.
+  // sketch_bin_build_speedup gates the one-pass sketch binning: cuts +
+  // binned table via CutSketcher/InitFromCuts/BinRowInto vs the exact
+  // FeatureTable::Build (full per-column sort) at a row count where the
+  // exact sort leaves cache while the sketch's block-local compaction
+  // stays L1-resident.
+  // paged_fit_peak_rss_mb is informational (machine-dependent, not in the
+  // baseline): peak RSS of a forked child running one FitPaged, the
+  // number OPERATIONS.md's paged-training memory guidance is based on.
+  std::printf("FE pipeline:\n");
+  {
+    const size_t fe_len = opt.quick ? 1024 : 4096;
+    const Series fe_series = GaussianNoise(fe_len, 21);
+    const size_t tau = kDefaultTau;
+
+    ts_kernels::MultiscaleScratch scratch;
+    size_t fe_sink = 0;
+    const BenchResult fe_simd =
+        TimeIt("fe_assembly_kernels_pooled", fe_len, opt, [&] {
+          const ts_kernels::FiniteScan scan =
+              ts_kernels::ScanFinite(fe_series.data(), fe_series.size());
+          scratch.base.assign(fe_series.begin(), fe_series.end());
+          ts_kernels::DetrendInPlace(scratch.base.data(), scratch.base.size());
+          ts_kernels::BuildScalesInto(ScaleMode::kMultiscale, tau, &scratch);
+          fe_sink += scratch.view.size() + scan.finite;
+        });
+    const BenchResult fe_legacy =
+        TimeIt("fe_assembly_legacy_scalar", fe_len, opt, [&] {
+          const bench::LegacyFiniteScan scan =
+              bench::LegacyScanFinite(fe_series.data(), fe_series.size());
+          const Series detrended = bench::LegacyDetrendLinear(fe_series);
+          const std::vector<Series> scales =
+              bench::LegacyMultiscale(detrended, ScaleMode::kMultiscale, tau);
+          fe_sink += scales.size() + scan.finite;
+        });
+    if (fe_sink == static_cast<size_t>(-1)) std::puts("");  // defeat DCE
+    results.push_back(fe_simd);
+    results.push_back(fe_legacy);
+    if (fe_simd.ns_per_iter > 0.0) {
+      metrics["fe_assembly_speedup"] =
+          fe_legacy.ns_per_iter / fe_simd.ns_per_iter;
+    }
+
+    // Sketch binning vs exact quantization, cuts + table end to end.
+    const size_t bin_rows = opt.quick ? 4096 : 32768;
+    const size_t bin_feats = 16;
+    Rng brng(29);
+    Matrix bx(bin_rows, std::vector<double>(bin_feats));
+    for (auto& row : bx) {
+      for (auto& v : row) v = brng.Gaussian();
+    }
+    FeatureTable exact_ft;
+    const BenchResult bin_exact =
+        TimeIt("bin_build_exact_sort", bin_rows * bin_feats, opt,
+               [&] { exact_ft.Build(bx); });
+    FeatureTable sketch_ft;
+    const BenchResult bin_sketch =
+        TimeIt("bin_build_sketch_stream", bin_rows * bin_feats, opt, [&] {
+          CutSketcher sketcher(FeatureTable::kMaxBins);
+          sketcher.AddRows(bx, 1);
+          CutSketcher::FeatureCuts fc = sketcher.Finish();
+          sketch_ft.InitFromCuts(std::move(fc.cuts), std::move(fc.cut_offset),
+                                 bx.size());
+          for (size_t i = 0; i < bx.size(); ++i) {
+            sketch_ft.BinRowInto(bx[i].data(), bx[i].size(), i);
+          }
+        });
+    results.push_back(bin_exact);
+    results.push_back(bin_sketch);
+    if (bin_sketch.ns_per_iter > 0.0) {
+      metrics["sketch_bin_build_speedup"] =
+          bin_exact.ns_per_iter / bin_sketch.ns_per_iter;
+    }
+
+#if defined(__unix__)
+    // Peak RSS of one out-of-core fit, isolated in a forked child so this
+    // process's own high-water mark (the big benches above) cannot mask
+    // it.
+    {
+      const size_t rss_rows = opt.quick ? 32 : 96;
+      const size_t rss_len = 512;
+      Dataset rss_train("fe_rss");
+      for (size_t i = 0; i < rss_rows; ++i) {
+        rss_train.Add(GaussianNoise(rss_len, 12000 + i),
+                      static_cast<int>(i % 2));
+      }
+      const char* rss_path = "BENCH_fe_rss.csv";
+      WriteUcrFile(rss_train, rss_path);
+      int fds[2] = {-1, -1};
+      if (pipe(fds) == 0) {
+        const pid_t pid = fork();
+        if (pid == 0) {
+          close(fds[0]);
+          long rss_kib = -1;
+          try {
+            MvgClassifier::Config config;
+            config.grid = GridPreset::kNone;
+            PagedUcrReader::Options popt;
+            popt.page_rows = 16;
+            PagedUcrReader reader(rss_path, popt);
+            MvgClassifier clf(config);
+            clf.FitPaged(&reader);
+            struct rusage ru;
+            if (getrusage(RUSAGE_SELF, &ru) == 0) rss_kib = ru.ru_maxrss;
+          } catch (...) {
+          }
+          const ssize_t wrote = write(fds[1], &rss_kib, sizeof(rss_kib));
+          close(fds[1]);
+          _exit(wrote == sizeof(rss_kib) ? 0 : 1);
+        }
+        close(fds[1]);
+        long rss_kib = -1;
+        if (pid > 0) {
+          if (read(fds[0], &rss_kib, sizeof(rss_kib)) != sizeof(rss_kib)) {
+            rss_kib = -1;
+          }
+          int status = 0;
+          waitpid(pid, &status, 0);
+        }
+        close(fds[0]);
+        if (rss_kib > 0) {
+          metrics["paged_fit_peak_rss_mb"] =
+              static_cast<double>(rss_kib) / 1024.0;  // Linux: KiB
+        }
+      }
+      std::remove(rss_path);
+    }
+#endif
   }
 
   // --- Visibility-graph construction: pooled CSR vs legacy baseline ---

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <optional>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "graph/graph_stats.h"
 #include "motif/motif_counts.h"
 #include "obs/obs.h"
-#include "ts/transforms.h"
+#include "ts/ts_kernels.h"
 #include "util/parallel.h"
 #include "vg/weighted_visibility_graph.h"
 
@@ -28,21 +29,16 @@ namespace {
 /// needs no fixing, so the common clean path copies nothing. A series with
 /// no finite sample at all degrades to the corresponding constant/step
 /// shape around zero.
-std::optional<Series> SanitizeNonFinite(const Series& s) {
-  double lo = std::numeric_limits<double>::infinity();
-  double hi = -std::numeric_limits<double>::infinity();
-  size_t finite = 0;
-  bool has_nonfinite = false;
-  for (double v : s) {
-    if (std::isfinite(v)) {
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-      ++finite;
-    } else {
-      has_nonfinite = true;
-    }
-  }
-  if (finite == 0) {
+void SanitizeNonFiniteInto(const Series& s, Series* out) {
+  // The every-series part is the finite scan, vectorized in
+  // ts_kernels::ScanFinite; lo/hi/finite are order-invariant, so they
+  // match the old sequential std::isfinite loop.
+  const ts_kernels::FiniteScan scan = ts_kernels::ScanFinite(s.data(),
+                                                             s.size());
+  const bool has_nonfinite = scan.finite != s.size();
+  double lo = scan.lo;
+  double hi = scan.hi;
+  if (scan.finite == 0) {
     lo = 0.0;
     hi = 0.0;
   }
@@ -53,22 +49,23 @@ std::optional<Series> SanitizeNonFinite(const Series& s) {
   constexpr double kSafeMagnitude = 1e150;
   const double amax = std::max(std::abs(lo), std::abs(hi));
   const double scale = amax > kSafeMagnitude ? kSafeMagnitude / amax : 1.0;
-  if (!has_nonfinite && scale == 1.0) return std::nullopt;
+  out->assign(s.begin(), s.end());
+  if (!has_nonfinite && scale == 1.0) return;
   lo *= scale;
   hi *= scale;
   // Mean of the *scaled* finite values: |v * scale| <= kSafeMagnitude, so
   // the accumulation cannot overflow the way a raw sum of ~1e308 samples
-  // would.
+  // would. This branch is the rare dirty path; it stays scalar.
   double sum = 0.0;
   for (double v : s) {
     if (std::isfinite(v)) sum += v * scale;
   }
-  const double mean = finite > 0 ? sum / static_cast<double>(finite) : 0.0;
+  const double mean =
+      scan.finite > 0 ? sum / static_cast<double>(scan.finite) : 0.0;
   const double pad = std::max(hi - lo, 1.0);
   const double above = hi + pad;
   const double below = lo - pad;
-  Series out = s;
-  for (double& v : out) {
+  for (double& v : *out) {
     if (std::isnan(v)) {
       v = mean;
     } else if (v == std::numeric_limits<double>::infinity()) {
@@ -79,10 +76,14 @@ std::optional<Series> SanitizeNonFinite(const Series& s) {
       v *= scale;
     }
   }
-  return out;
 }
 
 }  // namespace
+
+struct MvgFeatureExtractor::LayoutCache {
+  std::mutex mu;
+  std::unordered_map<size_t, ScaleLayout> by_length;
+};
 
 MvgConfig ConfigForHeuristicColumn(char column) {
   MvgConfig c;
@@ -151,10 +152,31 @@ const char* ToString(FeatureMode mode) {
   return "?";
 }
 
-MvgFeatureExtractor::MvgFeatureExtractor() : config_(MvgConfig()) {}
+MvgFeatureExtractor::MvgFeatureExtractor()
+    : config_(MvgConfig()), layout_cache_(std::make_shared<LayoutCache>()) {}
 
 MvgFeatureExtractor::MvgFeatureExtractor(MvgConfig config)
-    : config_(config) {}
+    : config_(config), layout_cache_(std::make_shared<LayoutCache>()) {}
+
+MvgFeatureExtractor::ScaleLayout MvgFeatureExtractor::LayoutForLength(
+    size_t series_length) const {
+  {
+    std::lock_guard<std::mutex> lock(layout_cache_->mu);
+    const auto it = layout_cache_->by_length.find(series_length);
+    if (it != layout_cache_->by_length.end()) return it->second;
+  }
+  const size_t num_scales = ts_kernels::NumScalesForLength(
+      series_length, config_.scale_mode, config_.tau);
+  const size_t graphs =
+      (config_.graph_mode != GraphMode::kHvgOnly ? 1u : 0u) +
+      (config_.graph_mode != GraphMode::kVgOnly ? 1u : 0u);
+  const ScaleLayout layout{
+      num_scales,
+      num_scales * (graphs * FeaturesPerGraph() + SeriesFeaturesPerScale())};
+  std::lock_guard<std::mutex> lock(layout_cache_->mu);
+  layout_cache_->by_length.emplace(series_length, layout);
+  return layout;
+}
 
 size_t MvgFeatureExtractor::FeaturesPerGraph() const {
   // 17 motif probabilities; + 6 statistical features in kAll (density,
@@ -219,20 +241,21 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s,
                                                  VgWorkspace* ws) const {
   if (s.empty()) throw std::invalid_argument("Extract: empty series");
   obs::ObsSpan span(obs::PipelineMetrics::Get().feature_extract_seconds);
-  const std::optional<Series> sanitized = SanitizeNonFinite(s);
-  const Series& finite = sanitized ? *sanitized : s;
-  std::vector<Series> scales;
+  // Streaming front-end on the pooled scratch: sanitize into ts.base,
+  // detrend it in place, then derive each scale from the previous one's
+  // pairwise partial sums — all ts_kernels lane kernels, zero allocations
+  // once the workspace has warmed up to the batch's longest series.
+  ts_kernels::MultiscaleScratch& ts = ws->ts;
+  SanitizeNonFiniteInto(s, &ts.base);
   if (config_.detrend) {
-    scales = MultiscaleRepresentation(DetrendLinear(finite),
-                                      config_.scale_mode, config_.tau);
-  } else {
-    scales = MultiscaleRepresentation(finite, config_.scale_mode,
-                                      config_.tau);
+    ts_kernels::DetrendInPlace(ts.base.data(), ts.base.size());
   }
+  ts_kernels::BuildScalesInto(config_.scale_mode, config_.tau, &ts);
   std::vector<double> features;
-  features.reserve(scales.size() * 2 * FeaturesPerGraph());
+  features.reserve(LayoutForLength(s.size()).feature_width);
   const bool want_series_features = SeriesFeaturesPerScale() > 0;
-  for (const Series& scale : scales) {
+  for (const Series* scale_ptr : ts.view) {
+    const Series& scale = *scale_ptr;
     // The natural VG is built once per scale and serves the graph
     // features, the weighted view-angle statistics and the directed
     // degree entropies; its derived numbers are staged so the feature
@@ -274,6 +297,13 @@ std::vector<double> MvgFeatureExtractor::Extract(const Series& s,
 Matrix MvgFeatureExtractor::ExtractAll(const Dataset& ds,
                                        size_t num_threads) const {
   Matrix x(ds.size());
+  // Zero-padding width from the cached per-length layout — known before
+  // any extraction runs, so rows are padded in place by their own worker
+  // instead of a post-hoc scan-and-resize pass.
+  size_t width = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    width = std::max(width, LayoutForLength(ds.series(i).size()).feature_width);
+  }
   // One pooled workspace per executor worker slot: a slot is owned by
   // exactly one pool thread for the duration of the loop (stolen chunks
   // run under the thief's own slot), so the workspaces need no locking
@@ -281,17 +311,14 @@ Matrix MvgFeatureExtractor::ExtractAll(const Dataset& ds,
   std::vector<VgWorkspace> workspaces(MaxWorkers(ds.size(), num_threads));
   ParallelForWorker(ds.size(), num_threads, [&](size_t worker, size_t i) {
     x[i] = Extract(ds.series(i), &workspaces[worker]);
+    x[i].resize(width, 0.0);
   });
-  size_t width = 0;
-  for (const auto& row : x) width = std::max(width, row.size());
-  for (auto& row : x) row.resize(width, 0.0);
   return x;
 }
 
 std::vector<std::string> MvgFeatureExtractor::FeatureNames(
     size_t series_length) const {
-  const std::vector<Series> scales = MultiscaleRepresentation(
-      Series(series_length, 0.0), config_.scale_mode, config_.tau);
+  const size_t num_scales = LayoutForLength(series_length).num_scales;
   const size_t first = FirstScaleIndex(config_.scale_mode);
   std::vector<std::string> names;
   auto add_graph = [&](const std::string& prefix) {
@@ -313,7 +340,7 @@ std::vector<std::string> MvgFeatureExtractor::FeatureNames(
       names.push_back(prefix + ".max_betweenness");
     }
   };
-  for (size_t i = 0; i < scales.size(); ++i) {
+  for (size_t i = 0; i < num_scales; ++i) {
     const std::string scale = "T" + std::to_string(first + i);
     if (config_.graph_mode != GraphMode::kHvgOnly) add_graph(scale + ".VG");
     if (config_.graph_mode != GraphMode::kVgOnly) add_graph(scale + ".HVG");

@@ -1,6 +1,7 @@
 #ifndef MVG_CORE_FEATURE_EXTRACTOR_H_
 #define MVG_CORE_FEATURE_EXTRACTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -100,10 +101,23 @@ class MvgFeatureExtractor {
   /// statistics); non-zero only in kExtended mode with VG enabled.
   size_t SeriesFeaturesPerScale() const;
 
+  /// Feature layout of a series of one length: how many scales the
+  /// multiscale chain emits and the total Extract() width. Cached per
+  /// length (thread-safe, shared across copies), so FeatureNames and
+  /// ExtractAll's zero-padding never rebuild the halving chain per call.
+  struct ScaleLayout {
+    size_t num_scales;
+    size_t feature_width;
+  };
+  ScaleLayout LayoutForLength(size_t series_length) const;
+
   const MvgConfig& config() const { return config_; }
 
  private:
+  struct LayoutCache;
+
   MvgConfig config_;
+  std::shared_ptr<LayoutCache> layout_cache_;
 };
 
 }  // namespace mvg

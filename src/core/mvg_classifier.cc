@@ -1,9 +1,11 @@
 #include "core/mvg_classifier.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
 #include <utility>
 
+#include "ml/feature_table.h"
 #include "ml/gradient_boosting.h"
 #include "ml/model_selection.h"
 #include "ml/random_forest.h"
@@ -161,6 +163,12 @@ std::vector<std::vector<ClassifierFactory>> MvgClassifier::BuildFamilies(
           SvmGrid(config_.grid, config_.seed)};
 }
 
+bool MvgClassifier::UseSketchBinned() const {
+  return !config_.exact_splits && !config_.exact_bins &&
+         (config_.model == MvgModel::kXgboost ||
+          config_.model == MvgModel::kRandomForest);
+}
+
 void MvgClassifier::Fit(const Dataset& train) {
   if (train.empty()) throw std::invalid_argument("MvgClassifier: empty train");
   const size_t threads = ResolvedThreads();
@@ -168,8 +176,79 @@ void MvgClassifier::Fit(const Dataset& train) {
   WallTimer fe_timer;
   Matrix x = extractor_.ExtractAll(train, threads);
   std::vector<int> y = train.labels();
+  if (UseSketchBinned()) {
+    FitSketchBinned(std::move(x), std::move(y), train.MaxLength(),
+                    fe_timer.Seconds());
+    return;
+  }
   FitOnExtracted(std::move(x), std::move(y), train.MaxLength(),
                  fe_timer.Seconds());
+}
+
+void MvgClassifier::FitSketchBinned(Matrix x, std::vector<int> y,
+                                    size_t max_len, double fe_seconds) {
+  const size_t threads = config_.reducer != nullptr ? 1 : ResolvedThreads();
+  train_length_ = max_len;
+  fe_seconds_ = fe_seconds;
+
+  // One streaming pass builds the bin cuts; the sketch state is a pure
+  // function of the row-ordered stream, so it equals the paged fit's
+  // page-by-page sketch bit for bit.
+  CutSketcher sketcher(FeatureTable::kMaxBins);
+  sketcher.AddRows(x, threads);
+  const CutSketcher::FeatureCuts fc = sketcher.Finish();
+
+  // Oversampling duplicates whole rows, so it happens in index space and
+  // the duplicates are copied bin-wise after the originals are binned.
+  const size_t n = x.size();
+  std::vector<size_t> os;
+  if (config_.oversample) {
+    os = OversampleIndices(y, config_.seed);
+  } else {
+    os.resize(n);
+    std::iota(os.begin(), os.end(), size_t{0});
+  }
+  std::vector<int> y_os;
+  y_os.reserve(os.size());
+  for (size_t i : os) y_os.push_back(y[i]);
+
+  FeatureTable ft;
+  ft.InitFromCuts(fc.cuts, fc.cut_offset, os.size());
+  ParallelFor(n, threads,
+              [&](size_t r) { ft.BinRowInto(x[r].data(), x[r].size(), r); });
+  for (size_t i = n; i < os.size(); ++i) ft.CopyRow(os[i], i);
+
+  TrainBinnedTail(&ft, fc, std::move(y_os));
+}
+
+void MvgClassifier::TrainBinnedTail(FeatureTable* ft,
+                                    const CutSketcher::FeatureCuts& fc,
+                                    std::vector<int> y_os) {
+  const size_t threads = config_.reducer != nullptr ? 1 : ResolvedThreads();
+  feature_width_ = ft->num_features();
+
+  WallTimer train_timer;
+  // The sketches track exact per-feature bounds, and duplication cannot
+  // move a min or max, so this scaler state matches Fit() on the
+  // materialised (oversampled) matrix exactly.
+  scaler_.FitFromBounds(fc.mins, fc.maxs);
+
+  const std::vector<ClassifierFactory> candidates = BuildCandidates(threads);
+  size_t best = 0;
+  if (candidates.size() > 1 && config_.grid != GridPreset::kNone) {
+    const std::vector<FoldIndices> folds =
+        StratifiedKFold(y_os, config_.cv_folds, config_.seed);
+    best = GridSearchBinned(candidates, *ft, y_os, folds, threads).best_index;
+  }
+  std::vector<size_t> all(ft->num_rows());
+  std::iota(all.begin(), all.end(), size_t{0});
+  model_ = BuildCandidates(threads)[best]();
+  model_->FitBinned(*ft, y_os, all);
+  train_seconds_ = train_timer.Seconds();
+  if (config_.reducer != nullptr) {
+    fe_seconds_ = 0.0;
+    train_seconds_ = 0.0;
+  }
 }
 
 void MvgClassifier::FitPaged(PagedUcrReader* reader) {
@@ -177,6 +256,75 @@ void MvgClassifier::FitPaged(PagedUcrReader* reader) {
     throw std::invalid_argument("MvgClassifier::FitPaged: null reader");
   }
   const size_t threads = ResolvedThreads();
+
+  if (UseSketchBinned()) {
+    // Two-pass streaming fit. Pass A: extract page by page and fold every
+    // feature row into the quantile sketches (plus labels and lengths) —
+    // nothing row-major is retained. Pass B: re-read the file, re-extract
+    // and bin each row straight into the column-major table. Peak memory
+    // is O(page + sketches + table); the row-major double matrix never
+    // exists. The sketch state — and so the cuts, the table and the
+    // fitted model — is bit-identical to FitSketchBinned on the whole
+    // dataset, because the per-feature streams are identical.
+    WallTimer fe_timer;
+    CutSketcher sketcher(FeatureTable::kMaxBins);
+    std::vector<int> y;
+    size_t max_len = 0;
+    SeriesPage page;
+    while (reader->NextPage(&page)) {
+      Dataset chunk;
+      for (size_t i = 0; i < page.size(); ++i) {
+        max_len = std::max(max_len, page.series[i].size());
+        chunk.Add(std::move(page.series[i]), page.labels[i]);
+      }
+      const Matrix rows = extractor_.ExtractAll(chunk, threads);
+      sketcher.AddRows(rows, threads);
+      y.insert(y.end(), page.labels.begin(), page.labels.end());
+    }
+    if (y.empty()) {
+      throw std::invalid_argument("MvgClassifier: empty train");
+    }
+    const CutSketcher::FeatureCuts fc = sketcher.Finish();
+
+    const size_t n = y.size();
+    std::vector<size_t> os;
+    if (config_.oversample) {
+      os = OversampleIndices(y, config_.seed);
+    } else {
+      os.resize(n);
+      std::iota(os.begin(), os.end(), size_t{0});
+    }
+    std::vector<int> y_os;
+    y_os.reserve(os.size());
+    for (size_t i : os) y_os.push_back(y[i]);
+
+    FeatureTable ft;
+    ft.InitFromCuts(fc.cuts, fc.cut_offset, os.size());
+    reader->Reset();
+    size_t next_row = 0;
+    while (reader->NextPage(&page)) {
+      Dataset chunk;
+      for (size_t i = 0; i < page.size(); ++i) {
+        chunk.Add(std::move(page.series[i]), page.labels[i]);
+      }
+      const Matrix rows = extractor_.ExtractAll(chunk, threads);
+      const size_t base = next_row;
+      ParallelFor(rows.size(), threads, [&](size_t i) {
+        ft.BinRowInto(rows[i].data(), rows[i].size(), base + i);
+      });
+      next_row += rows.size();
+    }
+    if (next_row != n) {
+      throw std::runtime_error(
+          "MvgClassifier::FitPaged: file changed between passes");
+    }
+    for (size_t i = n; i < os.size(); ++i) ft.CopyRow(os[i], i);
+
+    train_length_ = max_len;
+    fe_seconds_ = fe_timer.Seconds();
+    TrainBinnedTail(&ft, fc, std::move(y_os));
+    return;
+  }
 
   WallTimer fe_timer;
   Matrix x;

@@ -11,6 +11,7 @@
 #include "core/feature_extractor.h"
 #include "ml/classifier.h"
 #include "ml/preprocessing.h"
+#include "ml/quantile_sketch.h"
 
 namespace mvg {
 
@@ -62,6 +63,13 @@ class MvgClassifier : public SeriesClassifier {
     /// enumeration instead of the default binned histograms (slower;
     /// kept for parity testing and as a reference).
     bool exact_splits = false;
+    /// Escape hatch: derive the histogram bin cuts from exact sorted
+    /// feature columns (each candidate fit re-sorts the materialised
+    /// matrix — the legacy path) instead of the default one-pass
+    /// mergeable quantile sketch shared by all candidates. Runtime knob
+    /// only — not serialized; ignored for SVM/stacking and when
+    /// exact_splits is set.
+    bool exact_bins = false;
     /// Distributed histogram-merge seam (runtime-only, never serialized;
     /// not owned). When set, this process is one rank of a training
     /// group: tree candidates accumulate histograms over their owned row
@@ -152,6 +160,27 @@ class MvgClassifier : public SeriesClassifier {
   /// the measured extraction time, `max_len` the longest training series.
   void FitOnExtracted(Matrix x, std::vector<int> y, size_t max_len,
                       double fe_seconds);
+
+  /// True when training runs on the streaming sketch-binned path: tree
+  /// families with histogram splits and sketch-derived cuts (the
+  /// default). SVM and stacking consume raw feature values, and the
+  /// exact_* escape hatches opt back into the legacy matrix path.
+  bool UseSketchBinned() const;
+
+  /// Sketch-binned tail of the in-RAM Fit(): one sketch pass over the
+  /// already-extracted matrix, then TrainBinnedTail. Produces exactly the
+  /// sketch state (and therefore model) of the paged two-pass fit.
+  void FitSketchBinned(Matrix x, std::vector<int> y, size_t max_len,
+                       double fe_seconds);
+
+  /// Shared back half of the sketch-binned fits: `ft` holds every
+  /// training row (oversample duplicates included) binned against the
+  /// sketch cuts `fc`, `y_os` the matching labels. Fits the scaler from
+  /// the sketches' exact bounds, grid-searches via GridSearchBinned and
+  /// refits the winner with Classifier::FitBinned — no double feature
+  /// matrix anywhere.
+  void TrainBinnedTail(FeatureTable* ft, const CutSketcher::FeatureCuts& fc,
+                       std::vector<int> y_os);
 
  public:
   // Model-format internals (serve/model_io.cc) — public only so the

@@ -72,6 +72,12 @@ void Classifier::FitOnRows(const Matrix& x, const std::vector<int>& y,
   Fit(xs, ys);
 }
 
+void Classifier::FitBinned(const FeatureTable& /*ft*/,
+                           const std::vector<int>& /*y*/,
+                           const std::vector<size_t>& /*rows*/) {
+  throw std::runtime_error(Name() + ": binned training not supported");
+}
+
 void Classifier::SaveBinary(BinaryWriter* /*w*/) const {
   throw std::runtime_error(Name() + ": binary serialization not supported");
 }
@@ -127,6 +133,22 @@ std::vector<size_t> Classifier::PrepareFitOnRows(
     }
     if (x[r].size() != d) {
       throw std::invalid_argument("Fit: ragged feature matrix");
+    }
+    ys.push_back(y[r]);
+  }
+  encoder_.Fit(ys);
+  return encoder_.EncodeAll(ys);
+}
+
+std::vector<size_t> Classifier::PrepareFitBinned(
+    size_t num_rows, const std::vector<int>& y,
+    const std::vector<size_t>& rows) {
+  if (rows.empty()) throw std::invalid_argument("FitBinned: empty row set");
+  std::vector<int> ys;
+  ys.reserve(rows.size());
+  for (size_t r : rows) {
+    if (r >= num_rows || r >= y.size()) {
+      throw std::invalid_argument("FitBinned: row index out of range");
     }
     ys.push_back(y[r]);
   }

@@ -10,6 +10,7 @@ namespace mvg {
 
 class BinaryWriter;
 class BinaryReader;
+class FeatureTable;
 
 /// Dense row-major feature matrix: X[i] is sample i's feature vector.
 using Matrix = std::vector<std::vector<double>>;
@@ -57,6 +58,16 @@ class Classifier {
   virtual void FitOnRows(const Matrix& x, const std::vector<int>& y,
                          const std::vector<size_t>& rows);
 
+  /// Trains on the row subset `rows` of a pre-binned FeatureTable — the
+  /// streaming path's analogue of FitOnRows. The table's bin ids and cut
+  /// thresholds are the only feature representation consumed, so callers
+  /// can fit without ever materialising the row-major double matrix.
+  /// Overridden by the histogram-capable tree families; the default throws
+  /// std::runtime_error so families without a binned engine fail loudly.
+  /// `rows` must be non-empty.
+  virtual void FitBinned(const FeatureTable& ft, const std::vector<int>& y,
+                         const std::vector<size_t>& rows);
+
   /// Class probabilities for one sample, in encoded-class order
   /// (ascending original label). Requires Fit().
   virtual std::vector<double> PredictProba(
@@ -98,6 +109,13 @@ class Classifier {
   /// PrepareFit for a row subset: fits the encoder on y[rows] and returns
   /// the encoded labels in compact (rows-order) indexing.
   std::vector<size_t> PrepareFitOnRows(const Matrix& x,
+                                       const std::vector<int>& y,
+                                       const std::vector<size_t>& rows);
+
+  /// PrepareFitOnRows for the binned path: validates `rows` against the
+  /// table's row count, fits the encoder on y[rows] and returns the
+  /// encoded labels in compact (rows-order) indexing.
+  std::vector<size_t> PrepareFitBinned(size_t num_rows,
                                        const std::vector<int>& y,
                                        const std::vector<size_t>& rows);
 

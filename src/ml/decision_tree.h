@@ -64,7 +64,10 @@ class DecisionTreeClassifier : public Classifier {
   /// FeatureTable: `rows` are compact FeatureTable indices (duplicates
   /// allowed — bootstrap), `y_compact` is indexed by compact row. This is
   /// what RandomForest uses so the binning cost is paid once per forest,
-  /// not once per tree. Ignores params().split.
+  /// not once per tree. Ignores params().split. The using-declaration
+  /// keeps the base-class FitBinned(ft, labels, rows) overload visible
+  /// alongside this four-argument form.
+  using Classifier::FitBinned;
   void FitBinned(const FeatureTable& ft, const std::vector<size_t>& y_compact,
                  size_t num_classes, const std::vector<size_t>& rows);
 

@@ -1,6 +1,8 @@
 #include "ml/feature_table.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 #include <stdexcept>
 
@@ -24,6 +26,56 @@ void FeatureTable::Build(const Matrix& x, const std::vector<size_t>& rows,
   for (size_t r : rows) builder.AddRow(x[r]);
   builder.Finish(this);
   src_rows_ = rows;
+}
+
+void FeatureTable::InitFromCuts(std::vector<double> cuts,
+                                std::vector<size_t> cut_offset,
+                                size_t num_rows) {
+  if (cut_offset.size() < 2 || cut_offset.front() != 0 ||
+      cut_offset.back() != cuts.size()) {
+    throw std::invalid_argument("InitFromCuts: bad cut offsets");
+  }
+  if (num_rows == 0) throw std::invalid_argument("InitFromCuts: no rows");
+  num_rows_ = num_rows;
+  num_features_ = cut_offset.size() - 1;
+  row_stride_ = AlignedStride(num_rows_, sizeof(uint8_t));
+  bins_.ResetZero(num_features_ * row_stride_);
+  cuts_ = std::move(cuts);
+  cut_offset_ = std::move(cut_offset);
+  src_rows_.resize(num_rows_);
+  std::iota(src_rows_.begin(), src_rows_.end(), size_t{0});
+}
+
+void FeatureTable::BinRowInto(const double* row, size_t len, size_t i) {
+  uint8_t* cells = bins_.data();
+  for (size_t f = 0; f < num_features_; ++f) {
+    cells[f * row_stride_ + i] = BinValue(f, f < len ? row[f] : 0.0);
+  }
+}
+
+void FeatureTable::CopyRow(size_t src, size_t dst) {
+  uint8_t* cells = bins_.data();
+  for (size_t f = 0; f < num_features_; ++f) {
+    cells[f * row_stride_ + dst] = cells[f * row_stride_ + src];
+  }
+}
+
+void FeatureTable::RepresentativeRowInto(size_t i,
+                                         std::vector<double>* out) const {
+  out->resize(num_features_);
+  for (size_t f = 0; f < num_features_; ++f) {
+    const size_t nb = num_bins(f);
+    const uint8_t b = bin(f, i);
+    if (nb == 1) {
+      // Constant feature: no cuts, no tree can split on it.
+      (*out)[f] = 0.0;
+    } else if (b + size_t{1} < nb) {
+      (*out)[f] = threshold(f, b);
+    } else {
+      (*out)[f] = std::nextafter(threshold(f, nb - 2),
+                                 std::numeric_limits<double>::infinity());
+    }
+  }
 }
 
 void FeatureTableBuilder::AddRow(const std::vector<double>& row) {

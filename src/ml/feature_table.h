@@ -54,6 +54,44 @@ class FeatureTable {
   /// Convenience: all rows of x.
   void Build(const Matrix& x, size_t max_bins = kMaxBins);
 
+  /// Initializes the table from externally computed cut points (the
+  /// streaming sketch path: CutSketcher::Finish supplies cuts from one
+  /// pass, then rows are binned in as they stream by again). Allocates
+  /// `num_rows` zeroed row slots; fill them with BinRowInto / CopyRow.
+  /// `cut_offset` must have one entry per feature plus one, and each
+  /// feature's cut range must be strictly increasing.
+  void InitFromCuts(std::vector<double> cuts, std::vector<size_t> cut_offset,
+                    size_t num_rows);
+
+  /// Bin id of a raw value under feature f — the same lower-bound routing
+  /// the builder applies: index of the first cut >= value, so
+  /// `BinValue(f, v) <= b` iff `v <= threshold(f, b)`.
+  uint8_t BinValue(size_t f, double value) const {
+    const double* cuts_f = cuts_.data() + cut_offset_[f];
+    const size_t num_cuts = cut_offset_[f + 1] - cut_offset_[f];
+    return static_cast<uint8_t>(
+        std::lower_bound(cuts_f, cuts_f + num_cuts, value) - cuts_f);
+  }
+
+  /// Bins one feature row into row slot i. Features at index >= len read
+  /// 0.0 — the ExtractAll zero-padding semantics, so short rows bin
+  /// exactly as their padded matrix rows would.
+  void BinRowInto(const double* row, size_t len, size_t i);
+
+  /// Copies the bin cells of row slot `src` into row slot `dst` across
+  /// all features (how oversample duplicates are realised without
+  /// re-extracting the series).
+  void CopyRow(size_t src, size_t dst);
+
+  /// Writes a raw-valued stand-in for compact row i into `out` (resized
+  /// to num_features()): bin b maps to threshold(f, b) for b < num_bins-1
+  /// and to just above the last cut otherwise. Because tree split
+  /// thresholds are always cut values, routing this row through any
+  /// histogram-trained tree takes exactly the branches row i's source
+  /// values would — it makes binned cross-validation scoring exact, not
+  /// approximate.
+  void RepresentativeRowInto(size_t i, std::vector<double>* out) const;
+
   size_t num_rows() const { return num_rows_; }
   size_t num_features() const { return num_features_; }
 

@@ -60,6 +60,10 @@ struct GradientBoostingClassifier::HistBuilder {
   const std::vector<size_t>& cols;
   Tree* tree;
   std::vector<double>* gains;
+  /// When non-null, records per node (aligned with tree->push_back order)
+  /// the split's bin id — 0 for leaves — so the binned logit update can
+  /// descend without double features.
+  std::vector<uint16_t>* node_bins = nullptr;
 
   std::vector<size_t> rows;
   std::vector<size_t> scratch;
@@ -196,6 +200,7 @@ struct GradientBoostingClassifier::HistBuilder {
       leaf.weight = -g_sum / (h_sum + params.lambda);
       if (buf != kNoBuf) hpool.Release(buf);
       tree->push_back(leaf);
+      if (node_bins != nullptr) node_bins->push_back(0);
       return static_cast<int32_t>(tree->size() - 1);
     };
 
@@ -264,6 +269,9 @@ struct GradientBoostingClassifier::HistBuilder {
     internal.feature = best_feature;
     internal.threshold = best_threshold;
     tree->push_back(internal);
+    if (node_bins != nullptr) {
+      node_bins->push_back(static_cast<uint16_t>(best_bin));
+    }
     const int32_t id = static_cast<int32_t>(tree->size() - 1);
 
     // Scan only the smaller child and derive its sibling by subtraction
@@ -297,6 +305,134 @@ void GradientBoostingClassifier::FitOnRows(const Matrix& x,
                                            const std::vector<size_t>& rows) {
   const std::vector<size_t> encoded = PrepareFitOnRows(x, y, rows);
   FitView(x, rows, encoded);
+}
+
+void GradientBoostingClassifier::FitBinned(const FeatureTable& ft,
+                                           const std::vector<int>& y,
+                                           const std::vector<size_t>& rows) {
+  const std::vector<size_t> encoded =
+      PrepareFitBinned(ft.num_rows(), y, rows);
+  FitViewBinned(ft, rows, encoded);
+}
+
+void GradientBoostingClassifier::FitViewBinned(
+    const FeatureTable& ft, const std::vector<size_t>& rows_global,
+    const std::vector<size_t>& encoded) {
+  if (params_.split != SplitMode::kHistogram) {
+    throw std::invalid_argument(
+        "GradientBoosting: FitBinned requires histogram split mode");
+  }
+  const size_t n = rows_global.size();
+  const size_t d = ft.num_features();
+  const size_t k = encoder_.num_classes();
+  num_features_ = d;
+  feature_gain_.assign(d, 0.0);
+  ResetStorage();
+
+  const bool binary = k == 2;
+  const size_t num_outputs = binary ? 1 : k;
+  trees_per_round_ = num_outputs;
+  const size_t tree_threads =
+      params_.reducer != nullptr ? 1 : params_.num_threads;
+
+  base_score_.assign(num_outputs, 0.0);
+  if (binary) {
+    double pos = 0.0;
+    for (size_t c : encoded) pos += static_cast<double>(c);
+    const double p = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+    base_score_[0] = std::log(p / (1.0 - p));
+  }
+
+  // Logits/probs are compact (one slot per training row); the
+  // gradient/hessian buffers are table-indexed — ghs[out][2g] for table
+  // row g — because the histogram scans and the distributed row-ownership
+  // ranges address rows by table id. Rows outside the subset stay zero
+  // and are never scanned.
+  const size_t total = ft.num_rows();
+  Matrix logits(n, base_score_);
+  Matrix probs(n, std::vector<double>(num_outputs));
+  std::vector<std::vector<double>> ghs(num_outputs,
+                                       std::vector<double>(2 * total, 0.0));
+  std::vector<std::vector<double>> out_gains(num_outputs,
+                                             std::vector<double>(d));
+
+  constexpr size_t kRowGrain = 512;
+
+  Rng rng(params_.seed);
+  for (size_t round = 0; round < params_.num_rounds; ++round) {
+    obs::ObsSpan round_span(obs::PipelineMetrics::Get().gbt_round_seconds);
+    // Row subsample: drawn in compact indexing (so the draw sequence
+    // matches any other fit on n rows), then mapped to table ids.
+    std::vector<size_t> rows;
+    if (params_.subsample < 1.0) {
+      const size_t take = std::max<size_t>(
+          2, static_cast<size_t>(params_.subsample * static_cast<double>(n)));
+      const std::vector<size_t> sel = rng.Sample(n, take);
+      rows.resize(sel.size());
+      for (size_t i = 0; i < sel.size(); ++i) rows[i] = rows_global[sel[i]];
+    } else {
+      rows = rows_global;
+    }
+    std::vector<std::vector<size_t>> cols(num_outputs);
+    for (size_t out = 0; out < num_outputs; ++out) {
+      if (params_.colsample < 1.0) {
+        const size_t take = std::max<size_t>(
+            1,
+            static_cast<size_t>(params_.colsample * static_cast<double>(d)));
+        cols[out] = rng.Sample(d, take);
+      } else {
+        cols[out].resize(d);
+        std::iota(cols[out].begin(), cols[out].end(), size_t{0});
+      }
+    }
+
+    // Fused softmax-gradient pass, writing to the table-indexed buffers.
+    ParallelFor(
+        n, params_.num_threads,
+        [&](size_t i) {
+          const double* lg = logits[i].data();
+          double* pr = probs[i].data();
+          if (binary) {
+            pr[0] = Sigmoid(lg[0]);
+          } else {
+            SoftmaxInto(lg, num_outputs, pr);
+          }
+          const size_t g = rows_global[i];
+          for (size_t out = 0; out < num_outputs; ++out) {
+            const double p = pr[binary ? 0 : out];
+            const double target =
+                (binary ? encoded[i] == 1 : encoded[i] == out) ? 1.0 : 0.0;
+            double* cell = ghs[out].data() + 2 * g;
+            cell[0] = p - target;
+            cell[1] = std::max(1e-12, p * (1.0 - p));
+          }
+        },
+        kRowGrain);
+
+    std::vector<Tree> round_trees(num_outputs);
+    std::vector<std::vector<uint16_t>> round_bins(num_outputs);
+    ParallelFor(num_outputs, tree_threads, [&](size_t out) {
+      std::fill(out_gains[out].begin(), out_gains[out].end(), 0.0);
+      Tree tree;
+      HistBuilder builder(ft, ghs[out], params_, cols[out], &tree,
+                          &out_gains[out]);
+      builder.node_bins = &round_bins[out];
+      builder.Run(rows);
+      round_trees[out] = std::move(tree);
+    });
+    for (size_t out = 0; out < num_outputs; ++out) {
+      for (size_t f = 0; f < d; ++f) feature_gain_[f] += out_gains[out][f];
+    }
+
+    for (size_t out = 0; out < num_outputs; ++out) {
+      UpdateLogitsWithTreeBinned(round_trees[out].data(),
+                                 round_bins[out].data(), ft, rows_global,
+                                 params_.learning_rate, out, &logits,
+                                 params_.num_threads);
+    }
+    for (const Tree& tree : round_trees) AppendTree(tree);
+    ++num_rounds_;
+  }
 }
 
 void GradientBoostingClassifier::FitView(const Matrix& x,
@@ -557,6 +693,31 @@ void GradientBoostingClassifier::UpdateLogitsWithTree(
           const TreeNode& nd = nodes[cur];
           cur = xr[static_cast<size_t>(nd.feature)] <= nd.threshold ? nd.left
                                                                     : nd.right;
+        }
+        (*logits)[i][out] += lr * nodes[cur].weight;
+      },
+      /*grain=*/512);
+}
+
+void GradientBoostingClassifier::UpdateLogitsWithTreeBinned(
+    const TreeNode* nodes, const uint16_t* node_bins, const FeatureTable& ft,
+    const std::vector<size_t>& rows_global, double lr, size_t out,
+    Matrix* logits, size_t num_threads) {
+  // The bin comparison routes every row exactly as the threshold would
+  // (bin(f, r) <= b  <=>  value <= threshold(f, b) by the FeatureTable
+  // binning contract), so this update and UpdateLogitsWithTree on the
+  // materialised features agree bit for bit.
+  ParallelFor(
+      rows_global.size(), num_threads,
+      [&](size_t i) {
+        const size_t r = rows_global[i];
+        int32_t cur = 0;
+        while (nodes[cur].feature >= 0) {
+          const TreeNode& nd = nodes[cur];
+          cur = ft.bin(static_cast<size_t>(nd.feature), r) <=
+                        static_cast<uint8_t>(node_bins[cur])
+                    ? nd.left
+                    : nd.right;
         }
         (*logits)[i][out] += lr * nodes[cur].weight;
       },

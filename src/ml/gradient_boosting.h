@@ -67,6 +67,15 @@ class GradientBoostingClassifier : public Classifier {
   void Fit(const Matrix& x, const std::vector<int>& y) override;
   void FitOnRows(const Matrix& x, const std::vector<int>& y,
                  const std::vector<size_t>& rows) override;
+  /// Trains directly on a pre-binned FeatureTable (row subset `rows`, ids
+  /// in table indexing) without ever touching a double feature matrix —
+  /// the streaming-pipeline entry point. The fitted trees store the cut
+  /// thresholds, so prediction on raw features is unchanged; training-time
+  /// logit updates descend on bin ids, which routes rows identically
+  /// (bin <= b is exactly value <= threshold(f, b)). Requires
+  /// SplitMode::kHistogram.
+  void FitBinned(const FeatureTable& ft, const std::vector<int>& y,
+                 const std::vector<size_t>& rows) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;
@@ -115,6 +124,24 @@ class GradientBoostingClassifier : public Classifier {
   /// x[src[i]], `encoded` is indexed by compact row.
   void FitView(const Matrix& x, const std::vector<size_t>& src,
                const std::vector<size_t>& encoded);
+
+  /// FitView on a pre-binned table: `rows_global` are table row ids,
+  /// `encoded` is compact (rows_global-order). Gradient/hessian buffers
+  /// are table-indexed so the histogram engine and the distributed row
+  /// ownership arithmetic operate on table ids unchanged.
+  void FitViewBinned(const FeatureTable& ft,
+                     const std::vector<size_t>& rows_global,
+                     const std::vector<size_t>& encoded);
+
+  /// Binned analogue of UpdateLogitsWithTree: descends on bin ids
+  /// (ft.bin(f, r) <= node_bins[node], exactly the partition the builder
+  /// applied) so no double features are needed during training.
+  static void UpdateLogitsWithTreeBinned(const TreeNode* nodes,
+                                         const uint16_t* node_bins,
+                                         const FeatureTable& ft,
+                                         const std::vector<size_t>& rows_global,
+                                         double lr, size_t out, Matrix* logits,
+                                         size_t num_threads);
 
   /// Builds one exact-mode regression tree on the row-interleaved
   /// gradient/hessian array `gh` (gh[2r] = grad, gh[2r+1] = hess — the

@@ -4,6 +4,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "ml/feature_table.h"
 #include "ml/metrics.h"
 #include "util/parallel.h"
 #include "util/random.h"
@@ -92,6 +93,27 @@ double ScoreCell(const ClassifierFactory& factory, const Matrix& x,
   pred.reserve(fold.validation.size());
   for (size_t i : fold.validation) pred.push_back(clf->Predict(x[i]));
   return ErrorRate(yval, pred);
+}
+
+/// ScoreCell on the binned path: fit on the fold's train rows straight
+/// from the table, score validation rows through their per-bin
+/// representative vectors (exact routing for histogram-trained trees).
+double ScoreCellBinned(const ClassifierFactory& factory,
+                       const FeatureTable& ft, const std::vector<int>& y,
+                       const FoldIndices& fold) {
+  std::unique_ptr<Classifier> clf = factory();
+  clf->FitBinned(ft, y, fold.train);
+  std::vector<int> yval;
+  yval.reserve(fold.validation.size());
+  for (size_t i : fold.validation) yval.push_back(y[i]);
+  Matrix proba;
+  proba.reserve(fold.validation.size());
+  std::vector<double> rep;
+  for (size_t i : fold.validation) {
+    ft.RepresentativeRowInto(i, &rep);
+    proba.push_back(clf->PredictProba(rep));
+  }
+  return LogLoss(yval, proba, clf->classes());
 }
 
 /// Shared CV loop over precomputed folds; `use_log_loss` picks the score.
@@ -185,6 +207,47 @@ GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
   for (size_t f = 0; f < folds.size(); ++f) used += usable[f] ? 1 : 0;
   if (used == 0) {
     throw std::runtime_error("GridSearch: no usable folds");
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    double total = 0.0;
+    for (size_t f = 0; f < folds.size(); ++f) {
+      if (usable[f]) total += cell_scores[c * folds.size() + f];
+    }
+    result.scores.push_back(total / static_cast<double>(used));
+  }
+  result.best_index = static_cast<size_t>(
+      std::min_element(result.scores.begin(), result.scores.end()) -
+      result.scores.begin());
+  result.best_score = result.scores[result.best_index];
+  return result;
+}
+
+GridSearchResult GridSearchBinned(
+    const std::vector<ClassifierFactory>& candidates, const FeatureTable& ft,
+    const std::vector<int>& y, const std::vector<FoldIndices>& folds,
+    size_t num_threads) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("GridSearchBinned: no candidates");
+  }
+  // Same cell fan-out and fold-order reduction as GridSearch, so scores
+  // are bit-identical for every thread count and pool size.
+  const std::vector<char> usable = UsableFolds(folds, y);
+  const size_t num_cells = candidates.size() * folds.size();
+  std::vector<double> cell_scores(num_cells, 0.0);
+  ParallelFor(num_cells, num_threads, [&](size_t cell) {
+    const size_t c = cell / folds.size();
+    const size_t f = cell % folds.size();
+    if (usable[f]) {
+      cell_scores[cell] = ScoreCellBinned(candidates[c], ft, y, folds[f]);
+    }
+  });
+
+  GridSearchResult result;
+  result.scores.reserve(candidates.size());
+  size_t used = 0;
+  for (size_t f = 0; f < folds.size(); ++f) used += usable[f] ? 1 : 0;
+  if (used == 0) {
+    throw std::runtime_error("GridSearchBinned: no usable folds");
   }
   for (size_t c = 0; c < candidates.size(); ++c) {
     double total = 0.0;

@@ -8,6 +8,8 @@
 
 namespace mvg {
 
+class FeatureTable;
+
 /// One train/validation index split.
 struct FoldIndices {
   std::vector<size_t> train;
@@ -65,6 +67,18 @@ GridSearchResult GridSearch(const std::vector<ClassifierFactory>& candidates,
                             const Matrix& x, const std::vector<int>& y,
                             const std::vector<FoldIndices>& folds,
                             size_t num_threads = 1);
+
+/// GridSearch on the streaming path: candidates are trained per fold via
+/// Classifier::FitBinned on a shared pre-binned FeatureTable (indices in
+/// `folds` are table row ids) and validation rows are scored through
+/// FeatureTable::RepresentativeRowInto — a per-bin representative value
+/// that every histogram-trained tree routes exactly as the original
+/// feature vector, so fold scores match a fit on materialised features
+/// whenever the cuts do. No double feature matrix is ever built.
+GridSearchResult GridSearchBinned(
+    const std::vector<ClassifierFactory>& candidates, const FeatureTable& ft,
+    const std::vector<int>& y, const std::vector<FoldIndices>& folds,
+    size_t num_threads = 1);
 
 }  // namespace mvg
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <numeric>
 #include <stdexcept>
 
 #include "util/binary_io.h"
@@ -24,6 +25,16 @@ void MinMaxScaler::Fit(const Matrix& x) {
   }
   ranges_.resize(d);
   for (size_t f = 0; f < d; ++f) ranges_[f] = maxs[f] - mins_[f];
+}
+
+void MinMaxScaler::FitFromBounds(const std::vector<double>& mins,
+                                 const std::vector<double>& maxs) {
+  if (mins.empty() || mins.size() != maxs.size()) {
+    throw std::invalid_argument("MinMaxScaler: bad bounds");
+  }
+  mins_ = mins;
+  ranges_.resize(mins.size());
+  for (size_t f = 0; f < mins.size(); ++f) ranges_[f] = maxs[f] - mins_[f];
 }
 
 std::vector<double> MinMaxScaler::Transform(
@@ -115,10 +126,10 @@ void StandardScaler::LoadBinary(BinaryReader* r) {
   }
 }
 
-void RandomOversample(const Matrix& x, const std::vector<int>& y,
-                      uint64_t seed, Matrix* x_out, std::vector<int>* y_out) {
-  if (x.size() != y.size() || x.empty()) {
-    throw std::invalid_argument("RandomOversample: bad input");
+std::vector<size_t> OversampleIndices(const std::vector<int>& y,
+                                      uint64_t seed) {
+  if (y.empty()) {
+    throw std::invalid_argument("OversampleIndices: empty labels");
   }
   std::map<int, std::vector<size_t>> by_class;
   for (size_t i = 0; i < y.size(); ++i) by_class[y[i]].push_back(i);
@@ -127,14 +138,29 @@ void RandomOversample(const Matrix& x, const std::vector<int>& y,
     majority = std::max(majority, idx.size());
   }
   Rng rng(seed);
-  *x_out = x;
-  *y_out = y;
+  std::vector<size_t> out(y.size());
+  std::iota(out.begin(), out.end(), size_t{0});
   for (const auto& [label, idx] : by_class) {
     for (size_t extra = idx.size(); extra < majority; ++extra) {
-      const size_t pick = idx[rng.Index(idx.size())];
-      x_out->push_back(x[pick]);
-      y_out->push_back(label);
+      out.push_back(idx[rng.Index(idx.size())]);
     }
+  }
+  return out;
+}
+
+void RandomOversample(const Matrix& x, const std::vector<int>& y,
+                      uint64_t seed, Matrix* x_out, std::vector<int>* y_out) {
+  if (x.size() != y.size() || x.empty()) {
+    throw std::invalid_argument("RandomOversample: bad input");
+  }
+  const std::vector<size_t> idx = OversampleIndices(y, seed);
+  x_out->clear();
+  y_out->clear();
+  x_out->reserve(idx.size());
+  y_out->reserve(idx.size());
+  for (size_t i : idx) {
+    x_out->push_back(x[i]);
+    y_out->push_back(y[i]);
   }
 }
 

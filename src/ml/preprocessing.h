@@ -14,6 +14,11 @@ namespace mvg {
 class MinMaxScaler {
  public:
   void Fit(const Matrix& x);
+  /// Fit from precomputed per-feature bounds (the streaming path: exact
+  /// mins/maxs tracked by the quantile sketches) — identical state to
+  /// Fit() on the materialised matrix.
+  void FitFromBounds(const std::vector<double>& mins,
+                     const std::vector<double>& maxs);
   std::vector<double> Transform(const std::vector<double>& x) const;
   Matrix TransformAll(const Matrix& x) const;
   Matrix FitTransform(const Matrix& x);
@@ -49,6 +54,14 @@ class StandardScaler {
 /// class"). Returns resampled (X, y) with deterministic sampling.
 void RandomOversample(const Matrix& x, const std::vector<int>& y,
                       uint64_t seed, Matrix* x_out, std::vector<int>* y_out);
+
+/// Index form of RandomOversample: the resampled set is row i = out[i] of
+/// the original, with out = [0, n) followed by the duplicated minority
+/// picks in the same deterministic draw order. RandomOversample is this
+/// plus a gather, so the streaming path (which duplicates binned rows
+/// in place instead of feature vectors) resamples identically.
+std::vector<size_t> OversampleIndices(const std::vector<int>& y,
+                                      uint64_t seed);
 
 }  // namespace mvg
 

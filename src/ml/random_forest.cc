@@ -25,6 +25,64 @@ void RandomForestClassifier::FitOnRows(const Matrix& x,
   FitView(x, rows, encoded, encoder_.num_classes());
 }
 
+void RandomForestClassifier::FitBinned(const FeatureTable& ft,
+                                       const std::vector<int>& y,
+                                       const std::vector<size_t>& rows) {
+  if (params_.split != SplitMode::kHistogram) {
+    throw std::invalid_argument(
+        "RandomForest: FitBinned requires histogram split mode");
+  }
+  const std::vector<size_t> encoded =
+      PrepareFitBinned(ft.num_rows(), y, rows);
+  const size_t n = rows.size();
+  const size_t d = ft.num_features();
+  const size_t mtry =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max<size_t>(1, static_cast<size_t>(std::sqrt(
+                                    static_cast<double>(d))));
+
+  // The tree engine reads labels by table row id; scatter the compact
+  // encoding into a table-sized vector (rows outside the subset are never
+  // visited).
+  std::vector<size_t> y_table(ft.num_rows(), 0);
+  for (size_t i = 0; i < n; ++i) y_table[rows[i]] = encoded[i];
+
+  // Same pre-assignment discipline as FitView: seeds and bootstrap draws
+  // come off the master RNG in tree order (draws in compact indexing,
+  // mapped to table ids), so the forest is bit-identical for every thread
+  // count and identical to an in-RAM fit presenting the same row subset.
+  Rng rng(params_.seed);
+  std::vector<uint64_t> tree_seeds(params_.num_trees);
+  std::vector<std::vector<size_t>> tree_rows(params_.num_trees);
+  for (size_t t = 0; t < params_.num_trees; ++t) {
+    tree_seeds[t] = rng.engine()();
+    std::vector<size_t>& trows = tree_rows[t];
+    trows.resize(n);
+    if (params_.bootstrap) {
+      for (size_t i = 0; i < n; ++i) trows[i] = rows[rng.Index(n)];
+    } else {
+      trows = rows;
+    }
+  }
+
+  const size_t tree_threads =
+      params_.reducer != nullptr ? 1 : params_.num_threads;
+  trees_.assign(params_.num_trees, DecisionTreeClassifier());
+  ParallelFor(params_.num_trees, tree_threads, [&](size_t t) {
+    DecisionTreeClassifier::Params tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.max_features = mtry;
+    tp.seed = tree_seeds[t];
+    tp.split = params_.split;
+    tp.max_bins = params_.max_bins;
+    tp.reducer = params_.reducer;
+    trees_[t] = DecisionTreeClassifier(tp);
+    trees_[t].FitBinned(ft, y_table, encoder_.num_classes(), tree_rows[t]);
+  });
+}
+
 void RandomForestClassifier::FitView(const Matrix& x,
                                      const std::vector<size_t>& src,
                                      const std::vector<size_t>& y_compact,

@@ -50,6 +50,13 @@ class RandomForestClassifier : public Classifier {
   void Fit(const Matrix& x, const std::vector<int>& y) override;
   void FitOnRows(const Matrix& x, const std::vector<int>& y,
                  const std::vector<size_t>& rows) override;
+  /// Trains on the row subset `rows` of a pre-binned FeatureTable (the
+  /// streaming path; no double feature matrix). Bootstrap draws are made
+  /// in compact indexing and mapped to table ids, so the draw sequence —
+  /// and the fitted forest — matches for any caller that presents the
+  /// same subset. Requires SplitMode::kHistogram.
+  void FitBinned(const FeatureTable& ft, const std::vector<int>& y,
+                 const std::vector<size_t>& rows) override;
   std::vector<double> PredictProba(const std::vector<double>& x) const override;
   std::unique_ptr<Classifier> Clone() const override;
   std::string Name() const override;

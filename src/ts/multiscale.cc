@@ -1,27 +1,21 @@
 #include "ts/multiscale.h"
 
-#include "ts/transforms.h"
+#include "ts/ts_kernels.h"
 
 namespace mvg {
 
 std::vector<Series> MultiscaleRepresentation(const Series& s, ScaleMode mode,
                                              size_t tau) {
+  // Owning wrapper over the pooled/incremental construction in
+  // ts/ts_kernels.h (the batch extraction path uses the scratch form
+  // directly and never materializes this vector).
   std::vector<Series> scales;
   if (s.empty()) return scales;
-  if (mode != ScaleMode::kApproximateMultiscale) {
-    scales.push_back(s);
-  }
-  if (mode == ScaleMode::kUniscale) return scales;
-  Series cur = s;
-  while (true) {
-    Series next = HalveByPaa(cur);
-    if (next.size() <= tau || next.size() < 2) break;
-    scales.push_back(next);
-    cur = std::move(next);
-  }
-  // AMVG of a very short series: fall back to the original so the
-  // representation is never empty.
-  if (scales.empty()) scales.push_back(s);
+  ts_kernels::MultiscaleScratch ts;
+  ts.base = s;
+  ts_kernels::BuildScalesInto(mode, tau, &ts);
+  scales.reserve(ts.view.size());
+  for (const Series* scale : ts.view) scales.push_back(*scale);
   return scales;
 }
 

@@ -64,7 +64,15 @@ SeriesPage PagedUcrReader::ReadPageNow() {
     s.clear();
   }
   next_row_ += page.size();
-  if (page.size() < options_.page_rows) exhausted_ = true;
+  if (page.size() < options_.page_rows) {
+    exhausted_ = true;
+  } else if (in_.peek() == std::char_traits<char>::eof()) {
+    // The page filled exactly at end of file: detect that now so NextPage
+    // does not spawn a read-ahead task whose only job is to report EOF
+    // (in particular, a dataset fitting in one page stays entirely on the
+    // calling thread).
+    exhausted_ = true;
+  }
   return page;
 }
 
@@ -78,6 +86,7 @@ bool PagedUcrReader::NextPage(SeriesPage* page) {
   // on this one. The background task is the only reader of the stream
   // until the next NextPage/Reset claims its result.
   if (options_.read_ahead && !exhausted_) {
+    ++read_ahead_spawns_;
     pending_ = std::async(std::launch::async, [this] { return ReadPageNow(); });
   }
   return !page->empty();

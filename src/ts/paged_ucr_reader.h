@@ -67,6 +67,12 @@ class PagedUcrReader {
   /// consumed this is its total row count.
   size_t rows_read() const { return next_row_; }
 
+  /// Background read-ahead tasks launched so far. A dataset that fits in
+  /// one page never spawns one: a full page peeks the stream for EOF
+  /// before offering read-ahead, so the common whole-file-in-one-page
+  /// case stays single-threaded.
+  size_t read_ahead_spawns() const { return read_ahead_spawns_; }
+
  private:
   /// Synchronously parses the next page off the stream.
   SeriesPage ReadPageNow();
@@ -78,6 +84,7 @@ class PagedUcrReader {
   std::ifstream in_;
   size_t line_no_ = 0;
   size_t next_row_ = 0;
+  size_t read_ahead_spawns_ = 0;
   bool exhausted_ = false;
   std::future<SeriesPage> pending_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ts/ts_kernels.h"
 #include "util/statistics.h"
 
 namespace mvg {
@@ -21,30 +22,8 @@ Series ZNormalize(const Series& s) {
 }
 
 Series DetrendLinear(const Series& s) {
-  const size_t n = s.size();
-  if (n < 3) return s;
-  // Least squares fit of s[i] = a*i + b.
-  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double x = static_cast<double>(i);
-    sx += x;
-    sy += s[i];
-    sxx += x * x;
-    sxy += x * s[i];
-  }
-  const double dn = static_cast<double>(n);
-  const double denom = dn * sxx - sx * sx;
-  if (std::abs(denom) < 1e-12) return s;
-  const double a = (dn * sxy - sx * sy) / denom;
-  const double mean = sy / dn;
-  const double mid = (dn - 1.0) / 2.0;
-  Series out(n);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = s[i] - a * (static_cast<double>(i) - mid);
-  }
-  // Re-centering around the original mean keeps the level of the series.
-  const double new_mean = Mean(out);
-  for (double& v : out) v += mean - new_mean;
+  Series out = s;
+  ts_kernels::DetrendInPlace(out.data(), out.size());
   return out;
 }
 
@@ -83,7 +62,7 @@ Series HalveByPaa(const Series& s) {
   const size_t half = s.size() / 2;
   if (half == 0) return {};
   Series out(half);
-  for (size_t i = 0; i < half; ++i) out[i] = 0.5 * (s[2 * i] + s[2 * i + 1]);
+  ts_kernels::PairwiseHalveInto(s.data(), s.size(), out.data());
   return out;
 }
 

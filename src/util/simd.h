@@ -290,6 +290,18 @@ inline F64x4 Max(F64x4 a, F64x4 b) { return {_mm256_max_pd(b.v, a.v)}; }
 inline F64x4 Reverse(F64x4 x) {
   return {_mm256_permute4x64_pd(x.v, _MM_SHUFFLE(0, 1, 2, 3))};
 }
+/// Splits the 8 doubles {a | b} into even-index and odd-index lanes:
+/// even = {a0, a2, b0, b2}-positions of the concatenated stream, i.e. for
+/// a = x[0..3], b = x[4..7]: even = {x0, x2, x4, x6}, odd = {x1, x3, x5,
+/// x7}. Pure lane permutation — no arithmetic, so trivially bit-exact.
+inline void DeinterleaveEvenOdd(F64x4 a, F64x4 b, F64x4* even, F64x4* odd) {
+  // unpacklo/hi operate per 128-bit half: lo = {x0,x4 | x2,x6}; a cross-
+  // lane permute restores stream order.
+  const __m256d lo = _mm256_unpacklo_pd(a.v, b.v);
+  const __m256d hi = _mm256_unpackhi_pd(a.v, b.v);
+  even->v = _mm256_permute4x64_pd(lo, _MM_SHUFFLE(3, 1, 2, 0));
+  odd->v = _mm256_permute4x64_pd(hi, _MM_SHUFFLE(3, 1, 2, 0));
+}
 
 struct M64x4 {
   __m256d m;
@@ -399,6 +411,13 @@ inline F64x4 Max(F64x4 a, F64x4 b) {
 }
 inline F64x4 Reverse(F64x4 x) {
   return {_mm_shuffle_pd(x.hi, x.hi, 1), _mm_shuffle_pd(x.lo, x.lo, 1)};
+}
+/// Even/odd split of the 8-double stream {a | b} — see the AVX2 comment.
+inline void DeinterleaveEvenOdd(F64x4 a, F64x4 b, F64x4* even, F64x4* odd) {
+  even->lo = _mm_shuffle_pd(a.lo, a.hi, 0);
+  even->hi = _mm_shuffle_pd(b.lo, b.hi, 0);
+  odd->lo = _mm_shuffle_pd(a.lo, a.hi, 3);
+  odd->hi = _mm_shuffle_pd(b.lo, b.hi, 3);
 }
 
 struct M64x4 {
@@ -594,6 +613,13 @@ inline F64x4 Max(F64x4 a, F64x4 b) {
 }
 inline F64x4 Reverse(F64x4 x) {
   return {vextq_f64(x.hi, x.hi, 1), vextq_f64(x.lo, x.lo, 1)};
+}
+/// Even/odd split of the 8-double stream {a | b} — see the x86 comment.
+inline void DeinterleaveEvenOdd(F64x4 a, F64x4 b, F64x4* even, F64x4* odd) {
+  even->lo = vuzp1q_f64(a.lo, a.hi);
+  even->hi = vuzp1q_f64(b.lo, b.hi);
+  odd->lo = vuzp2q_f64(a.lo, a.hi);
+  odd->hi = vuzp2q_f64(b.lo, b.hi);
 }
 
 struct M64x4 {
@@ -846,6 +872,12 @@ inline F64x4 Max(F64x4 a, F64x4 b) {
 }
 inline F64x4 Reverse(F64x4 x) {
   return {{x.v[3], x.v[2], x.v[1], x.v[0]}};
+}
+/// Even/odd split of the 8-double stream {a | b}: even = {a0, a2, b0, b2},
+/// odd = {a1, a3, b1, b3} — the scalar spelling of the x86/NEON shuffles.
+inline void DeinterleaveEvenOdd(F64x4 a, F64x4 b, F64x4* even, F64x4* odd) {
+  *even = {{a.v[0], a.v[2], b.v[0], b.v[2]}};
+  *odd = {{a.v[1], a.v[3], b.v[1], b.v[3]}};
 }
 
 struct M64x4 {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "ts/ts_kernels.h"
 
 namespace mvg {
 
@@ -33,6 +34,10 @@ struct VgWorkspace {
   std::vector<double> value_stack;
   /// Recycled output storage for workspace-based builds.
   Graph graph;
+  /// Pooled buffers of the extraction front-end (sanitized/detrended T0 +
+  /// the halved scales), so MvgFeatureExtractor::Extract allocates nothing
+  /// on the series-assembly path either once warmed up.
+  ts_kernels::MultiscaleScratch ts;
 };
 
 }  // namespace mvg
